@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Figure 10: IPC speedup of RPG2, Triangel, and Prophet over the
+ * baseline without a temporal prefetcher, across the seven SPEC
+ * workloads, with the geomean bar.
+ *
+ * Paper shape to reproduce: Prophet > Triangel >> RPG2 (~1.0);
+ * geomeans 1.346 / 1.203 / 1.001 in the paper.
+ */
+
+#include "bench_util.hh"
+#include "workloads/registry.hh"
+
+int
+main()
+{
+    using namespace prophet;
+    sim::Runner runner;
+    const auto &workloads = workloads::specWorkloads();
+
+    std::map<std::string, bench::TrioResult> results;
+    for (const auto &w : workloads) {
+        std::printf("running %s...\n", w.c_str());
+        results[w] = bench::runTrio(runner, w);
+    }
+    std::printf("\n== Figure 10: IPC speedup vs no-temporal "
+                "baseline ==\n\n");
+    bench::printTrioTable(runner, workloads, results,
+                          "Performance Speedup",
+                          bench::speedupMetric);
+    return 0;
+}

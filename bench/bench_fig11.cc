@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Figure 11: DRAM traffic (reads + writes) normalized to the
+ * no-temporal baseline.
+ *
+ * Paper shape: RPG2 ~1.00, Triangel ~1.10, Prophet ~1.19 — Prophet
+ * buys its coverage with only modestly more traffic.
+ */
+
+#include "bench_util.hh"
+#include "workloads/registry.hh"
+
+int
+main()
+{
+    using namespace prophet;
+    sim::Runner runner;
+    const auto &workloads = workloads::specWorkloads();
+
+    std::map<std::string, bench::TrioResult> results;
+    for (const auto &w : workloads) {
+        std::printf("running %s...\n", w.c_str());
+        results[w] = bench::runTrio(runner, w);
+    }
+    std::printf("\n== Figure 11: Normalized DRAM traffic ==\n\n");
+    bench::printTrioTable(runner, workloads, results,
+                          "Normalized DRAM Traffic",
+                          bench::trafficMetric);
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Figure 13: Prophet learns counters from gcc's inputs. One row per
+ * learning stage:
+ *
+ *   Disable  — Triage4 + Triangel metadata (no Prophet hints)
+ *   +166     — hints from profiling gcc_166 only (Steps 1+2)
+ *   +expr    — after merging gcc_expr's counters (Step 3 + 2)
+ *   +typeck  — after merging gcc_typeck
+ *   +expr2   — after merging gcc_expr2
+ *   Direct   — each input profiled individually (the learning goal)
+ *
+ * Every stage's single binary is evaluated on all nine gcc inputs.
+ * Paper shape: each merge lifts the inputs that share patterns with
+ * the newly learned one (gcc_200 improves when gcc_expr is learned),
+ * and four rounds approach the Direct bars.
+ */
+
+#include <cstdio>
+
+#include "core/learner.hh"
+#include "sim/runner.hh"
+#include "stats/summary.hh"
+#include "stats/table.hh"
+#include "workloads/registry.hh"
+
+int
+main()
+{
+    using namespace prophet;
+    sim::Runner runner;
+    const auto &inputs = workloads::gccInputs();
+    const std::vector<std::string> learn_order{
+        "gcc_166", "gcc_expr", "gcc_typeck", "gcc_expr2"};
+
+    stats::Table table([&] {
+        std::vector<std::string> hdr{"stage"};
+        for (const auto &in : inputs)
+            hdr.push_back(in.substr(4));
+        hdr.push_back("Geomean");
+        return hdr;
+    }());
+
+    auto add_row = [&](const std::string &label,
+                       const std::vector<double> &speedups) {
+        std::vector<std::string> row{label};
+        for (double s : speedups)
+            row.push_back(stats::Table::fmt(s));
+        row.push_back(stats::Table::fmt(stats::geomean(speedups)));
+        table.addRow(std::move(row));
+    };
+
+    // "Disable": Triage4 + Triangel metadata (Section 5.3's leftmost
+    // bar) — the Prophet prefetcher with every feature off.
+    {
+        std::vector<double> speedups;
+        core::ProphetConfig bare;
+        bare.features = core::ProphetFeatures{false, false, false,
+                                              false};
+        for (const auto &in : inputs) {
+            std::printf("disable: %s\n", in.c_str());
+            auto s = runner.runProphetWithBinary(
+                in, core::OptimizedBinary{}, bare);
+            speedups.push_back(runner.speedup(in, s));
+        }
+        add_row("Disable", speedups);
+    }
+
+    // Learning stages.
+    core::Learner learner;
+    core::Analyzer analyzer;
+    for (const auto &learned : learn_order) {
+        std::printf("learning %s\n", learned.c_str());
+        learner.learn(runner.profileWorkload(learned));
+        auto binary = analyzer.analyze(learner.merged());
+        std::vector<double> speedups;
+        for (const auto &in : inputs) {
+            auto s = runner.runProphetWithBinary(in, binary);
+            speedups.push_back(runner.speedup(in, s));
+        }
+        add_row("+" + learned.substr(4), speedups);
+    }
+
+    // "Direct": profile each input individually.
+    {
+        std::vector<double> speedups;
+        for (const auto &in : inputs) {
+            std::printf("direct: %s\n", in.c_str());
+            auto out = runner.runProphet(in);
+            speedups.push_back(runner.speedup(in, out.stats));
+        }
+        add_row("Direct", speedups);
+    }
+
+    std::printf("\n== Figure 13: Prophet learning across gcc inputs "
+                "(IPC speedup) ==\n\n%s\n",
+                table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Figure 14: the learning feature generalizes beyond gcc — astar
+ * (biglakes/rivers) and soplex (pds-50/ref). Stages as in Figure 13:
+ * Disable, +first input, +second input, Direct.
+ */
+
+#include <cstdio>
+
+#include "core/learner.hh"
+#include "sim/runner.hh"
+#include "stats/summary.hh"
+#include "stats/table.hh"
+
+namespace
+{
+
+void
+runPair(prophet::sim::Runner &runner, const char *app,
+        const std::vector<std::string> &inputs,
+        const std::vector<std::string> &stage_labels)
+{
+    using namespace prophet;
+
+    stats::Table table([&] {
+        std::vector<std::string> hdr{"stage"};
+        for (const auto &in : inputs)
+            hdr.push_back(in);
+        hdr.push_back("Geomean");
+        return hdr;
+    }());
+
+    auto add_row = [&](const std::string &label,
+                       const std::vector<double> &speedups) {
+        std::vector<std::string> row{label};
+        for (double s : speedups)
+            row.push_back(stats::Table::fmt(s));
+        row.push_back(stats::Table::fmt(stats::geomean(speedups)));
+        table.addRow(std::move(row));
+    };
+
+    // Disable row.
+    {
+        core::ProphetConfig bare;
+        bare.features = core::ProphetFeatures{false, false, false,
+                                              false};
+        std::vector<double> speedups;
+        for (const auto &in : inputs) {
+            auto s = runner.runProphetWithBinary(
+                in, core::OptimizedBinary{}, bare);
+            speedups.push_back(runner.speedup(in, s));
+        }
+        add_row("Disable", speedups);
+    }
+
+    // Learning stages.
+    core::Learner learner;
+    core::Analyzer analyzer;
+    for (std::size_t stage = 0; stage < inputs.size(); ++stage) {
+        std::printf("%s: learning %s\n", app, inputs[stage].c_str());
+        learner.learn(runner.profileWorkload(inputs[stage]));
+        auto binary = analyzer.analyze(learner.merged());
+        std::vector<double> speedups;
+        for (const auto &in : inputs) {
+            auto s = runner.runProphetWithBinary(in, binary);
+            speedups.push_back(runner.speedup(in, s));
+        }
+        add_row(stage_labels[stage], speedups);
+    }
+
+    // Direct row.
+    {
+        std::vector<double> speedups;
+        for (const auto &in : inputs) {
+            auto out = runner.runProphet(in);
+            speedups.push_back(runner.speedup(in, out.stats));
+        }
+        add_row("Direct", speedups);
+    }
+
+    std::printf("\n== Figure 14 (%s): learning generalization ==\n\n"
+                "%s\n",
+                app, table.render().c_str());
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    prophet::sim::Runner runner;
+    runPair(runner, "astar", {"astar_biglakes", "astar_rivers"},
+            {"+lake", "+river"});
+    runPair(runner, "soplex", {"soplex_pds-50", "soplex_ref"},
+            {"+pds", "+ref"});
+    return 0;
+}

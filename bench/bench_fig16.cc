@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Figure 16: sensitivity studies over Prophet's parameters.
+ *  (a) EL_ACC in the insertion policy: 0.05 / 0.15 / 0.25 — both
+ *      extremes hurt (under- vs over-filtering).
+ *  (b) n in the replacement policy: 1 / 2 / 3 priority bits — finer
+ *      classes help slightly, at storage cost.
+ *  (c) Candidates per entry in the MVB: 1 / 2 / 4 — one candidate is
+ *      the sweet spot; more pollute bandwidth-sensitive workloads.
+ *
+ * Profiles are collected once per workload and reused across all
+ * parameter points (the profile does not depend on the parameters).
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "core/analyzer.hh"
+#include "sim/runner.hh"
+#include "stats/summary.hh"
+#include "stats/table.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using prophet::core::AnalyzerConfig;
+using prophet::core::ProphetConfig;
+
+void
+sweep(prophet::sim::Runner &runner,
+      const std::map<std::string, prophet::core::ProfileSnapshot>
+          &profiles,
+      const char *title, const std::vector<std::string> &labels,
+      const std::vector<AnalyzerConfig> &acfgs,
+      const std::vector<ProphetConfig> &pcfgs)
+{
+    using namespace prophet;
+    const auto &workloads = workloads::specWorkloads();
+
+    stats::Table table([&] {
+        std::vector<std::string> hdr{"workload"};
+        for (const auto &l : labels)
+            hdr.push_back(l);
+        return hdr;
+    }());
+
+    std::vector<std::vector<double>> cols(labels.size());
+    for (const auto &w : workloads) {
+        std::vector<std::string> row{w};
+        for (std::size_t i = 0; i < labels.size(); ++i) {
+            core::Analyzer analyzer(acfgs[i]);
+            auto binary = analyzer.analyze(profiles.at(w));
+            auto stats =
+                runner.runProphetWithBinary(w, binary, pcfgs[i]);
+            double s = runner.speedup(w, stats);
+            row.push_back(stats::Table::fmt(s));
+            cols[i].push_back(s);
+        }
+        table.addRow(std::move(row));
+    }
+    std::vector<std::string> geo{"Geomean"};
+    for (auto &c : cols)
+        geo.push_back(stats::Table::fmt(stats::geomean(c)));
+    table.addRow(std::move(geo));
+
+    std::printf("\n== Figure 16%s ==\n\n%s\n", title,
+                table.render().c_str());
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    using namespace prophet;
+    sim::Runner runner;
+
+    std::map<std::string, core::ProfileSnapshot> profiles;
+    for (const auto &w : workloads::specWorkloads()) {
+        std::printf("profiling %s...\n", w.c_str());
+        profiles[w] = runner.profileWorkload(w);
+    }
+
+    // (a) EL_ACC sweep.
+    {
+        std::vector<AnalyzerConfig> acfgs(3);
+        acfgs[0].elAcc = 0.05;
+        acfgs[1].elAcc = 0.15;
+        acfgs[2].elAcc = 0.25;
+        std::vector<ProphetConfig> pcfgs(3);
+        sweep(runner, profiles,
+              "(a): EL_ACC sensitivity (insertion policy)",
+              {"EL_ACC=0.05", "EL_ACC=0.15", "EL_ACC=0.25"}, acfgs,
+              pcfgs);
+    }
+
+    // (b) n sweep.
+    {
+        std::vector<AnalyzerConfig> acfgs(3);
+        acfgs[0].nBits = 1;
+        acfgs[1].nBits = 2;
+        acfgs[2].nBits = 3;
+        std::vector<ProphetConfig> pcfgs(3);
+        sweep(runner, profiles,
+              "(b): n sensitivity (replacement priority bits)",
+              {"n=1", "n=2", "n=3"}, acfgs, pcfgs);
+    }
+
+    // (c) MVB candidates sweep.
+    {
+        std::vector<AnalyzerConfig> acfgs(3);
+        std::vector<ProphetConfig> pcfgs(3);
+        pcfgs[0].mvbCandidates = 1;
+        pcfgs[1].mvbCandidates = 2;
+        pcfgs[2].mvbCandidates = 4;
+        sweep(runner, profiles,
+              "(c): Multi-path Victim Buffer candidates",
+              {"Candidate=1", "Candidate=2", "Candidate=4"}, acfgs,
+              pcfgs);
+    }
+    return 0;
+}

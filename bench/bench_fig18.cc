@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Figure 18: IPC speedup with doubled DRAM channels — Prophet's
+ * advantage must survive abundant memory bandwidth.
+ *
+ * Paper shape: Prophet 1.323, Triangel 1.182, RPG2 1.001 geomean.
+ */
+
+#include "bench_util.hh"
+#include "workloads/registry.hh"
+
+int
+main()
+{
+    using namespace prophet;
+    sim::SystemConfig base = sim::SystemConfig::table1();
+    base.hier.dram.channels = 2;
+    sim::Runner runner(base);
+
+    const auto &workloads = workloads::specWorkloads();
+    std::map<std::string, bench::TrioResult> results;
+    for (const auto &w : workloads) {
+        std::printf("running %s...\n", w.c_str());
+        results[w] = bench::runTrio(runner, w);
+    }
+    std::printf("\n== Figure 18: IPC speedup with 2 DRAM channels "
+                "==\n\n");
+    bench::printTrioTable(runner, workloads, results,
+                          "Performance Speedup",
+                          bench::speedupMetric);
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the hot simulator structures:
+ * metadata-table insert/lookup, cache lookup, Bloom filter, training
+ * unit, and the full per-record system step. These guard the
+ * simulator's own performance (figure benches run hundreds of
+ * millions of these operations).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mem/cache.hh"
+#include "mem/replacement.hh"
+#include "prefetch/bloom.hh"
+#include "prefetch/markov_table.hh"
+#include "prefetch/training_unit.hh"
+#include "sim/system.hh"
+#include "workloads/pattern_lib.hh"
+
+namespace
+{
+
+using namespace prophet;
+
+void
+BM_MarkovInsert(benchmark::State &state)
+{
+    pf::MarkovTable table(2048, 8,
+                          std::make_unique<mem::SrripPolicy>());
+    Addr key = 0;
+    for (auto _ : state) {
+        table.insert(key, key + 1, 0);
+        key = (key + 12345) & 0xfffff;
+    }
+}
+BENCHMARK(BM_MarkovInsert);
+
+void
+BM_MarkovLookup(benchmark::State &state)
+{
+    pf::MarkovTable table(2048, 8,
+                          std::make_unique<mem::SrripPolicy>());
+    for (Addr k = 0; k < 100000; ++k)
+        table.insert(k, k + 1, 0);
+    Addr key = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.lookup(key));
+        key = (key + 7919) % 100000;
+    }
+}
+BENCHMARK(BM_MarkovLookup);
+
+void
+BM_CacheLookupHit(benchmark::State &state)
+{
+    mem::Cache cache(
+        mem::CacheConfig{"L2", 512 * 1024, 8, 9, 32, "plru"});
+    for (Addr a = 0; a < 8192; ++a)
+        cache.fill(a, 0, mem::PfClass::None, kInvalidPC, false);
+    Addr a = 0;
+    Cycle cycle = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.lookupDemand(a, cycle++));
+        a = (a + 37) & 8191;
+    }
+}
+BENCHMARK(BM_CacheLookupHit);
+
+void
+BM_BloomInsertEstimate(benchmark::State &state)
+{
+    pf::BloomFilter bloom(1 << 18, 4);
+    std::uint64_t k = 0;
+    for (auto _ : state) {
+        bloom.insert(k++);
+        if ((k & 0xfff) == 0)
+            benchmark::DoNotOptimize(bloom.estimateCardinality());
+    }
+}
+BENCHMARK(BM_BloomInsertEstimate);
+
+void
+BM_TrainingUnitSwap(benchmark::State &state)
+{
+    pf::TrainingUnit tu;
+    PC pc = 0;
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tu.swap(pc, a));
+        pc = (pc + 0x40) & 0x3fff;
+        ++a;
+    }
+}
+BENCHMARK(BM_TrainingUnitSwap);
+
+void
+BM_SystemStep(benchmark::State &state)
+{
+    // Cost of one simulated record, end to end, with Triangel.
+    workloads::StreamParams p;
+    p.pc = 0x400000;
+    p.regionBase = 1ull << 33;
+    p.seed = 11;
+    workloads::ChaseStream stream(p, 50000, 0.02);
+    trace::Trace t;
+    for (int i = 0; i < 500000; ++i)
+        stream.emit(t);
+
+    sim::SystemConfig cfg = sim::SystemConfig::table1();
+    cfg.l2Pf = sim::L2PfKind::Triangel;
+    cfg.warmupRecords = 0;
+
+    for (auto _ : state) {
+        state.PauseTiming();
+        sim::System sys(cfg);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(sys.run(t));
+        state.SetItemsProcessed(state.items_processed()
+                                + static_cast<std::int64_t>(t.size()));
+    }
+}
+BENCHMARK(BM_SystemStep)->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Section 5.10: storage-overhead accounting for Prophet's additions
+ * (replacement state, hint buffer, Multi-path Victim Buffer) and the
+ * management structures of Triage and Triangel it is compared
+ * against in Section 2.1.
+ */
+
+#include <cstdio>
+
+#include "sim/storage.hh"
+#include "stats/table.hh"
+
+namespace
+{
+
+void
+printBreakdown(const char *title,
+               const std::vector<prophet::sim::StorageItem> &items)
+{
+    using prophet::stats::Table;
+    Table t({"component", "KiB"});
+    for (const auto &it : items)
+        t.addRow({it.component, Table::fmt(it.kib(), 2)});
+    t.addRow({"total",
+              Table::fmt(static_cast<double>(
+                             prophet::sim::totalBits(items))
+                             / 8192.0,
+                         2)});
+    std::printf("%s\n%s\n", title, t.render().c_str());
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("== Section 5.10: storage overhead ==\n\n");
+    printBreakdown("Prophet", prophet::sim::prophetStorage());
+    printBreakdown("Triage management structures",
+                   prophet::sim::triageStorage());
+    printBreakdown("Triangel management structures",
+                   prophet::sim::triangelStorage());
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Input adaptation walkthrough (the Section 4.3 / Figure 13 story):
+ * profile one gcc input, watch the optimized binary underperform on
+ * a different input, then merge the second input's counters with the
+ * Learner and watch a single binary serve both.
+ *
+ * Usage: input_adaptation [inputA] [inputB]   (default 166 typeck)
+ */
+
+#include <cstdio>
+
+#include "core/analyzer.hh"
+#include "core/learner.hh"
+#include "sim/runner.hh"
+#include "stats/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace prophet;
+    std::string input_a =
+        std::string("gcc_") + (argc > 1 ? argv[1] : "166");
+    std::string input_b =
+        std::string("gcc_") + (argc > 2 ? argv[2] : "typeck");
+
+    sim::Runner runner;
+    core::Analyzer analyzer;
+    core::Learner learner;
+
+    std::printf("Step 1+2: profile %s and build the optimized "
+                "binary...\n",
+                input_a.c_str());
+    learner.learn(runner.profileWorkload(input_a));
+    auto binary_a = analyzer.analyze(learner.merged());
+
+    std::printf("Step 3: merge counters from %s (Eq. 4/5)...\n\n",
+                input_b.c_str());
+    auto snap_b = runner.profileWorkload(input_b);
+    learner.learn(snap_b);
+    auto binary_ab = analyzer.analyze(learner.merged());
+
+    // The "Direct" reference: profiling input B alone.
+    core::Learner direct;
+    direct.learn(snap_b);
+    auto binary_direct = analyzer.analyze(direct.merged());
+
+    auto speedup = [&](const std::string &w,
+                       const core::OptimizedBinary &bin) {
+        return runner.speedup(w, runner.runProphetWithBinary(w, bin));
+    };
+
+    stats::Table t({"binary", "on " + input_a, "on " + input_b});
+    t.addRow({"hints(" + input_a + ")",
+              stats::Table::fmt(speedup(input_a, binary_a)),
+              stats::Table::fmt(speedup(input_b, binary_a))});
+    t.addRow({"hints(" + input_a + "+" + input_b + ")",
+              stats::Table::fmt(speedup(input_a, binary_ab)),
+              stats::Table::fmt(speedup(input_b, binary_ab))});
+    t.addRow({"hints(" + input_b + " direct)",
+              "-",
+              stats::Table::fmt(speedup(input_b, binary_direct))});
+    std::printf("%s\n", t.render().c_str());
+
+    std::printf("After one learning round the merged binary should "
+                "approach the direct\nprofile on %s without losing "
+                "its edge on %s (loops=%u).\n",
+                input_b.c_str(), input_a.c_str(), learner.loops());
+    return 0;
+}

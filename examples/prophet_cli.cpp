@@ -1,0 +1,161 @@
+/**
+ * @file
+ * General-purpose simulation driver: run any registered workload
+ * under any system configuration from the command line, optionally
+ * dumping or replaying trace files — the everyday tool a user of
+ * this library reaches for.
+ *
+ * Usage:
+ *   prophet_cli <workload> [--system baseline|triage|triage4|
+ *                triangel|prophet|stms|domino|rpg2]
+ *               [--l1 stride|ipcp|none] [--channels N]
+ *               [--records N] [--dump-trace FILE] [--load-trace FILE]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/runner.hh"
+#include "stats/table.hh"
+#include "trace/trace_io.hh"
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s <workload> [--system NAME] [--l1 NAME]\n"
+        "          [--channels N] [--records N]\n"
+        "          [--dump-trace FILE] [--load-trace FILE]\n"
+        "systems: baseline triage triage4 triangel prophet stms "
+        "domino rpg2\n",
+        argv0);
+    std::exit(1);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace prophet;
+    if (argc < 2)
+        usage(argv[0]);
+
+    std::string workload = argv[1];
+    std::string system = "prophet";
+    std::string l1 = "stride";
+    unsigned channels = 1;
+    std::size_t records = 0;
+    std::string dump_path, load_path;
+
+    for (int i = 2; i < argc; ++i) {
+        auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                usage(argv[0]);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--system"))
+            system = need("--system");
+        else if (!std::strcmp(argv[i], "--l1"))
+            l1 = need("--l1");
+        else if (!std::strcmp(argv[i], "--channels"))
+            channels = static_cast<unsigned>(
+                std::strtoul(need("--channels"), nullptr, 10));
+        else if (!std::strcmp(argv[i], "--records"))
+            records = std::strtoul(need("--records"), nullptr, 10);
+        else if (!std::strcmp(argv[i], "--dump-trace"))
+            dump_path = need("--dump-trace");
+        else if (!std::strcmp(argv[i], "--load-trace"))
+            load_path = need("--load-trace");
+        else
+            usage(argv[0]);
+    }
+
+    sim::SystemConfig base = sim::SystemConfig::table1();
+    base.hier.dram.channels = channels;
+    if (l1 == "stride")
+        base.l1Pf = sim::L1PfKind::Stride;
+    else if (l1 == "ipcp")
+        base.l1Pf = sim::L1PfKind::Ipcp;
+    else if (l1 == "none")
+        base.l1Pf = sim::L1PfKind::None;
+    else
+        usage(argv[0]);
+
+    sim::Runner runner(base, records);
+
+    if (!dump_path.empty()) {
+        const auto &t = runner.traceFor(workload);
+        if (!trace::saveBinary(t, dump_path)) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         dump_path.c_str());
+            return 1;
+        }
+        std::printf("wrote %zu records to %s\n", t.size(),
+                    dump_path.c_str());
+    }
+
+    sim::RunStats stats;
+    if (!load_path.empty()) {
+        trace::Trace t;
+        if (!trace::loadBinary(t, load_path)) {
+            std::fprintf(stderr, "failed to read %s\n",
+                         load_path.c_str());
+            return 1;
+        }
+        std::printf("replaying %zu records from %s\n", t.size(),
+                    load_path.c_str());
+        sim::SystemConfig cfg = base;
+        cfg.l2Pf = sim::L2PfKind::Triangel;
+        sim::System sys(cfg);
+        stats = sys.run(t);
+    } else if (system == "baseline") {
+        stats = runner.baseline(workload);
+    } else if (system == "triage") {
+        stats = runner.runTriage(workload, 1);
+    } else if (system == "triage4") {
+        stats = runner.runTriage(workload, 4);
+    } else if (system == "triangel") {
+        stats = runner.runTriangel(workload);
+    } else if (system == "prophet") {
+        stats = runner.runProphet(workload).stats;
+    } else if (system == "rpg2") {
+        stats = runner.runRpg2(workload).stats;
+    } else if (system == "stms" || system == "domino") {
+        sim::SystemConfig cfg = base;
+        cfg.l2Pf = system == "stms" ? sim::L2PfKind::Stms
+                                    : sim::L2PfKind::Domino;
+        stats = runner.runConfig(workload, cfg);
+    } else {
+        usage(argv[0]);
+    }
+
+    stats::Table t({"metric", "value"});
+    t.addRow({"IPC", stats::Table::fmt(stats.ipc)});
+    t.addRow({"speedup vs baseline",
+              stats::Table::fmt(runner.speedup(workload, stats))});
+    t.addRow({"L2 demand misses",
+              std::to_string(stats.l2DemandMisses)});
+    t.addRow({"coverage",
+              stats::Table::fmt(runner.coverage(workload, stats))});
+    t.addRow({"prefetch accuracy",
+              stats::Table::fmt(stats.prefetchAccuracy())});
+    t.addRow({"DRAM reads+writes", std::to_string(stats.dramTraffic())});
+    t.addRow({"DRAM traffic (norm)",
+              stats::Table::fmt(runner.trafficNorm(workload, stats))});
+    if (stats.offchipMeta.total() > 0)
+        t.addRow({"off-chip metadata lines",
+                  std::to_string(stats.offchipMeta.total())});
+    t.addRow({"metadata ways", std::to_string(stats.finalMetadataWays)});
+    std::printf("\n%s: %s\n\n%s", workload.c_str(), system.c_str(),
+                t.render().c_str());
+    return 0;
+}

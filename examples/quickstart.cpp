@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Quickstart: simulate one workload under the baseline, Triangel,
+ * and Prophet, and print the headline comparison the paper's
+ * Figure 10 makes. Start here to see the whole pipeline: workload
+ * generation, profiling with the simplified temporal prefetcher,
+ * hint analysis, and the optimized run.
+ */
+
+#include <cstdio>
+
+#include "sim/runner.hh"
+#include "stats/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = argc > 1 ? argv[1] : "mcf";
+
+    prophet::sim::Runner runner;
+
+    std::printf("Simulating '%s' (this runs four systems)...\n\n",
+                workload.c_str());
+
+    const auto &base = runner.baseline(workload);
+    auto triangel = runner.runTriangel(workload);
+    auto prophet_out = runner.runProphet(workload);
+
+    prophet::stats::Table table(
+        {"system", "IPC", "speedup", "coverage", "accuracy",
+         "DRAM traffic"});
+    auto row = [&](const char *name,
+                   const prophet::sim::RunStats &s) {
+        table.addRow({name, prophet::stats::Table::fmt(s.ipc),
+                      prophet::stats::Table::fmt(
+                          runner.speedup(workload, s)),
+                      prophet::stats::Table::fmt(
+                          runner.coverage(workload, s)),
+                      prophet::stats::Table::fmt(s.prefetchAccuracy()),
+                      prophet::stats::Table::fmt(
+                          runner.trafficNorm(workload, s))});
+    };
+    row("baseline", base);
+    row("triangel", triangel);
+    row("prophet", prophet_out.stats);
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("Prophet hint buffer: %zu PCs; CSR: %u metadata "
+                "ways%s\n",
+                prophet_out.binary.hints.size(),
+                prophet_out.binary.csr.metadataWays,
+                prophet_out.binary.csr.temporalDisabled
+                    ? " (temporal disabled)" : "");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Small integer-math helpers used by cache geometry computation and
+ * Prophet's resizing arithmetic (Eq. 3 of the paper).
+ */
+
+#ifndef PROPHET_COMMON_INTMATH_HH
+#define PROPHET_COMMON_INTMATH_HH
+
+#include <cstdint>
+
+#include "common/log.hh"
+
+namespace prophet
+{
+
+/** True iff n is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/** Floor of log2(n); n must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t n)
+{
+    unsigned l = 0;
+    while (n >>= 1)
+        ++l;
+    return l;
+}
+
+/** Ceiling of log2(n); n must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t n)
+{
+    return floorLog2(n) + (isPowerOf2(n) ? 0 : 1);
+}
+
+/** Smallest power of two >= n (n > 0). */
+constexpr std::uint64_t
+nextPowerOf2(std::uint64_t n)
+{
+    return std::uint64_t{1} << ceilLog2(n);
+}
+
+/**
+ * Round n to the *nearest* power of two, as Prophet's resizing does
+ * with the allocated-entries counter before Eq. 3. Ties round up.
+ * Returns 0 for n == 0.
+ */
+constexpr std::uint64_t
+roundNearestPowerOf2(std::uint64_t n)
+{
+    if (n == 0)
+        return 0;
+    std::uint64_t lo = std::uint64_t{1} << floorLog2(n);
+    std::uint64_t hi = lo << 1;
+    return (n - lo < hi - n) ? lo : hi;
+}
+
+/** Integer ceiling division; divisor must be non-zero. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace prophet
+
+#endif // PROPHET_COMMON_INTMATH_HH

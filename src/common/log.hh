@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal gem5-style diagnostics: panic() for internal invariant
+ * violations, fatal() for user/configuration errors, warn() for
+ * recoverable oddities.
+ */
+
+#ifndef PROPHET_COMMON_LOG_HH
+#define PROPHET_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace prophet
+{
+
+/**
+ * Abort the process because an internal invariant was violated.
+ * Use for conditions that indicate a simulator bug, never for bad
+ * user input.
+ */
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg, file, line);
+    std::abort();
+}
+
+/**
+ * Exit cleanly because the simulation cannot continue due to a
+ * user-caused condition (bad configuration, invalid arguments).
+ */
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg, file, line);
+    std::exit(1);
+}
+
+/** Print a non-fatal warning to stderr. */
+inline void
+warnImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg, file, line);
+}
+
+} // namespace prophet
+
+#define prophet_panic(msg) ::prophet::panicImpl(__FILE__, __LINE__, (msg))
+#define prophet_fatal(msg) ::prophet::fatalImpl(__FILE__, __LINE__, (msg))
+#define prophet_warn(msg) ::prophet::warnImpl(__FILE__, __LINE__, (msg))
+
+/** gem5-style checked assertion that survives NDEBUG builds. */
+#define prophet_assert(cond) \
+    do { \
+        if (!(cond)) \
+            ::prophet::panicImpl(__FILE__, __LINE__, \
+                                 "assertion failed: " #cond); \
+    } while (0)
+
+#endif // PROPHET_COMMON_LOG_HH

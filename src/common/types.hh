@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fundamental type aliases and cache-line address helpers shared by
+ * every module in the Prophet reproduction.
+ */
+
+#ifndef PROPHET_COMMON_TYPES_HH
+#define PROPHET_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace prophet
+{
+
+/** Byte-granularity physical/virtual address. */
+using Addr = std::uint64_t;
+
+/** Program counter of a memory instruction. */
+using PC = std::uint64_t;
+
+/** Simulation time, in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Cache line size used throughout (Table 1: 64 B lines). */
+constexpr unsigned kLineSize = 64;
+
+/** log2 of the cache line size. */
+constexpr unsigned kLineShift = 6;
+
+/** An invalid/sentinel address value. */
+constexpr Addr kInvalidAddr = ~static_cast<Addr>(0);
+
+/** An invalid/sentinel PC value. */
+constexpr PC kInvalidPC = ~static_cast<PC>(0);
+
+/**
+ * Convert a byte address to a line address (line index, not byte
+ * address of the line start).
+ */
+constexpr Addr
+lineAddr(Addr byte_addr)
+{
+    return byte_addr >> kLineShift;
+}
+
+/** Convert a line address back to the byte address of its first byte. */
+constexpr Addr
+lineToByte(Addr line_addr)
+{
+    return line_addr << kLineShift;
+}
+
+/** Align a byte address down to its containing line start. */
+constexpr Addr
+alignToLine(Addr byte_addr)
+{
+    return byte_addr & ~static_cast<Addr>(kLineSize - 1);
+}
+
+} // namespace prophet
+
+#endif // PROPHET_COMMON_TYPES_HH

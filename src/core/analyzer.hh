@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Step 2: Analysis (Section 4.2). Offline processing of the profiling
+ * counters into PC-level hints (insertion, Eq. 1; replacement
+ * priority, Eq. 2) and the application-level resizing CSR (Eq. 3).
+ * The result models the "new binary": a hint buffer image plus a CSR
+ * value injected at program entry.
+ */
+
+#ifndef PROPHET_CORE_ANALYZER_HH
+#define PROPHET_CORE_ANALYZER_HH
+
+#include <cstdint>
+
+#include "core/csr.hh"
+#include "core/hint_buffer.hh"
+#include "core/profile.hh"
+
+namespace prophet::core
+{
+
+/** Analysis parameters (the Figure 16 sensitivity knobs). */
+struct AnalyzerConfig
+{
+    /**
+     * EL_ACC (Eq. 1): extremely-low accuracy threshold below which a
+     * PC's demand requests are discarded. Default 0.15, the paper's
+     * chosen middle value in Figure 16(a).
+     */
+    double elAcc = 0.15;
+
+    /**
+     * n (Eq. 2): replacement priorities use 2^n levels. Default 2
+     * (2-bit Prophet Replacement State, Section 5.6).
+     */
+    unsigned nBits = 2;
+
+    /** Hint-buffer capacity (top miss PCs are selected, §4.4). */
+    unsigned hintCapacity = 128;
+
+    /**
+     * Minimum issued prefetches before the insertion filter may
+     * condemn a PC; below this the profile carries too little
+     * evidence and Prophet stays conservative ("filtering out only
+     * metadata that is highly unlikely to originate from temporal
+     * patterns").
+     */
+    std::uint64_t minIssuedForFilter = 32;
+
+    /** LLC sets (Eq. 3 denominator via entries-per-way). */
+    unsigned llcSets = 2048;
+
+    /** Maximum metadata ways (1 MB cap, footnote 4). */
+    unsigned maxWays = 8;
+};
+
+/** The "optimized binary": injected hints plus the entry CSR. */
+struct OptimizedBinary
+{
+    HintBuffer hints{128};
+    Csr csr{};
+};
+
+/**
+ * The offline analysis pass.
+ */
+class Analyzer
+{
+  public:
+    explicit Analyzer(const AnalyzerConfig &config = {});
+
+    /** Generate hints + CSR from a (possibly merged) profile. */
+    OptimizedBinary analyze(const ProfileSnapshot &profile) const;
+
+    /** Eq. 1: insertion decision for an accuracy value. */
+    bool insertionAllowed(double accuracy) const;
+
+    /** Eq. 2: priority level for an accuracy value. */
+    std::uint8_t priorityLevel(double accuracy) const;
+
+    /** Eq. 3: ways for an allocated-entries count; sets
+     *  temporalDisabled when the real-valued result is < 0.5. */
+    Csr resize(std::uint64_t allocated_entries) const;
+
+    const AnalyzerConfig &config() const { return cfg; }
+
+  private:
+    AnalyzerConfig cfg;
+};
+
+} // namespace prophet::core
+
+#endif // PROPHET_CORE_ANALYZER_HH

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Application-level Control and Status Register (Sections 3.1, 4.2).
+ * A CSR-manipulation instruction at program entry enables Prophet's
+ * building blocks and configures the metadata-table size computed by
+ * Eq. 3; "we completely disable temporal prefetching when the outcome
+ * of the above equation is less than 0.5".
+ */
+
+#ifndef PROPHET_CORE_CSR_HH
+#define PROPHET_CORE_CSR_HH
+
+namespace prophet::core
+{
+
+/** The Prophet CSR contents injected at program start. */
+struct Csr
+{
+    /** Prophet building blocks are active (vs pure runtime mode). */
+    bool prophetEnabled = false;
+
+    /** Eq. 3 outcome: LLC ways allocated to the metadata table. */
+    unsigned metadataWays = 8;
+
+    /** Eq. 3 outcome fell below 0.5 ways: disable temporal
+     *  prefetching entirely. */
+    bool temporalDisabled = false;
+};
+
+} // namespace prophet::core
+
+#endif // PROPHET_CORE_CSR_HH

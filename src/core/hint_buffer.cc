@@ -1,0 +1,41 @@
+#include "core/hint_buffer.hh"
+
+namespace prophet::core
+{
+
+HintBuffer::HintBuffer(unsigned capacity)
+    : cap(capacity)
+{}
+
+bool
+HintBuffer::install(PC pc, Hint hint)
+{
+    auto it = hints.find(pc);
+    if (it != hints.end()) {
+        it->second = hint;
+        return true;
+    }
+    if (hints.size() >= cap)
+        return false;
+    hints.emplace(pc, hint);
+    return true;
+}
+
+std::optional<Hint>
+HintBuffer::lookup(PC pc) const
+{
+    auto it = hints.find(pc);
+    if (it == hints.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::uint64_t
+HintBuffer::storageBits() const
+{
+    // 16-bit PC tag + 3-bit hint per entry, sized at capacity
+    // (0.19 KB for 128 entries, Section 5.10).
+    return static_cast<std::uint64_t>(cap) * (16 + 3);
+}
+
+} // namespace prophet::core

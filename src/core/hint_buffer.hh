@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The hint buffer (Section 4.4): a 128-entry, PC-indexed structure
+ * near the temporal prefetcher that holds the 3-bit hints Prophet's
+ * analysis injects into the binary. Hint instructions executed at
+ * program entry populate it; demand requests from matching PCs carry
+ * the hint to the prefetcher.
+ *
+ * Each hint packs the 1-bit insertion decision (Eq. 1) and the
+ * (2^n-level, n=2 by default) replacement priority (Eq. 2).
+ */
+
+#ifndef PROPHET_CORE_HINT_BUFFER_HH
+#define PROPHET_CORE_HINT_BUFFER_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace prophet::core
+{
+
+/** One injected PC-level hint. */
+struct Hint
+{
+    /** Eq. 1: train/insert metadata for this PC at all. */
+    bool allowInsert = true;
+
+    /** Eq. 2: replacement priority level (0 .. 2^n - 1). */
+    std::uint8_t priority = 0;
+};
+
+/**
+ * Fixed-capacity PC -> Hint store. Insertion past capacity is
+ * rejected (the analysis stage selects which PCs matter most, so the
+ * buffer never needs to evict at runtime).
+ */
+class HintBuffer
+{
+  public:
+    /** @param capacity Entries (the paper's evaluated size is 128). */
+    explicit HintBuffer(unsigned capacity = 128);
+
+    /**
+     * Install a hint; returns false (and does nothing) when the
+     * buffer is full and the PC is not already present.
+     */
+    bool install(PC pc, Hint hint);
+
+    /** Hint for a PC, if installed. */
+    std::optional<Hint> lookup(PC pc) const;
+
+    /** Installed entries. */
+    std::size_t size() const { return hints.size(); }
+
+    /** Capacity. */
+    unsigned capacity() const { return cap; }
+
+    /** Remove all hints. */
+    void clear() { hints.clear(); }
+
+    /** Storage cost in bits: per entry a PC tag (16 b) + 3 b hint. */
+    std::uint64_t storageBits() const;
+
+    /** Iteration (analysis reports, tests). */
+    auto begin() const { return hints.begin(); }
+    auto end() const { return hints.end(); }
+
+  private:
+    unsigned cap;
+    std::unordered_map<PC, Hint> hints;
+};
+
+} // namespace prophet::core
+
+#endif // PROPHET_CORE_HINT_BUFFER_HH

@@ -1,0 +1,69 @@
+#include "core/hint_encoding.hh"
+
+namespace prophet::core
+{
+
+std::uint8_t
+packHint(const Hint &hint)
+{
+    // Bit 0: insertion decision (Eq. 1); bits 1-2: priority (Eq. 2).
+    return static_cast<std::uint8_t>((hint.allowInsert ? 1 : 0)
+                                     | ((hint.priority & 0x3) << 1));
+}
+
+Hint
+unpackHint(std::uint8_t bits)
+{
+    Hint h;
+    h.allowInsert = (bits & 1) != 0;
+    h.priority = static_cast<std::uint8_t>((bits >> 1) & 0x3);
+    return h;
+}
+
+std::vector<HintInstruction>
+encodeHintInstructions(const HintBuffer &hints)
+{
+    std::vector<HintInstruction> out;
+    out.reserve(hints.size());
+    for (const auto &[pc, hint] : hints)
+        out.push_back(HintInstruction{pc, packHint(hint)});
+    return out;
+}
+
+HintBuffer
+decodeHintInstructions(const std::vector<HintInstruction> &insts,
+                       unsigned capacity)
+{
+    HintBuffer hb(capacity);
+    for (const auto &inst : insts)
+        hb.install(inst.targetPc, unpackHint(inst.payload));
+    return hb;
+}
+
+EncodingFootprint
+footprintOf(HintEncoding encoding, std::size_t hint_count)
+{
+    EncodingFootprint fp;
+    switch (encoding) {
+      case HintEncoding::HintInstructions:
+        // One instruction per hint, executed once at entry; the
+        // hint buffer stores PC tag + 3-bit payload per entry.
+        fp.staticInstructions = hint_count;
+        fp.dynamicInstructions = hint_count;
+        fp.codeBytes = hint_count * HintInstruction::encodedBytes;
+        fp.bufferBits = hint_count * (16 + 3);
+        break;
+      case HintEncoding::InstructionPrefix:
+        // No extra instructions; one prefix byte per hinted memory
+        // instruction. The paper's I-cache figure counts the 3 hint
+        // bits: 3 x 128 / 64 = 6 bytes of effective footprint.
+        fp.staticInstructions = 0;
+        fp.dynamicInstructions = 0;
+        fp.codeBytes = (hint_count * 3 + 63) / 64;
+        fp.bufferBits = 0;
+        break;
+    }
+    return fp;
+}
+
+} // namespace prophet::core

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Hint-injection encodings (Section 4.4). The evaluated configuration
+ * uses the hint buffer, but the paper also specifies two binary-level
+ * encodings; this module models both so their footprint claims can be
+ * checked:
+ *
+ *  - Hint instructions (Whisper-style): one special instruction per
+ *    hinted PC executed once at program entry (BOLT-inserted),
+ *    populating the hint buffer. Static footprint: one instruction
+ *    per hint; dynamic: executed once.
+ *  - x86 instruction prefixes: a 3-bit hint rides a one-byte prefix
+ *    added to each hinted memory instruction. No extra instructions,
+ *    but the code footprint grows; with at most 128 hinted
+ *    instructions the I-cache impact is the paper's 3*128/64 = 6 B
+ *    equivalent (Section 4.4).
+ */
+
+#ifndef PROPHET_CORE_HINT_ENCODING_HH
+#define PROPHET_CORE_HINT_ENCODING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hint_buffer.hh"
+
+namespace prophet::core
+{
+
+/** Which Section 4.4 encoding a binary uses. */
+enum class HintEncoding { HintInstructions, InstructionPrefix };
+
+/** One encoded hint instruction (the Whisper-style scheme). */
+struct HintInstruction
+{
+    PC targetPc = kInvalidPC; ///< memory instruction being hinted
+    std::uint8_t payload = 0; ///< 3-bit hint
+
+    /** Encoded size in bytes (opcode + PC tag + payload). */
+    static constexpr unsigned encodedBytes = 8;
+};
+
+/** Footprint report for an encoding choice. */
+struct EncodingFootprint
+{
+    /** Extra static instructions added to the binary. */
+    std::uint64_t staticInstructions = 0;
+
+    /** Extra dynamic instructions per program execution. */
+    std::uint64_t dynamicInstructions = 0;
+
+    /** Extra code bytes (I-cache footprint). */
+    std::uint64_t codeBytes = 0;
+
+    /** Dedicated hint-buffer storage bits required. */
+    std::uint64_t bufferBits = 0;
+};
+
+/** Pack a hint into its 3-bit wire form (1 insert bit + 2 priority). */
+std::uint8_t packHint(const Hint &hint);
+
+/** Unpack the 3-bit wire form. */
+Hint unpackHint(std::uint8_t bits);
+
+/**
+ * Lower a hint buffer into the hint-instruction encoding: the
+ * sequence BOLT would insert at the program entry point.
+ */
+std::vector<HintInstruction> encodeHintInstructions(
+    const HintBuffer &hints);
+
+/**
+ * Replay an encoded hint-instruction sequence into a hint buffer
+ * (what the hardware does when the instructions execute at entry).
+ */
+HintBuffer decodeHintInstructions(
+    const std::vector<HintInstruction> &insts, unsigned capacity = 128);
+
+/** Footprint of an encoding for a given hint count (Section 4.4). */
+EncodingFootprint footprintOf(HintEncoding encoding,
+                              std::size_t hint_count);
+
+} // namespace prophet::core
+
+#endif // PROPHET_CORE_HINT_ENCODING_HH

@@ -1,0 +1,62 @@
+#include "core/learner.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace prophet::core
+{
+
+Learner::Learner(unsigned loop_cap)
+    : loopCap(loop_cap)
+{
+    prophet_assert(loop_cap >= 1);
+}
+
+void
+Learner::learn(const ProfileSnapshot &fresh)
+{
+    if (loopCount == 0) {
+        state = fresh;
+        loopCount = 1;
+        return;
+    }
+
+    double weight = 1.0
+        / static_cast<double>(std::min(loopCount + 1, loopCap));
+
+    for (const auto &[pc, n] : fresh.perPc) {
+        auto it = state.perPc.find(pc);
+        if (it == state.perPc.end()) {
+            // Load C case: previously unrecorded PC adopts the new
+            // counters outright (second branch of Eq. 4).
+            state.perPc.emplace(pc, n);
+            continue;
+        }
+        // Load A / Load E cases: move the estimate toward the new
+        // observation by the loop-weighted offset (first branch).
+        PcProfile &o = it->second;
+        o.accuracy += weight * (n.accuracy - o.accuracy);
+        o.l2Misses = o.l2Misses
+            + static_cast<std::uint64_t>(
+                  weight * (static_cast<double>(n.l2Misses)
+                            - static_cast<double>(o.l2Misses)));
+        o.issuedPrefetches = std::max(o.issuedPrefetches,
+                                      n.issuedPrefetches);
+    }
+
+    // Eq. 5: conservative table sizing across inputs.
+    state.allocatedEntries =
+        std::max(state.allocatedEntries, fresh.allocatedEntries);
+
+    ++loopCount;
+}
+
+void
+Learner::reset()
+{
+    state = ProfileSnapshot{};
+    loopCount = 0;
+}
+
+} // namespace prophet::core

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Step 3: Learning (Section 4.3). Merges profiling snapshots from
+ * successive program inputs so one optimized binary adapts to all of
+ * them:
+ *
+ *  - Per-PC prefetching accuracy merges with Eq. 4:
+ *      merged = o + (n - o) / min(l + 1, L)   when the PC was seen
+ *      merged = n                             when it is new
+ *    so identical behaviour (Load A) keeps its hint, new code paths
+ *    (Load C) acquire hints, and context-sensitive PCs (Load E)
+ *    converge toward their frequently observed behaviour.
+ *  - Allocated entries merge with Eq. 5: max(o, n) — conservative
+ *    sizing that accommodates every input seen.
+ */
+
+#ifndef PROPHET_CORE_LEARNER_HH
+#define PROPHET_CORE_LEARNER_HH
+
+#include <cstdint>
+
+#include "core/profile.hh"
+
+namespace prophet::core
+{
+
+/**
+ * Accumulates profiles across inputs.
+ */
+class Learner
+{
+  public:
+    /**
+     * @param loop_cap The paper's designer-set parameter L capping
+     *        the 1/min(l+1, L) merge weight.
+     */
+    explicit Learner(unsigned loop_cap = 4);
+
+    /**
+     * Merge a fresh snapshot (one more execution of Steps 1+2).
+     * The first call simply adopts the snapshot.
+     */
+    void learn(const ProfileSnapshot &fresh);
+
+    /** The merged profile fed back into the Analyzer. */
+    const ProfileSnapshot &merged() const { return state; }
+
+    /** Completed Prophet loops (executions of Step 2). */
+    unsigned loops() const { return loopCount; }
+
+    /** Forget everything (new application). */
+    void reset();
+
+  private:
+    unsigned loopCap;
+    unsigned loopCount = 0;
+    ProfileSnapshot state;
+};
+
+} // namespace prophet::core
+
+#endif // PROPHET_CORE_LEARNER_HH

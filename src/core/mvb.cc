@@ -1,0 +1,125 @@
+#include "core/mvb.hh"
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+
+namespace prophet::core
+{
+
+MultiPathVictimBuffer::MultiPathVictimBuffer(unsigned total_entries,
+                                             unsigned candidates,
+                                             unsigned ways)
+    : numSets(total_entries / ways), numWays(ways),
+      maxCandidates(candidates),
+      slots(static_cast<std::size_t>(total_entries))
+{
+    prophet_assert(candidates >= 1);
+    prophet_assert(ways >= candidates);
+    prophet_assert(total_entries % ways == 0);
+    prophet_assert(isPowerOf2(numSets));
+}
+
+unsigned
+MultiPathVictimBuffer::setIndex(Addr key) const
+{
+    std::uint64_t h = key;
+    h ^= h >> 16;
+    h *= 0x45d9f3b3335b369ULL;
+    h ^= h >> 19;
+    return static_cast<unsigned>(h & (numSets - 1));
+}
+
+MultiPathVictimBuffer::Slot &
+MultiPathVictimBuffer::at(unsigned set, unsigned way)
+{
+    return slots[static_cast<std::size_t>(set) * numWays + way];
+}
+
+void
+MultiPathVictimBuffer::offer(const pf::MarkovTable::Entry &victim)
+{
+    if (!victim.valid)
+        return;
+    if (victim.priority == 0) {
+        // Only targets with priority level > 0 (acc > EL_ACC) are
+        // worth buffer space (Section 4.5, Insertion rule).
+        ++statsData.rejectedLowPriority;
+        return;
+    }
+
+    unsigned set = setIndex(victim.key);
+
+    // Already buffered? Refresh its counter instead of duplicating.
+    unsigned key_slots = 0;
+    for (unsigned w = 0; w < numWays; ++w) {
+        Slot &s = at(set, w);
+        if (s.valid && s.key == victim.key) {
+            if (s.target == victim.target) {
+                if (s.counter < 3)
+                    ++s.counter;
+                return;
+            }
+            ++key_slots;
+        }
+    }
+
+    // Victim choice: invalid slot first; otherwise the slot with the
+    // smallest counter (the MVB reuses Prophet's replacement idea
+    // with per-target counters as priorities). When this key already
+    // holds `maxCandidates` targets, replace among its own slots so
+    // one key cannot monopolize a set.
+    int target_way = -1;
+    std::uint8_t best_counter = 255;
+    for (unsigned w = 0; w < numWays; ++w) {
+        Slot &s = at(set, w);
+        if (!s.valid && key_slots < maxCandidates) {
+            target_way = static_cast<int>(w);
+            break;
+        }
+        if (!s.valid)
+            continue;
+        bool same_key = s.key == victim.key;
+        bool eligible = key_slots >= maxCandidates ? same_key : true;
+        if (eligible && s.counter < best_counter) {
+            best_counter = s.counter;
+            target_way = static_cast<int>(w);
+        }
+    }
+    if (target_way < 0)
+        return;
+
+    at(set, static_cast<unsigned>(target_way)) =
+        Slot{victim.key, victim.target, 1, true};
+    ++statsData.inserts;
+}
+
+void
+MultiPathVictimBuffer::lookup(Addr key, Addr table_target,
+                              std::vector<Addr> &out)
+{
+    ++statsData.lookups;
+    unsigned set = setIndex(key);
+    unsigned found = 0;
+    for (unsigned w = 0; w < numWays && found < maxCandidates; ++w) {
+        Slot &s = at(set, w);
+        if (!s.valid || s.key != key)
+            continue;
+        if (s.counter < 3)
+            ++s.counter;
+        if (s.target == table_target)
+            continue; // the table already supplies this path
+        out.push_back(s.target);
+        ++statsData.extraTargets;
+        ++found;
+    }
+    if (found > 0)
+        ++statsData.hits;
+}
+
+std::uint64_t
+MultiPathVictimBuffer::storageBits() const
+{
+    return static_cast<std::uint64_t>(slots.size()) * 43;
+}
+
+} // namespace prophet::core

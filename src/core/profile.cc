@@ -1,0 +1,31 @@
+#include "core/profile.hh"
+
+namespace prophet::core
+{
+
+ProfileSnapshot
+ProfileCollector::snapshot() const
+{
+    ProfileSnapshot snap;
+    snap.perPc.reserve(counters.size());
+    for (const auto &[pc, c] : counters) {
+        PcProfile p;
+        p.accuracy = c.accuracy();
+        p.issuedPrefetches = c.issuedPrefetches;
+        p.l2Misses = c.l2Misses;
+        snap.perPc.emplace(pc, p);
+    }
+    snap.allocatedEntries = tableInsertions >= tableReplacements
+        ? tableInsertions - tableReplacements : 0;
+    return snap;
+}
+
+void
+ProfileCollector::reset()
+{
+    counters.clear();
+    tableInsertions = 0;
+    tableReplacements = 0;
+}
+
+} // namespace prophet::core

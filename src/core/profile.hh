@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Profiling counters (Step 1, Section 4.1). On real hardware these
+ * are PEBS events (MEM_LOAD_RETIRED.L2_Prefetch_Issue / _Useful /
+ * L2_MISS) and two standard PMU counters (metadata insertions and
+ * replacements); in this reproduction the simulator feeds the same
+ * quantities into a ProfileCollector, exactly as the paper's own
+ * evaluation does with gem5's facilities (Section 5.1).
+ *
+ * A ProfileSnapshot is the distilled, mergeable form Step 2 analyzes
+ * and Step 3 merges across inputs: per-PC prefetching accuracy plus
+ * the application-level allocated-entries count.
+ */
+
+#ifndef PROPHET_CORE_PROFILE_HH
+#define PROPHET_CORE_PROFILE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace prophet::core
+{
+
+/** Raw per-PC PEBS-style event counts. */
+struct PcCounters
+{
+    /** MEM_LOAD_RETIRED.L2_Prefetch_Issue. */
+    std::uint64_t issuedPrefetches = 0;
+
+    /** MEM_LOAD_RETIRED.L2_Prefetch_Useful. */
+    std::uint64_t usefulPrefetches = 0;
+
+    /** MEM_LOAD_RETIRED.L2_MISS (hint-buffer PC selection, §4.4). */
+    std::uint64_t l2Misses = 0;
+
+    /** Prefetching Accuracy = useful / issued (Section 4.1). */
+    double
+    accuracy() const
+    {
+        return issuedPrefetches == 0
+            ? 0.0
+            : static_cast<double>(usefulPrefetches)
+                / static_cast<double>(issuedPrefetches);
+    }
+};
+
+/** Distilled per-PC statistics after one profiling run. */
+struct PcProfile
+{
+    double accuracy = 0.0;
+    std::uint64_t issuedPrefetches = 0;
+    std::uint64_t l2Misses = 0;
+};
+
+/** The mergeable profile of one (or several merged) runs. */
+struct ProfileSnapshot
+{
+    std::unordered_map<PC, PcProfile> perPc;
+
+    /** Allocated Entries = Insertions - Replacements (Section 4.1). */
+    std::uint64_t allocatedEntries = 0;
+};
+
+/**
+ * Collects the PEBS/PMU events during a profiling run. The simulator
+ * invokes the notify methods; snapshot() distills the result.
+ */
+class ProfileCollector
+{
+  public:
+    /** An L2 prefetch was issued, credited to @p pc. */
+    void
+    notifyIssued(PC pc)
+    {
+        ++counters[pc].issuedPrefetches;
+    }
+
+    /** A demand hit consumed a prefetched line credited to @p pc. */
+    void
+    notifyUseful(PC pc)
+    {
+        ++counters[pc].usefulPrefetches;
+    }
+
+    /** A demand access from @p pc missed in the L2. */
+    void
+    notifyL2Miss(PC pc)
+    {
+        ++counters[pc].l2Misses;
+    }
+
+    /** Final metadata-table counters (standard PMU events). */
+    void
+    setTableCounters(std::uint64_t insertions,
+                     std::uint64_t replacements)
+    {
+        tableInsertions = insertions;
+        tableReplacements = replacements;
+    }
+
+    /** Raw counters for a PC (zeroes when never seen). */
+    PcCounters
+    rawCounters(PC pc) const
+    {
+        auto it = counters.find(pc);
+        return it == counters.end() ? PcCounters{} : it->second;
+    }
+
+    /** Number of distinct PCs observed. */
+    std::size_t numPcs() const { return counters.size(); }
+
+    /** Distill the collected events into a mergeable snapshot. */
+    ProfileSnapshot snapshot() const;
+
+    /** Clear all state for a fresh profiling run. */
+    void reset();
+
+  private:
+    std::unordered_map<PC, PcCounters> counters;
+    std::uint64_t tableInsertions = 0;
+    std::uint64_t tableReplacements = 0;
+};
+
+} // namespace prophet::core
+
+#endif // PROPHET_CORE_PROFILE_HH

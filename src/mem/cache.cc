@@ -1,0 +1,215 @@
+#include "mem/cache.hh"
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+
+namespace prophet::mem
+{
+
+Cache::Cache(const CacheConfig &config)
+    : label(config.name),
+      sets(config.numSets()),
+      waysTotal(config.assoc),
+      latency(config.hitLatency),
+      lines(static_cast<std::size_t>(config.numSets()) * config.assoc),
+      repl(makePolicy(config.replacement))
+{
+    prophet_assert(sets > 0 && isPowerOf2(sets));
+    prophet_assert(waysTotal > 0);
+    repl->reset(sets, waysTotal);
+}
+
+unsigned
+Cache::setIndex(Addr line_addr) const
+{
+    return static_cast<unsigned>(line_addr & (sets - 1));
+}
+
+Cache::Line &
+Cache::lineAt(unsigned set, unsigned way)
+{
+    return lines[static_cast<std::size_t>(set) * waysTotal + way];
+}
+
+const Cache::Line &
+Cache::lineAt(unsigned set, unsigned way) const
+{
+    return lines[static_cast<std::size_t>(set) * waysTotal + way];
+}
+
+int
+Cache::findWay(unsigned set, Addr line_addr) const
+{
+    for (unsigned w = reserved; w < waysTotal; ++w) {
+        const Line &l = lineAt(set, w);
+        if (l.valid && l.tag == line_addr)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+LookupResult
+Cache::lookupDemand(Addr line_addr, Cycle cycle)
+{
+    unsigned set = setIndex(line_addr);
+    int way = findWay(set, line_addr);
+    LookupResult res;
+    if (way < 0) {
+        ++statsData.demandMisses;
+        return res;
+    }
+
+    Line &l = lineAt(set, static_cast<unsigned>(way));
+    res.hit = true;
+    res.readyAt = cycle + latency;
+    if (l.readyAt > cycle) {
+        // In-flight fill: pay the residual latency on top.
+        res.readyAt = l.readyAt + latency;
+        res.wasLate = true;
+    }
+    if (l.prefetched && !l.demandTouched) {
+        res.wasPrefetched = true;
+        res.prefetchClass = l.pfClass;
+        res.prefetchPc = l.prefetchPc;
+        l.demandTouched = true;
+        ++statsData.prefetchHits;
+        if (res.wasLate)
+            ++statsData.latePrefetchHits;
+    }
+    ++statsData.demandHits;
+    repl->touch(set, static_cast<unsigned>(way));
+    return res;
+}
+
+bool
+Cache::contains(Addr line_addr) const
+{
+    return findWay(setIndex(line_addr), line_addr) >= 0;
+}
+
+LookupResult
+Cache::lookupPrefetch(Addr line_addr, Cycle cycle)
+{
+    unsigned set = setIndex(line_addr);
+    int way = findWay(set, line_addr);
+    LookupResult res;
+    if (way < 0)
+        return res;
+    const Line &l = lineAt(set, static_cast<unsigned>(way));
+    res.hit = true;
+    res.readyAt = std::max(cycle, l.readyAt) + latency;
+    repl->touch(set, static_cast<unsigned>(way));
+    return res;
+}
+
+Eviction
+Cache::fill(Addr line_addr, Cycle ready_at, PfClass pf_class, PC pf_pc,
+            bool dirty)
+{
+    unsigned set = setIndex(line_addr);
+    int existing = findWay(set, line_addr);
+    if (existing >= 0) {
+        // Refill of a present line: merge state.
+        Line &l = lineAt(set, static_cast<unsigned>(existing));
+        l.dirty = l.dirty || dirty;
+        repl->touch(set, static_cast<unsigned>(existing));
+        return Eviction{};
+    }
+
+    ++statsData.fills;
+
+    // Prefer an invalid way in the demand partition.
+    int target = -1;
+    for (unsigned w = reserved; w < waysTotal; ++w) {
+        if (!lineAt(set, w).valid) {
+            target = static_cast<int>(w);
+            break;
+        }
+    }
+
+    Eviction ev;
+    if (target < 0) {
+        std::vector<unsigned> candidates;
+        candidates.reserve(waysTotal - reserved);
+        for (unsigned w = reserved; w < waysTotal; ++w)
+            candidates.push_back(w);
+        prophet_assert(!candidates.empty());
+        unsigned victim = repl->victim(set, candidates);
+        Line &vl = lineAt(set, victim);
+        ev.valid = true;
+        ev.lineAddr = vl.tag;
+        ev.dirty = vl.dirty;
+        ev.unusedPrefetch = vl.prefetched && !vl.demandTouched;
+        if (ev.dirty)
+            ++statsData.writebacks;
+        if (ev.unusedPrefetch)
+            ++statsData.unusedPrefetchEvictions;
+        target = static_cast<int>(victim);
+    }
+
+    Line &l = lineAt(set, static_cast<unsigned>(target));
+    l.tag = line_addr;
+    l.valid = true;
+    l.dirty = dirty;
+    l.prefetched = pf_class != PfClass::None;
+    l.pfClass = pf_class;
+    l.demandTouched = false;
+    l.prefetchPc = pf_pc;
+    l.readyAt = ready_at;
+    repl->insert(set, static_cast<unsigned>(target));
+    return ev;
+}
+
+void
+Cache::markDirty(Addr line_addr)
+{
+    unsigned set = setIndex(line_addr);
+    int way = findWay(set, line_addr);
+    if (way >= 0)
+        lineAt(set, static_cast<unsigned>(way)).dirty = true;
+}
+
+Eviction
+Cache::invalidate(Addr line_addr)
+{
+    unsigned set = setIndex(line_addr);
+    int way = findWay(set, line_addr);
+    Eviction ev;
+    if (way < 0)
+        return ev;
+    Line &l = lineAt(set, static_cast<unsigned>(way));
+    ev.valid = true;
+    ev.lineAddr = l.tag;
+    ev.dirty = l.dirty;
+    ev.unusedPrefetch = l.prefetched && !l.demandTouched;
+    l.valid = false;
+    l.dirty = false;
+    return ev;
+}
+
+void
+Cache::setReservedWays(unsigned ways)
+{
+    prophet_assert(ways < waysTotal);
+    if (ways > reserved) {
+        // Metadata partition grows: drop demand lines in the newly
+        // reserved ways.
+        for (unsigned set = 0; set < sets; ++set) {
+            for (unsigned w = reserved; w < ways; ++w) {
+                Line &l = lineAt(set, w);
+                l.valid = false;
+                l.dirty = false;
+            }
+        }
+    }
+    reserved = ways;
+}
+
+std::uint64_t
+Cache::effectiveBytes() const
+{
+    return static_cast<std::uint64_t>(sets) * (waysTotal - reserved)
+        * kLineSize;
+}
+
+} // namespace prophet::mem

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Set-associative cache with prefetch-bit accounting, fill-time
+ * tracking (so late prefetches earn only partial latency credit), and
+ * way reservation for the LLC-resident metadata table.
+ */
+
+#ifndef PROPHET_MEM_CACHE_HH
+#define PROPHET_MEM_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/cache_config.hh"
+#include "mem/replacement.hh"
+
+namespace prophet::mem
+{
+
+/** Who issued the prefetch that installed a line. */
+enum class PfClass : std::uint8_t { None, L1, L2 };
+
+/** Outcome of a cache lookup. */
+struct LookupResult
+{
+    /** The line is present (possibly still in flight). */
+    bool hit = false;
+
+    /**
+     * Cycle at which the data is available; for a plain hit this is
+     * access cycle + hit latency, for a hit on an in-flight prefetch
+     * it also waits for the fill to land.
+     */
+    Cycle readyAt = 0;
+
+    /** The hit consumed a prefetched line (first demand touch). */
+    bool wasPrefetched = false;
+
+    /** Which prefetcher installed the line when wasPrefetched. */
+    PfClass prefetchClass = PfClass::None;
+
+    /** PC credited with the prefetch when wasPrefetched. */
+    PC prefetchPc = kInvalidPC;
+
+    /** The fill had not yet landed (late prefetch). */
+    bool wasLate = false;
+};
+
+/** Description of a line evicted by a fill. */
+struct Eviction
+{
+    bool valid = false;
+    Addr lineAddr = 0;
+    bool dirty = false;
+    /** Evicted line was prefetched and never used by a demand. */
+    bool unusedPrefetch = false;
+};
+
+/** Aggregate per-cache statistics. */
+struct CacheStats
+{
+    std::uint64_t demandHits = 0;
+    std::uint64_t demandMisses = 0;
+    std::uint64_t prefetchHits = 0;  ///< demand hits on prefetched lines
+    std::uint64_t latePrefetchHits = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t unusedPrefetchEvictions = 0;
+};
+
+/**
+ * One cache level. Lines are identified by line address; fills install
+ * immediately with a readiness time, which subsumes MSHR-style
+ * in-flight tracking for the trace-driven timing model.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Demand lookup. On a hit the replacement state is updated and
+     * prefetch-bit bookkeeping performed.
+     *
+     * @param line_addr Line address accessed.
+     * @param cycle Access cycle.
+     */
+    LookupResult lookupDemand(Addr line_addr, Cycle cycle);
+
+    /**
+     * Presence probe that does not update replacement state or clear
+     * prefetch bits (used by prefetchers to squash redundant issues).
+     */
+    bool contains(Addr line_addr) const;
+
+    /**
+     * Lookup on behalf of a prefetch from an upper level: touches
+     * replacement state on a hit but does not perturb demand
+     * statistics or prefetch-bit bookkeeping.
+     */
+    LookupResult lookupPrefetch(Addr line_addr, Cycle cycle);
+
+    /**
+     * Install a line.
+     *
+     * @param line_addr Line address to fill.
+     * @param ready_at Cycle the data arrives.
+     * @param pf_class Prefetcher class that triggered the fill
+     *        (PfClass::None for demand fills).
+     * @param pf_pc PC credited when pf_class != None.
+     * @param dirty Install in dirty state (writeback from above).
+     * @return The eviction this fill caused, if any.
+     */
+    Eviction fill(Addr line_addr, Cycle ready_at, PfClass pf_class,
+                  PC pf_pc, bool dirty);
+
+    /** Mark an existing line dirty (store hit / writeback merge). */
+    void markDirty(Addr line_addr);
+
+    /** Invalidate a line if present; returns its eviction record. */
+    Eviction invalidate(Addr line_addr);
+
+    /**
+     * Reserve the first @p ways ways of every set (metadata-table
+     * partition). Growing the reservation invalidates the affected
+     * demand lines; their evictions are dropped (metadata handover).
+     */
+    void setReservedWays(unsigned ways);
+
+    /** Currently reserved ways. */
+    unsigned reservedWays() const { return reserved; }
+
+    /** Geometry and latency access. */
+    unsigned numSets() const { return sets; }
+    unsigned assoc() const { return waysTotal; }
+    Cycle hitLatency() const { return latency; }
+    const std::string &name() const { return label; }
+
+    /** Statistics. */
+    const CacheStats &stats() const { return statsData; }
+    void resetStats() { statsData = CacheStats{}; }
+
+    /** Demand-visible capacity in bytes under the current partition. */
+    std::uint64_t effectiveBytes() const;
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
+        PfClass pfClass = PfClass::None;
+        bool demandTouched = false;
+        PC prefetchPc = kInvalidPC;
+        Cycle readyAt = 0;
+    };
+
+    std::string label;
+    unsigned sets;
+    unsigned waysTotal;
+    Cycle latency;
+    unsigned reserved = 0;
+    std::vector<Line> lines;
+    std::unique_ptr<ReplacementPolicy> repl;
+    CacheStats statsData;
+
+    unsigned setIndex(Addr line_addr) const;
+    Line &lineAt(unsigned set, unsigned way);
+    const Line &lineAt(unsigned set, unsigned way) const;
+    int findWay(unsigned set, Addr line_addr) const;
+};
+
+} // namespace prophet::mem
+
+#endif // PROPHET_MEM_CACHE_HH

@@ -1,0 +1,44 @@
+#include "mem/dram.hh"
+
+#include "common/log.hh"
+
+namespace prophet::mem
+{
+
+Dram::Dram(const DramConfig &config)
+    : cfg(config), channelFree(config.channels, 0)
+{
+    prophet_assert(config.channels >= 1);
+}
+
+Cycle
+Dram::schedule(Cycle cycle)
+{
+    // Earliest-free channel.
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < channelFree.size(); ++c)
+        if (channelFree[c] < channelFree[best])
+            best = c;
+    Cycle start = std::max(cycle, channelFree[best]);
+    channelFree[best] = start + cfg.cyclesPerTransfer;
+    return start;
+}
+
+Cycle
+Dram::read(Cycle cycle, bool is_prefetch)
+{
+    ++statsData.reads;
+    if (is_prefetch)
+        ++statsData.prefetchReads;
+    Cycle start = schedule(cycle);
+    return start + cfg.accessLatency;
+}
+
+void
+Dram::write(Cycle cycle)
+{
+    ++statsData.writes;
+    schedule(cycle);
+}
+
+} // namespace prophet::mem

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * DRAM timing/traffic model: fixed access latency plus per-channel
+ * bandwidth occupancy (LPDDR5-class single channel by default;
+ * Figure 18 doubles the channel count). Traffic counters feed the
+ * normalized-DRAM-traffic figures (11, 18, 19b).
+ */
+
+#ifndef PROPHET_MEM_DRAM_HH
+#define PROPHET_MEM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace prophet::mem
+{
+
+/** Static DRAM model parameters. */
+struct DramConfig
+{
+    /** Row access latency in core cycles (device + controller). */
+    Cycle accessLatency = 150;
+
+    /** Channel occupancy per 64 B transfer, in core cycles. */
+    Cycle cyclesPerTransfer = 8;
+
+    /** Independent channels (Table 1: single channel). */
+    unsigned channels = 1;
+};
+
+/** DRAM traffic statistics. */
+struct DramStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t prefetchReads = 0;
+
+    std::uint64_t total() const { return reads + writes; }
+};
+
+/**
+ * Bandwidth-aware DRAM model. Requests are assigned to the channel
+ * that frees up earliest; a request issued while all channels are
+ * busy is delayed, which is how constrained-bandwidth workloads
+ * (astar in the paper) feel prefetch over-aggressiveness.
+ */
+class Dram
+{
+  public:
+    explicit Dram(const DramConfig &config);
+
+    /**
+     * Issue a read at @p cycle.
+     * @param is_prefetch Counted separately for traffic analysis.
+     * @return Completion cycle of the read.
+     */
+    Cycle read(Cycle cycle, bool is_prefetch);
+
+    /** Issue a writeback at @p cycle (consumes bandwidth only). */
+    void write(Cycle cycle);
+
+    const DramStats &stats() const { return statsData; }
+    void resetStats() { statsData = DramStats{}; }
+
+    const DramConfig &config() const { return cfg; }
+
+  private:
+    DramConfig cfg;
+    std::vector<Cycle> channelFree;
+    DramStats statsData;
+
+    /** Pick the earliest-free channel and occupy it from @p cycle. */
+    Cycle schedule(Cycle cycle);
+};
+
+} // namespace prophet::mem
+
+#endif // PROPHET_MEM_DRAM_HH

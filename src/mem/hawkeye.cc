@@ -1,0 +1,187 @@
+#include "mem/hawkeye.hh"
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+
+namespace prophet::mem
+{
+
+HawkeyePolicy::HawkeyePolicy(unsigned sampled_sets,
+                             unsigned predictor_entries)
+    : sampledSets(sampled_sets), predictorSize(predictor_entries)
+{
+    prophet_assert(isPowerOf2(sampled_sets));
+    prophet_assert(isPowerOf2(predictor_entries));
+}
+
+void
+HawkeyePolicy::reset(unsigned num_sets, unsigned assoc)
+{
+    numSets = num_sets;
+    numWays = assoc;
+    if (sampledSets > num_sets)
+        sampledSets = num_sets;
+    predictor.assign(predictorSize, 4); // weakly friendly
+    rrip.assign(static_cast<std::size_t>(num_sets) * assoc, maxRrip);
+    lineSig.assign(static_cast<std::size_t>(num_sets) * assoc, 0);
+    sampler.clear();
+}
+
+bool
+HawkeyePolicy::isSampled(unsigned set) const
+{
+    // Sample sets spread uniformly: every (numSets / sampledSets)-th.
+    unsigned stride = numSets / sampledSets;
+    return stride == 0 || set % stride == 0;
+}
+
+std::size_t
+HawkeyePolicy::predIdx(std::uint64_t sig) const
+{
+    // CRC-ish mix then mask.
+    sig ^= sig >> 33;
+    sig *= 0xff51afd7ed558ccdULL;
+    sig ^= sig >> 33;
+    return static_cast<std::size_t>(sig & (predictorSize - 1));
+}
+
+void
+HawkeyePolicy::trainPositive(std::uint64_t sig)
+{
+    auto &c = predictor[predIdx(sig)];
+    if (c < 7)
+        ++c;
+}
+
+void
+HawkeyePolicy::trainNegative(std::uint64_t sig)
+{
+    auto &c = predictor[predIdx(sig)];
+    if (c > 0)
+        --c;
+}
+
+unsigned
+HawkeyePolicy::predictorValue(std::uint64_t sig) const
+{
+    return predictor[predIdx(sig)];
+}
+
+bool
+HawkeyePolicy::isFriendly(std::uint64_t sig) const
+{
+    return predictor[predIdx(sig)] >= 4;
+}
+
+void
+HawkeyePolicy::samplerAccess(unsigned set)
+{
+    auto &ss = sampler[set];
+    if (ss.history.empty()) {
+        ss.history.assign(
+            static_cast<std::size_t>(numWays) * historyPerWay, {});
+        ss.occupancy.assign(ss.history.size(), 0);
+    }
+
+    ++ss.clock;
+
+    // Look for the previous access to the same address in the
+    // history window (most recent first).
+    std::size_t n = ss.history.size();
+    std::size_t found = n;
+    for (std::size_t back = 1; back <= n; ++back) {
+        std::size_t idx = (ss.headIdx + n - back) % n;
+        const auto &e = ss.history[idx];
+        if (e.valid && e.addr == currentAddr) {
+            found = idx;
+            break;
+        }
+    }
+
+    if (found != n) {
+        // OPTgen: the interval [found, head) can hold the line iff
+        // every occupancy slot in it is below associativity.
+        bool fits = true;
+        for (std::size_t idx = found; idx != ss.headIdx;
+             idx = (idx + 1) % n) {
+            if (ss.occupancy[idx] >= numWays) {
+                fits = false;
+                break;
+            }
+        }
+        if (fits) {
+            for (std::size_t idx = found; idx != ss.headIdx;
+                 idx = (idx + 1) % n)
+                ++ss.occupancy[idx];
+            trainPositive(ss.history[found].sig);
+        } else {
+            trainNegative(ss.history[found].sig);
+        }
+    }
+
+    // Record this access at the head.
+    ss.history[ss.headIdx] = {currentAddr, currentSig, ss.clock, true};
+    ss.occupancy[ss.headIdx] = 0;
+    ss.headIdx = (ss.headIdx + 1) % n;
+}
+
+void
+HawkeyePolicy::onAccess(unsigned set, unsigned way)
+{
+    if (isSampled(set))
+        samplerAccess(set);
+
+    std::size_t idx = static_cast<std::size_t>(set) * numWays + way;
+    lineSig[idx] = currentSig;
+    if (isFriendly(currentSig)) {
+        rrip[idx] = 0;
+    } else {
+        rrip[idx] = maxRrip;
+    }
+}
+
+void
+HawkeyePolicy::touch(unsigned set, unsigned way)
+{
+    onAccess(set, way);
+}
+
+void
+HawkeyePolicy::insert(unsigned set, unsigned way)
+{
+    onAccess(set, way);
+}
+
+unsigned
+HawkeyePolicy::victim(unsigned set,
+                      const std::vector<unsigned> &candidates)
+{
+    prophet_assert(!candidates.empty());
+    std::size_t base = static_cast<std::size_t>(set) * numWays;
+
+    // Prefer a cache-averse line (rrip == max).
+    for (unsigned way : candidates)
+        if (rrip[base + way] >= maxRrip)
+            return way;
+
+    // Otherwise evict the oldest friendly line and detrain its
+    // signature: OPT would not have evicted a friendly line, so the
+    // predictor was wrong about it.
+    unsigned victim_way = candidates.front();
+    std::uint8_t oldest = 0;
+    for (unsigned way : candidates) {
+        if (rrip[base + way] >= oldest) {
+            oldest = rrip[base + way];
+            victim_way = way;
+        }
+    }
+    // Age friendly candidates so ties break toward older lines later.
+    for (unsigned way : candidates)
+        if (rrip[base + way] < maxRrip - 1)
+            ++rrip[base + way];
+
+    trainNegative(lineSig[base + victim_way]);
+    return victim_way;
+}
+
+} // namespace prophet::mem

@@ -1,0 +1,261 @@
+#include "mem/replacement.hh"
+
+#include <limits>
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+
+namespace prophet::mem
+{
+
+// ---------------------------------------------------------------- LRU
+
+void
+LruPolicy::reset(unsigned num_sets, unsigned assoc)
+{
+    numWays = assoc;
+    clock = 0;
+    stamps.assign(static_cast<std::size_t>(num_sets) * assoc, 0);
+}
+
+void
+LruPolicy::touch(unsigned set, unsigned way)
+{
+    stamps[static_cast<std::size_t>(set) * numWays + way] = ++clock;
+}
+
+void
+LruPolicy::insert(unsigned set, unsigned way)
+{
+    touch(set, way);
+}
+
+unsigned
+LruPolicy::victim(unsigned set, const std::vector<unsigned> &candidates)
+{
+    prophet_assert(!candidates.empty());
+    unsigned best = candidates.front();
+    std::uint64_t best_stamp = std::numeric_limits<std::uint64_t>::max();
+    for (unsigned way : candidates) {
+        std::uint64_t s =
+            stamps[static_cast<std::size_t>(set) * numWays + way];
+        if (s < best_stamp) {
+            best_stamp = s;
+            best = way;
+        }
+    }
+    return best;
+}
+
+// ----------------------------------------------------------- TreePLRU
+
+void
+TreePlruPolicy::reset(unsigned num_sets, unsigned assoc)
+{
+    prophet_assert(isPowerOf2(assoc));
+    numWays = assoc;
+    bits.assign(static_cast<std::size_t>(num_sets) * (assoc - 1), 0);
+    fallback.reset(num_sets, assoc);
+}
+
+void
+TreePlruPolicy::touchPath(unsigned set, unsigned way)
+{
+    // Walk from the root; at each node flip the bit to point away
+    // from the touched way.
+    std::size_t base = static_cast<std::size_t>(set) * (numWays - 1);
+    unsigned node = 0;
+    unsigned lo = 0, hi = numWays;
+    while (hi - lo > 1) {
+        unsigned mid = (lo + hi) / 2;
+        bool right = way >= mid;
+        bits[base + node] = right ? 0 : 1; // point to the other half
+        node = 2 * node + (right ? 2 : 1);
+        if (right)
+            lo = mid;
+        else
+            hi = mid;
+    }
+}
+
+unsigned
+TreePlruPolicy::followTree(unsigned set) const
+{
+    std::size_t base = static_cast<std::size_t>(set) * (numWays - 1);
+    unsigned node = 0;
+    unsigned lo = 0, hi = numWays;
+    while (hi - lo > 1) {
+        unsigned mid = (lo + hi) / 2;
+        bool right = bits[base + node] != 0;
+        node = 2 * node + (right ? 2 : 1);
+        if (right)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+void
+TreePlruPolicy::touch(unsigned set, unsigned way)
+{
+    touchPath(set, way);
+    fallback.touch(set, way);
+}
+
+void
+TreePlruPolicy::insert(unsigned set, unsigned way)
+{
+    touch(set, way);
+}
+
+unsigned
+TreePlruPolicy::victim(unsigned set,
+                       const std::vector<unsigned> &candidates)
+{
+    prophet_assert(!candidates.empty());
+    unsigned preferred = followTree(set);
+    for (unsigned way : candidates)
+        if (way == preferred)
+            return preferred;
+    // The tree's preference is outside the candidate restriction;
+    // fall back to timestamp LRU among candidates.
+    return fallback.victim(set, candidates);
+}
+
+// -------------------------------------------------------------- SRRIP
+
+SrripPolicy::SrripPolicy(unsigned rrpv_bits)
+    : maxRrpv(static_cast<std::uint8_t>((1u << rrpv_bits) - 1))
+{
+    prophet_assert(rrpv_bits >= 1 && rrpv_bits <= 8);
+}
+
+void
+SrripPolicy::reset(unsigned num_sets, unsigned assoc)
+{
+    numWays = assoc;
+    rrpvs.assign(static_cast<std::size_t>(num_sets) * assoc, maxRrpv);
+}
+
+void
+SrripPolicy::touch(unsigned set, unsigned way)
+{
+    rrpvs[static_cast<std::size_t>(set) * numWays + way] = 0;
+}
+
+void
+SrripPolicy::insert(unsigned set, unsigned way)
+{
+    rrpvs[static_cast<std::size_t>(set) * numWays + way] =
+        static_cast<std::uint8_t>(maxRrpv - 1);
+}
+
+unsigned
+SrripPolicy::victim(unsigned set, const std::vector<unsigned> &candidates)
+{
+    prophet_assert(!candidates.empty());
+    std::size_t base = static_cast<std::size_t>(set) * numWays;
+    for (;;) {
+        for (unsigned way : candidates)
+            if (rrpvs[base + way] >= maxRrpv)
+                return way;
+        // Age all candidates and retry; bounded by maxRrpv rounds.
+        for (unsigned way : candidates)
+            if (rrpvs[base + way] < maxRrpv)
+                ++rrpvs[base + way];
+    }
+}
+
+std::uint8_t
+SrripPolicy::rrpv(unsigned set, unsigned way) const
+{
+    return rrpvs[static_cast<std::size_t>(set) * numWays + way];
+}
+
+// -------------------------------------------------------------- BRRIP
+
+BrripPolicy::BrripPolicy(double long_insert_prob)
+    : longProb(long_insert_prob), rng(0xb1e55edULL)
+{}
+
+void
+BrripPolicy::reset(unsigned num_sets, unsigned assoc)
+{
+    numWays = assoc;
+    rrpvs.assign(static_cast<std::size_t>(num_sets) * assoc, maxRrpv);
+}
+
+void
+BrripPolicy::touch(unsigned set, unsigned way)
+{
+    rrpvs[static_cast<std::size_t>(set) * numWays + way] = 0;
+}
+
+void
+BrripPolicy::insert(unsigned set, unsigned way)
+{
+    bool long_rrpv = !rng.chance(longProb);
+    rrpvs[static_cast<std::size_t>(set) * numWays + way] =
+        static_cast<std::uint8_t>(long_rrpv ? maxRrpv : maxRrpv - 1);
+}
+
+unsigned
+BrripPolicy::victim(unsigned set, const std::vector<unsigned> &candidates)
+{
+    prophet_assert(!candidates.empty());
+    std::size_t base = static_cast<std::size_t>(set) * numWays;
+    for (;;) {
+        for (unsigned way : candidates)
+            if (rrpvs[base + way] >= maxRrpv)
+                return way;
+        for (unsigned way : candidates)
+            if (rrpvs[base + way] < maxRrpv)
+                ++rrpvs[base + way];
+    }
+}
+
+// ------------------------------------------------------------- Random
+
+RandomPolicy::RandomPolicy(std::uint64_t seed)
+    : rng(seed)
+{}
+
+void
+RandomPolicy::reset(unsigned, unsigned)
+{}
+
+void
+RandomPolicy::touch(unsigned, unsigned)
+{}
+
+void
+RandomPolicy::insert(unsigned, unsigned)
+{}
+
+unsigned
+RandomPolicy::victim(unsigned, const std::vector<unsigned> &candidates)
+{
+    prophet_assert(!candidates.empty());
+    return candidates[rng.below(candidates.size())];
+}
+
+// ------------------------------------------------------------ factory
+
+std::unique_ptr<ReplacementPolicy>
+makePolicy(const std::string &name)
+{
+    if (name == "lru")
+        return std::make_unique<LruPolicy>();
+    if (name == "plru")
+        return std::make_unique<TreePlruPolicy>();
+    if (name == "srrip")
+        return std::make_unique<SrripPolicy>();
+    if (name == "brrip")
+        return std::make_unique<BrripPolicy>();
+    if (name == "random")
+        return std::make_unique<RandomPolicy>();
+    prophet_fatal("unknown replacement policy name");
+}
+
+} // namespace prophet::mem

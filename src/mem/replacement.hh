@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Replacement-policy interface and the standard policies used across
+ * the hierarchy and the metadata table: LRU, tree-PLRU, SRRIP/BRRIP,
+ * and random. Hawkeye (Triage's original metadata policy) lives in
+ * hawkeye.hh.
+ *
+ * The victim() method receives an explicit candidate list so that
+ * higher-level policies (Prophet's priority-class replacement,
+ * Section 4.2 of the paper) can pre-filter candidates and delegate
+ * the final choice to a base policy, exactly as Figure 4 describes
+ * ("Prophet Replacement Policy first generates candidate victims for
+ * the Runtime Replacement Policy, which then chooses the final
+ * victim").
+ */
+
+#ifndef PROPHET_MEM_REPLACEMENT_HH
+#define PROPHET_MEM_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace prophet::mem
+{
+
+/**
+ * Abstract replacement policy over a (numSets x assoc) structure.
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** (Re)initialize state for the given geometry. */
+    virtual void reset(unsigned num_sets, unsigned assoc) = 0;
+
+    /** Note a hit on (set, way). */
+    virtual void touch(unsigned set, unsigned way) = 0;
+
+    /** Note a fill into (set, way). */
+    virtual void insert(unsigned set, unsigned way) = 0;
+
+    /**
+     * Choose a victim among the candidate ways of a set. The
+     * candidate list is never empty; all candidates hold valid lines.
+     */
+    virtual unsigned victim(unsigned set,
+                            const std::vector<unsigned> &candidates) = 0;
+
+    /** Policy name for reports. */
+    virtual std::string name() const = 0;
+};
+
+/** True least-recently-used via per-line timestamps. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    void reset(unsigned num_sets, unsigned assoc) override;
+    void touch(unsigned set, unsigned way) override;
+    void insert(unsigned set, unsigned way) override;
+    unsigned victim(unsigned set,
+                    const std::vector<unsigned> &candidates) override;
+    std::string name() const override { return "LRU"; }
+
+  private:
+    std::uint64_t clock = 0;
+    unsigned numWays = 0;
+    std::vector<std::uint64_t> stamps;
+};
+
+/**
+ * Tree pseudo-LRU, the L1/L2 policy in Table 1. Associativity must be
+ * a power of two. Victim selection honours the candidate restriction
+ * by falling back to the least-recently-touched candidate when the
+ * tree's preferred way is not a candidate.
+ */
+class TreePlruPolicy : public ReplacementPolicy
+{
+  public:
+    void reset(unsigned num_sets, unsigned assoc) override;
+    void touch(unsigned set, unsigned way) override;
+    void insert(unsigned set, unsigned way) override;
+    unsigned victim(unsigned set,
+                    const std::vector<unsigned> &candidates) override;
+    std::string name() const override { return "TreePLRU"; }
+
+  private:
+    unsigned numWays = 0;
+    /** One bit vector of (assoc - 1) tree nodes per set. */
+    std::vector<std::uint8_t> bits;
+    /** Timestamp fallback for candidate-restricted victims. */
+    LruPolicy fallback;
+
+    void touchPath(unsigned set, unsigned way);
+    unsigned followTree(unsigned set) const;
+};
+
+/**
+ * Static re-reference interval prediction (SRRIP), the metadata-table
+ * policy Triangel adopts (Section 2.1.2). 2-bit RRPVs, hit-priority
+ * promotion, insertion at distant (maxRrpv - 1).
+ */
+class SrripPolicy : public ReplacementPolicy
+{
+  public:
+    explicit SrripPolicy(unsigned rrpv_bits = 2);
+
+    void reset(unsigned num_sets, unsigned assoc) override;
+    void touch(unsigned set, unsigned way) override;
+    void insert(unsigned set, unsigned way) override;
+    unsigned victim(unsigned set,
+                    const std::vector<unsigned> &candidates) override;
+    std::string name() const override { return "SRRIP"; }
+
+    /** RRPV of a line, exposed for tests. */
+    std::uint8_t rrpv(unsigned set, unsigned way) const;
+
+  private:
+    unsigned numWays = 0;
+    std::uint8_t maxRrpv;
+    std::vector<std::uint8_t> rrpvs;
+};
+
+/**
+ * Bimodal RRIP: like SRRIP but inserts at maxRrpv with high
+ * probability, resisting scans. Used in ablation/property tests.
+ */
+class BrripPolicy : public ReplacementPolicy
+{
+  public:
+    explicit BrripPolicy(double long_insert_prob = 1.0 / 32.0);
+
+    void reset(unsigned num_sets, unsigned assoc) override;
+    void touch(unsigned set, unsigned way) override;
+    void insert(unsigned set, unsigned way) override;
+    unsigned victim(unsigned set,
+                    const std::vector<unsigned> &candidates) override;
+    std::string name() const override { return "BRRIP"; }
+
+  private:
+    unsigned numWays = 0;
+    std::uint8_t maxRrpv = 3;
+    double longProb;
+    Rng rng;
+    std::vector<std::uint8_t> rrpvs;
+};
+
+/** Uniform random replacement (lower bound for comparisons). */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RandomPolicy(std::uint64_t seed = 1);
+
+    void reset(unsigned num_sets, unsigned assoc) override;
+    void touch(unsigned set, unsigned way) override;
+    void insert(unsigned set, unsigned way) override;
+    unsigned victim(unsigned set,
+                    const std::vector<unsigned> &candidates) override;
+    std::string name() const override { return "Random"; }
+
+  private:
+    Rng rng;
+};
+
+/** Factory by name: "lru", "plru", "srrip", "brrip", "random". */
+std::unique_ptr<ReplacementPolicy> makePolicy(const std::string &name);
+
+} // namespace prophet::mem
+
+#endif // PROPHET_MEM_REPLACEMENT_HH

@@ -1,0 +1,94 @@
+#include "prefetch/bloom.hh"
+
+#include <cmath>
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+
+namespace prophet::pf
+{
+
+BloomFilter::BloomFilter(std::size_t bits, unsigned hashes)
+    : counters(bits, 0), numHashes(hashes)
+{
+    prophet_assert(isPowerOf2(bits));
+    prophet_assert(hashes >= 1);
+}
+
+std::size_t
+BloomFilter::hashIdx(std::uint64_t key, unsigned i) const
+{
+    // Kirsch-Mitzenmacher double hashing: h1 + i*h2.
+    std::uint64_t h = key;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    std::uint64_t h1 = h;
+    std::uint64_t h2 = (h >> 32) | 1;
+    return static_cast<std::size_t>((h1 + i * h2)
+                                    & (counters.size() - 1));
+}
+
+void
+BloomFilter::insert(std::uint64_t key)
+{
+    for (unsigned i = 0; i < numHashes; ++i) {
+        auto &c = counters[hashIdx(key, i)];
+        if (c == 0)
+            ++nonZero;
+        if (c < 15)
+            ++c;
+    }
+}
+
+void
+BloomFilter::remove(std::uint64_t key)
+{
+    if (!mayContain(key))
+        return;
+    for (unsigned i = 0; i < numHashes; ++i) {
+        auto &c = counters[hashIdx(key, i)];
+        if (c > 0) {
+            --c;
+            if (c == 0)
+                --nonZero;
+        }
+    }
+}
+
+bool
+BloomFilter::mayContain(std::uint64_t key) const
+{
+    for (unsigned i = 0; i < numHashes; ++i)
+        if (counters[hashIdx(key, i)] == 0)
+            return false;
+    return true;
+}
+
+double
+BloomFilter::estimateCardinality() const
+{
+    double m = static_cast<double>(counters.size());
+    double x = static_cast<double>(nonZero);
+    if (x >= m)
+        return m; // saturated; caller treats as "very large"
+    return -(m / static_cast<double>(numHashes))
+        * std::log(1.0 - x / m);
+}
+
+void
+BloomFilter::clear()
+{
+    counters.assign(counters.size(), 0);
+    nonZero = 0;
+}
+
+std::uint64_t
+BloomFilter::storageBits() const
+{
+    return static_cast<std::uint64_t>(counters.size()) * 4;
+}
+
+} // namespace prophet::pf

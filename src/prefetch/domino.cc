@@ -1,0 +1,93 @@
+#include "prefetch/domino.hh"
+
+#include "common/log.hh"
+
+namespace prophet::pf
+{
+
+DominoPrefetcher::DominoPrefetcher(const DominoConfig &config)
+    : cfg(config)
+{
+    prophet_assert(cfg.historyEntries >= 2);
+    prophet_assert(cfg.degree >= 1);
+    history.resize(cfg.historyEntries, kInvalidAddr);
+}
+
+std::uint64_t
+DominoPrefetcher::pairKey(Addr a, Addr b)
+{
+    std::uint64_t h = a * 0x9e3779b97f4a7c15ULL;
+    h ^= b + 0x7f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+}
+
+void
+DominoPrefetcher::append(Addr line_addr)
+{
+    history[head] = line_addr;
+    singleIndex[line_addr] = head;
+    if (lastAddr != kInvalidAddr)
+        pairIndex[pairKey(lastAddr, line_addr)] = head;
+
+    head = (head + 1) % cfg.historyEntries;
+    if (head == 0)
+        full = true;
+
+    if (head % cfg.entriesPerLine == 0)
+        ++mdStats.metadataWrites; // history line spill
+    ++mdStats.metadataWrites;     // index update(s)
+}
+
+void
+DominoPrefetcher::replay(std::size_t pos, Addr trigger, PC pc,
+                         std::vector<PrefetchRequest> &out)
+{
+    std::size_t lines_read = 0;
+    for (unsigned d = 1; d <= cfg.degree; ++d) {
+        std::size_t next = (pos + d) % cfg.historyEntries;
+        if (!full && next >= head)
+            break;
+        if (next == head)
+            break;
+        if (d == 1 || next % cfg.entriesPerLine == 0)
+            ++lines_read;
+        Addr target = history[next];
+        if (target != kInvalidAddr && target != trigger)
+            out.push_back(PrefetchRequest{target, pc});
+    }
+    mdStats.metadataReads += lines_read;
+}
+
+void
+DominoPrefetcher::observe(PC pc, Addr line_addr, bool l2_hit,
+                          Cycle cycle,
+                          std::vector<PrefetchRequest> &out)
+{
+    (void)cycle;
+    if (cfg.trainOnMissesOnly && l2_hit) {
+        return;
+    }
+
+    // Prefer the pair index (disambiguated stream); fall back to the
+    // single-address index when the pair is cold. Each consulted
+    // index costs one metadata DRAM read.
+    if (lastAddr != kInvalidAddr) {
+        auto it = pairIndex.find(pairKey(lastAddr, line_addr));
+        ++mdStats.metadataReads;
+        if (it != pairIndex.end()) {
+            replay(it->second, line_addr, pc, out);
+            append(line_addr);
+            lastAddr = line_addr;
+            return;
+        }
+    }
+    auto sit = singleIndex.find(line_addr);
+    ++mdStats.metadataReads;
+    if (sit != singleIndex.end())
+        replay(sit->second, line_addr, pc, out);
+
+    append(line_addr);
+    lastAddr = line_addr;
+}
+
+} // namespace prophet::pf

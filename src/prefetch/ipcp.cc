@@ -1,0 +1,149 @@
+#include "prefetch/ipcp.hh"
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+
+namespace prophet::pf
+{
+
+namespace
+{
+
+/** Lines per GS tracking region. */
+constexpr unsigned kRegionLines = 32;
+
+/** Touched-line density that promotes a region to "stream". */
+constexpr unsigned kDenseThreshold = 24;
+
+} // anonymous namespace
+
+IpcpPrefetcher::IpcpPrefetcher(unsigned cs_degree, unsigned gs_degree)
+    : csDegree(cs_degree), gsDegree(gs_degree),
+      ipTable(256), cplxTable(4096), regions(64)
+{
+    prophet_assert(cs_degree >= 1 && gs_degree >= 1);
+}
+
+IpcpPrefetcher::IpEntry &
+IpcpPrefetcher::ipEntry(PC pc)
+{
+    return ipTable[static_cast<std::size_t>(pc) & (ipTable.size() - 1)];
+}
+
+IpcpPrefetcher::CplxEntry &
+IpcpPrefetcher::cplxEntry(std::uint16_t sig)
+{
+    return cplxTable[sig & (cplxTable.size() - 1)];
+}
+
+std::uint16_t
+IpcpPrefetcher::updateSignature(std::uint16_t sig, std::int64_t delta)
+{
+    // Fold the delta into a rolling 12-bit signature.
+    std::uint16_t d = static_cast<std::uint16_t>(delta & 0x3f);
+    return static_cast<std::uint16_t>(((sig << 3) ^ d) & 0xfff);
+}
+
+bool
+IpcpPrefetcher::regionDense(Addr line_addr)
+{
+    Addr base = line_addr / kRegionLines;
+    Region &r = regions[static_cast<std::size_t>(base)
+                        & (regions.size() - 1)];
+    if (!r.valid || r.base != base) {
+        r.base = base;
+        r.touched = 0;
+        r.valid = true;
+    }
+    unsigned off = static_cast<unsigned>(line_addr % kRegionLines);
+    r.touched |= (1u << off);
+    unsigned count = 0;
+    for (std::uint32_t bits = r.touched; bits; bits &= bits - 1)
+        ++count;
+    return count >= kDenseThreshold;
+}
+
+void
+IpcpPrefetcher::observe(PC pc, Addr line_addr, bool l1_hit,
+                        std::vector<Addr> &out)
+{
+    (void)l1_hit;
+    IpEntry &e = ipEntry(pc);
+    if (e.pc != pc) {
+        e = IpEntry{};
+        e.pc = pc;
+        e.lastLine = line_addr;
+        return;
+    }
+
+    std::int64_t delta = static_cast<std::int64_t>(line_addr)
+        - static_cast<std::int64_t>(e.lastLine);
+    if (delta == 0)
+        return;
+
+    // Train the constant-stride class.
+    if (delta == e.stride) {
+        if (e.strideConf < 3)
+            ++e.strideConf;
+    } else {
+        if (e.strideConf > 0)
+            --e.strideConf;
+        else
+            e.stride = delta;
+    }
+
+    // Train the complex class: last signature predicts this delta.
+    CplxEntry &ce = cplxEntry(e.signature);
+    if (ce.delta == delta) {
+        if (ce.conf < 3)
+            ++ce.conf;
+    } else {
+        if (ce.conf > 0)
+            --ce.conf;
+        else
+            ce.delta = delta;
+    }
+    std::uint16_t new_sig = updateSignature(e.signature, delta);
+    e.signature = new_sig;
+    e.lastLine = line_addr;
+
+    // Classify, highest priority first: CS, then CPLX, then GS.
+    if (e.strideConf >= 2) {
+        for (unsigned d = 1; d <= csDegree; ++d) {
+            std::int64_t t = static_cast<std::int64_t>(line_addr)
+                + e.stride * static_cast<std::int64_t>(d);
+            if (t > 0)
+                out.push_back(static_cast<Addr>(t));
+        }
+        return;
+    }
+
+    // CPLX: walk the signature chain while confident.
+    {
+        std::uint16_t sig = new_sig;
+        Addr cur = line_addr;
+        unsigned issued = 0;
+        while (issued < csDegree) {
+            const CplxEntry &pred = cplxEntry(sig);
+            if (pred.conf < 2 || pred.delta == 0)
+                break;
+            std::int64_t t = static_cast<std::int64_t>(cur) + pred.delta;
+            if (t <= 0)
+                break;
+            cur = static_cast<Addr>(t);
+            out.push_back(cur);
+            sig = updateSignature(sig, pred.delta);
+            ++issued;
+        }
+        if (issued > 0)
+            return;
+    }
+
+    // GS: dense region => next-line burst.
+    if (regionDense(line_addr)) {
+        for (unsigned d = 1; d <= gsDegree; ++d)
+            out.push_back(line_addr + d);
+    }
+}
+
+} // namespace prophet::pf

@@ -1,0 +1,212 @@
+#include "prefetch/markov_table.hh"
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+#include "mem/hawkeye.hh"
+
+namespace prophet::pf
+{
+
+MarkovTable::MarkovTable(unsigned num_sets, unsigned max_ways,
+                         std::unique_ptr<mem::ReplacementPolicy> policy)
+    : numSets(num_sets), maxWays(max_ways), curWays(max_ways),
+      entries(static_cast<std::size_t>(num_sets) * max_ways
+              * kEntriesPerLine),
+      repl(std::move(policy))
+{
+    prophet_assert(isPowerOf2(num_sets));
+    prophet_assert(max_ways >= 1);
+    prophet_assert(repl != nullptr);
+    repl->reset(numSets, maxAssoc());
+}
+
+unsigned
+MarkovTable::setIndex(Addr key) const
+{
+    // Mix the key so that metadata for dense regions spreads across
+    // sets (the LLC uses low bits directly; the table hashes).
+    std::uint64_t h = key;
+    h ^= h >> 17;
+    h *= 0xed5ad4bbULL;
+    h ^= h >> 11;
+    return static_cast<unsigned>(h & (numSets - 1));
+}
+
+MarkovTable::Entry &
+MarkovTable::at(unsigned set, unsigned way)
+{
+    return entries[static_cast<std::size_t>(set) * maxAssoc() + way];
+}
+
+const MarkovTable::Entry &
+MarkovTable::at(unsigned set, unsigned way) const
+{
+    return entries[static_cast<std::size_t>(set) * maxAssoc() + way];
+}
+
+int
+MarkovTable::findWay(unsigned set, Addr key) const
+{
+    for (unsigned w = 0; w < curAssoc(); ++w) {
+        const Entry &e = at(set, w);
+        if (e.valid && e.key == key)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+void
+MarkovTable::hawkeyeHints(Addr key)
+{
+    // Hawkeye needs the access signature/address to run its OPTgen
+    // sampler; for metadata, the key address plays both roles.
+    if (auto *hk = dynamic_cast<mem::HawkeyePolicy *>(repl.get())) {
+        hk->setSignature(key >> 4);
+        hk->setAddress(key);
+    }
+}
+
+std::uint64_t
+MarkovTable::capacityEntries() const
+{
+    return static_cast<std::uint64_t>(numSets) * curAssoc();
+}
+
+std::optional<Addr>
+MarkovTable::lookup(Addr key)
+{
+    if (curWays == 0)
+        return std::nullopt;
+    ++statsData.lookups;
+    unsigned set = setIndex(key);
+    int way = findWay(set, key);
+    if (way < 0)
+        return std::nullopt;
+    ++statsData.hits;
+    hawkeyeHints(key);
+    repl->touch(set, static_cast<unsigned>(way));
+    return at(set, static_cast<unsigned>(way)).target;
+}
+
+std::optional<Addr>
+MarkovTable::peek(Addr key) const
+{
+    if (curWays == 0)
+        return std::nullopt;
+    unsigned set = setIndex(key);
+    int way = findWay(set, key);
+    if (way < 0)
+        return std::nullopt;
+    return at(set, static_cast<unsigned>(way)).target;
+}
+
+void
+MarkovTable::insert(Addr key, Addr target, std::uint8_t priority)
+{
+    if (curWays == 0)
+        return;
+    unsigned set = setIndex(key);
+    int existing = findWay(set, key);
+    if (existing >= 0) {
+        Entry &e = at(set, static_cast<unsigned>(existing));
+        if (e.target != target) {
+            // Target overwrite: the old target is displaced; the
+            // Multi-path Victim Buffer captures it.
+            ++statsData.updates;
+            if (evictionCb)
+                evictionCb(e);
+            e.target = target;
+        }
+        e.priority = priority;
+        hawkeyeHints(key);
+        repl->touch(set, static_cast<unsigned>(existing));
+        return;
+    }
+
+    // Allocate: prefer an invalid slot within the current partition.
+    int slot = -1;
+    for (unsigned w = 0; w < curAssoc(); ++w) {
+        if (!at(set, w).valid) {
+            slot = static_cast<int>(w);
+            break;
+        }
+    }
+
+    if (slot < 0) {
+        std::vector<unsigned> candidates;
+        candidates.reserve(curAssoc());
+        if (priorityAware) {
+            // Prophet replacement: restrict candidates to the lowest
+            // priority level present; the runtime policy then picks
+            // the final victim among them (Figure 4).
+            std::uint8_t min_prio = 255;
+            for (unsigned w = 0; w < curAssoc(); ++w)
+                min_prio = std::min(min_prio, at(set, w).priority);
+            for (unsigned w = 0; w < curAssoc(); ++w)
+                if (at(set, w).priority == min_prio)
+                    candidates.push_back(w);
+        } else {
+            for (unsigned w = 0; w < curAssoc(); ++w)
+                candidates.push_back(w);
+        }
+        unsigned victim = repl->victim(set, candidates);
+        Entry &v = at(set, victim);
+        ++statsData.replacements;
+        if (evictionCb)
+            evictionCb(v);
+        v.valid = false;
+        --validCount;
+        slot = static_cast<int>(victim);
+    }
+
+    Entry &e = at(set, static_cast<unsigned>(slot));
+    e.key = key;
+    e.target = target;
+    e.priority = priority;
+    e.valid = true;
+    ++validCount;
+    ++statsData.inserts;
+    hawkeyeHints(key);
+    repl->insert(set, static_cast<unsigned>(slot));
+}
+
+void
+MarkovTable::setAllocatedWays(unsigned ways)
+{
+    prophet_assert(ways <= maxWays);
+    if (ways < curWays) {
+        unsigned new_assoc = ways * kEntriesPerLine;
+        for (unsigned set = 0; set < numSets; ++set) {
+            for (unsigned w = new_assoc; w < curAssoc(); ++w) {
+                Entry &e = at(set, w);
+                if (e.valid) {
+                    e.valid = false;
+                    --validCount;
+                    ++statsData.resizeDrops;
+                }
+            }
+        }
+    }
+    curWays = ways;
+}
+
+void
+MarkovTable::clear()
+{
+    for (auto &e : entries)
+        e.valid = false;
+    validCount = 0;
+    repl->reset(numSets, maxAssoc());
+}
+
+std::optional<std::uint8_t>
+MarkovTable::priorityOf(Addr key) const
+{
+    unsigned set = setIndex(key);
+    int way = findWay(set, key);
+    if (way < 0)
+        return std::nullopt;
+    return at(set, static_cast<unsigned>(way)).priority;
+}
+
+} // namespace prophet::pf

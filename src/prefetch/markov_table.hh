@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The on-chip metadata (Markov) table shared with the LLC, the
+ * structure at the heart of on-chip temporal prefetching (Triage,
+ * Triangel, Prophet). Maps a line address to the line address that
+ * followed it in the training stream.
+ *
+ * Geometry mirrors the LLC partition: the table borrows whole LLC
+ * ways; each borrowed way contributes one 64 B line = 12 compressed
+ * entries per set (metadata_format.hh). With 2048 LLC sets and 8 ways
+ * the table holds 196,608 entries = 1 MB, the paper's maximum.
+ *
+ * Replacement is pluggable (SRRIP for Triangel, Hawkeye for original
+ * Triage, LRU for the simplified profiling configuration). Prophet's
+ * profile-guided replacement layers on top: entries carry a priority
+ * level (Eq. 2); when priority-aware mode is on, victim candidates
+ * are restricted to the lowest-priority valid entries and the runtime
+ * policy chooses the final victim among them (Figure 4).
+ */
+
+#ifndef PROPHET_PREFETCH_MARKOV_TABLE_HH
+#define PROPHET_PREFETCH_MARKOV_TABLE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/replacement.hh"
+#include "prefetch/metadata_format.hh"
+
+namespace prophet::pf
+{
+
+/** Aggregate metadata-table statistics. */
+struct MarkovStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t inserts = 0;       ///< new-entry allocations
+    std::uint64_t updates = 0;       ///< target overwrites on hits
+    std::uint64_t replacements = 0;  ///< valid entries displaced
+    std::uint64_t resizeDrops = 0;   ///< entries lost to shrinking
+
+    /**
+     * The paper's application-level profiling metric (Section 4.1):
+     * Allocated Entries = Insertions - Replacements.
+     */
+    std::uint64_t
+    allocatedEntries() const
+    {
+        return inserts >= replacements ? inserts - replacements : 0;
+    }
+};
+
+/**
+ * The metadata table.
+ */
+class MarkovTable
+{
+  public:
+    /** One stored correlation. */
+    struct Entry
+    {
+        Addr key = kInvalidAddr;
+        Addr target = kInvalidAddr;
+        std::uint8_t priority = 0; ///< Prophet replacement state
+        bool valid = false;
+    };
+
+    /**
+     * Called with an entry whose target is being displaced — either
+     * the victim of a replacement or the old target of an overwrite.
+     * The Multi-path Victim Buffer (Section 4.5) subscribes here.
+     */
+    using EvictionCallback = std::function<void(const Entry &)>;
+
+    /**
+     * @param num_sets Sets (= LLC sets), power of 2.
+     * @param max_ways Maximum borrowed LLC ways (8 for 1 MB).
+     * @param policy Runtime replacement policy (takes ownership).
+     */
+    MarkovTable(unsigned num_sets, unsigned max_ways,
+                std::unique_ptr<mem::ReplacementPolicy> policy);
+
+    /**
+     * Adjust the number of borrowed LLC ways. Shrinking drops entries
+     * stored beyond the new capacity.
+     */
+    void setAllocatedWays(unsigned ways);
+
+    /** Currently borrowed LLC ways. */
+    unsigned allocatedWays() const { return curWays; }
+
+    /** Maximum borrowed ways. */
+    unsigned maxAllocatedWays() const { return maxWays; }
+
+    /** Entry capacity at the current size. */
+    std::uint64_t capacityEntries() const;
+
+    /** Currently valid entries. */
+    std::uint64_t size() const { return validCount; }
+
+    /**
+     * Look up the successor of @p key; touches replacement state on a
+     * hit. Returns std::nullopt when the table holds no entry (or has
+     * zero allocated ways).
+     */
+    std::optional<Addr> lookup(Addr key);
+
+    /** Non-destructive probe (no replacement-state update). */
+    std::optional<Addr> peek(Addr key) const;
+
+    /**
+     * Record the correlation key -> target with the given Prophet
+     * priority (0 when Prophet replacement is off). No-op when zero
+     * ways are allocated.
+     */
+    void insert(Addr key, Addr target, std::uint8_t priority);
+
+    /** Enable/disable priority-filtered victim selection. */
+    void setPriorityAware(bool aware) { priorityAware = aware; }
+
+    /** Subscribe to displaced targets (Multi-path Victim Buffer). */
+    void setEvictionCallback(EvictionCallback cb)
+    {
+        evictionCb = std::move(cb);
+    }
+
+    const MarkovStats &stats() const { return statsData; }
+    void resetStats() { statsData = MarkovStats{}; }
+
+    /** Invalidate everything (program switch). */
+    void clear();
+
+    /** Priority of the entry holding @p key, if present (tests). */
+    std::optional<std::uint8_t> priorityOf(Addr key) const;
+
+  private:
+    unsigned numSets;
+    unsigned maxWays;
+    unsigned curWays;
+    bool priorityAware = false;
+    std::uint64_t validCount = 0;
+
+    std::vector<Entry> entries;
+    std::unique_ptr<mem::ReplacementPolicy> repl;
+    EvictionCallback evictionCb;
+    MarkovStats statsData;
+
+    unsigned maxAssoc() const { return maxWays * kEntriesPerLine; }
+    unsigned curAssoc() const { return curWays * kEntriesPerLine; }
+    unsigned setIndex(Addr key) const;
+    Entry &at(unsigned set, unsigned way);
+    const Entry &at(unsigned set, unsigned way) const;
+    int findWay(unsigned set, Addr key) const;
+    void hawkeyeHints(Addr key);
+};
+
+} // namespace prophet::pf
+
+#endif // PROPHET_PREFETCH_MARKOV_TABLE_HH

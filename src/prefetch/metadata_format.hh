@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Compressed metadata format constants (Section 3.1): Prophet packs
+ * 12 compressed metadata entries inside each 64-byte cache line, each
+ * entry holding a 10-bit tag and a 31-bit target address.
+ *
+ * The functional simulator keys entries by full line address (tag
+ * compression changes storage cost, not behaviour, under the paper's
+ * assumption of adequate tag bits within a set); these constants
+ * drive capacity and storage-overhead arithmetic everywhere.
+ */
+
+#ifndef PROPHET_PREFETCH_METADATA_FORMAT_HH
+#define PROPHET_PREFETCH_METADATA_FORMAT_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace prophet::pf
+{
+
+/** Metadata entries packed per 64 B cache line. */
+constexpr unsigned kEntriesPerLine = 12;
+
+/** Tag bits per compressed entry. */
+constexpr unsigned kTagBits = 10;
+
+/** Target-address bits per compressed entry. */
+constexpr unsigned kTargetBits = 31;
+
+/** Bits per compressed entry (tag + target; 41 bits, 12 per line). */
+constexpr unsigned kEntryBits = kTagBits + kTargetBits;
+
+/**
+ * Entries in a metadata table of @p bytes capacity.
+ * 1 MB -> 196,608 entries, the maximum the paper supports (§5.10).
+ */
+constexpr std::uint64_t
+entriesForBytes(std::uint64_t bytes)
+{
+    return bytes / kLineSize * kEntriesPerLine;
+}
+
+/** Maximum metadata table capacity (Section 3.2 / 5.10): 1 MB. */
+constexpr std::uint64_t kMaxTableBytes = 1024 * 1024;
+
+/** Maximum entry count: 196,608. */
+constexpr std::uint64_t kMaxTableEntries = entriesForBytes(kMaxTableBytes);
+
+/** Compressed tag of a line address (the 10-bit field). */
+constexpr std::uint64_t
+compressedTag(Addr line_addr)
+{
+    return (line_addr ^ (line_addr >> 10) ^ (line_addr >> 20))
+        & ((1u << kTagBits) - 1);
+}
+
+} // namespace prophet::pf
+
+#endif // PROPHET_PREFETCH_METADATA_FORMAT_HH

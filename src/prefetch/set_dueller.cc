@@ -1,0 +1,116 @@
+#include "prefetch/set_dueller.hh"
+
+#include <algorithm>
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+
+namespace prophet::pf
+{
+
+SetDueller::SetDueller(unsigned num_sets, unsigned llc_ways,
+                       unsigned md_max_ways, unsigned sample_stride,
+                       std::uint64_t window, double md_weight)
+    : llcWays(llc_ways), mdMaxWays(md_max_ways),
+      sampleStride(sample_stride), window(window), mdWeight(md_weight),
+      llcDepthHist(llc_ways + 1, 0),
+      mdDepthHist(static_cast<std::size_t>(md_max_ways)
+                  * kEntriesPerLine + 1, 0),
+      numSetsMask(num_sets - 1)
+{
+    prophet_assert(isPowerOf2(num_sets));
+    prophet_assert(sample_stride >= 1);
+}
+
+void
+SetDueller::stackAccess(std::vector<Addr> &stack, Addr addr,
+                        std::vector<std::uint64_t> &hist,
+                        std::size_t max_depth)
+{
+    auto it = std::find(stack.begin(), stack.end(), addr);
+    if (it == stack.end()) {
+        // Miss at every depth: overflow bucket.
+        ++hist.back();
+        stack.insert(stack.begin(), addr);
+        if (stack.size() > max_depth)
+            stack.pop_back();
+        return;
+    }
+    std::size_t depth = static_cast<std::size_t>(it - stack.begin());
+    ++hist[std::min(depth, hist.size() - 1)];
+    stack.erase(it);
+    stack.insert(stack.begin(), addr);
+}
+
+void
+SetDueller::observeLlcAccess(Addr line_addr)
+{
+    ++accessCount;
+    unsigned set = static_cast<unsigned>(line_addr) & numSetsMask;
+    if (!sampled(set))
+        return;
+    stackAccess(llcStacks[set], line_addr, llcDepthHist, llcWays);
+}
+
+void
+SetDueller::observeMetadataAccess(Addr key)
+{
+    ++accessCount;
+    unsigned set = static_cast<unsigned>(key) & numSetsMask;
+    if (!sampled(set))
+        return;
+    stackAccess(mdStacks[set], key, mdDepthHist,
+                static_cast<std::size_t>(mdMaxWays) * kEntriesPerLine);
+}
+
+std::optional<unsigned>
+SetDueller::poll()
+{
+    if (accessCount < window)
+        return std::nullopt;
+    accessCount = 0;
+
+    // Cumulative hit counts by available depth.
+    auto cum = [](const std::vector<std::uint64_t> &hist,
+                  std::size_t depth) {
+        std::uint64_t s = 0;
+        for (std::size_t d = 0; d < depth && d + 1 < hist.size(); ++d)
+            s += hist[d];
+        return s;
+    };
+
+    double best_score = -1.0;
+    unsigned best_ways = 0;
+    for (unsigned w = 0; w <= mdMaxWays; ++w) {
+        double llc_hits =
+            static_cast<double>(cum(llcDepthHist, llcWays - w));
+        double md_hits = static_cast<double>(
+            cum(mdDepthHist,
+                static_cast<std::size_t>(w) * kEntriesPerLine));
+        double score = llc_hits + mdWeight * md_hits;
+        if (score > best_score) {
+            best_score = score;
+            best_ways = w;
+        }
+    }
+
+    std::fill(llcDepthHist.begin(), llcDepthHist.end(), 0);
+    std::fill(mdDepthHist.begin(), mdDepthHist.end(), 0);
+    return best_ways;
+}
+
+std::uint64_t
+SetDueller::storageBits() const
+{
+    // Hardware cost: sampled-set tag stacks plus the two histograms
+    // (the software maps above are a modelling convenience). Per
+    // sampled set: llcWays + md assoc tags of ~16 bits each.
+    std::uint64_t sampled_sets =
+        (static_cast<std::uint64_t>(numSetsMask) + 1) / sampleStride;
+    std::uint64_t tags = sampled_sets
+        * (llcWays + static_cast<std::uint64_t>(mdMaxWays)
+           * kEntriesPerLine);
+    return tags * 16 + (llcDepthHist.size() + mdDepthHist.size()) * 32;
+}
+
+} // namespace prophet::pf

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Triangel's Set Dueller (Section 2.1.3): decides how many LLC ways
+ * the metadata table should borrow by modelling, on a small sample of
+ * sets, the hit rates of every partitioning configuration.
+ *
+ * Implementation uses Mattson stack distances: for sampled sets we
+ * maintain full LRU stacks for (a) demand lines reaching the LLC and
+ * (b) metadata keys, and histogram the depth of each hit. The hits a
+ * configuration with w metadata ways would see are then
+ *   llcHits(16 - w)  = sum of demand depths  < 16 - w
+ *   mdHits(w * 12)   = sum of metadata depths < w * 12
+ * and the dueller recommends the w maximizing their weighted sum.
+ * This reproduces the paper's observation that the dueller sometimes
+ * picks overly conservative sizes: hit-rate balance is not the same
+ * as performance (metadata hits are worth more than LLC hits when
+ * coverage is the bottleneck, and less when pollution dominates).
+ */
+
+#ifndef PROPHET_PREFETCH_SET_DUELLER_HH
+#define PROPHET_PREFETCH_SET_DUELLER_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "prefetch/metadata_format.hh"
+
+namespace prophet::pf
+{
+
+/** Sampled-set partition dueller. */
+class SetDueller
+{
+  public:
+    /**
+     * @param num_sets Total sets in the modelled structures.
+     * @param llc_ways LLC associativity (16).
+     * @param md_max_ways Maximum metadata ways (8).
+     * @param sample_stride Every sample_stride-th set is sampled.
+     * @param window Accesses between recommendations.
+     * @param md_weight Relative value of one metadata hit vs one LLC
+     *        hit in the duelling score.
+     */
+    SetDueller(unsigned num_sets, unsigned llc_ways,
+               unsigned md_max_ways, unsigned sample_stride = 64,
+               std::uint64_t window = 1 << 18, double md_weight = 1.0);
+
+    /** Observe a demand access reaching the LLC. */
+    void observeLlcAccess(Addr line_addr);
+
+    /** Observe a metadata-table lookup key. */
+    void observeMetadataAccess(Addr key);
+
+    /**
+     * After each observation, poll: returns the recommended metadata
+     * way count once per window, std::nullopt otherwise.
+     */
+    std::optional<unsigned> poll();
+
+    /** Storage cost of the dueller state in bits (~2 KB, §2.1.3). */
+    std::uint64_t storageBits() const;
+
+  private:
+    unsigned llcWays;
+    unsigned mdMaxWays;
+    unsigned sampleStride;
+    std::uint64_t window;
+    double mdWeight;
+    std::uint64_t accessCount = 0;
+
+    /** Per sampled set: LRU stack (most recent front). */
+    std::unordered_map<unsigned, std::vector<Addr>> llcStacks;
+    std::unordered_map<unsigned, std::vector<Addr>> mdStacks;
+
+    std::vector<std::uint64_t> llcDepthHist;
+    std::vector<std::uint64_t> mdDepthHist;
+
+    unsigned numSetsMask;
+
+    bool sampled(unsigned set) const { return set % sampleStride == 0; }
+    void stackAccess(std::vector<Addr> &stack, Addr addr,
+                     std::vector<std::uint64_t> &hist,
+                     std::size_t max_depth);
+};
+
+} // namespace prophet::pf
+
+#endif // PROPHET_PREFETCH_SET_DUELLER_HH

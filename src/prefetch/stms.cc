@@ -1,0 +1,68 @@
+#include "prefetch/stms.hh"
+
+#include "common/log.hh"
+
+namespace prophet::pf
+{
+
+StmsPrefetcher::StmsPrefetcher(const StmsConfig &config)
+    : cfg(config)
+{
+    prophet_assert(cfg.historyEntries >= 2);
+    prophet_assert(cfg.degree >= 1);
+    history.resize(cfg.historyEntries, kInvalidAddr);
+}
+
+void
+StmsPrefetcher::append(Addr line_addr)
+{
+    history[head] = line_addr;
+    indexTable[line_addr] = head;
+    head = (head + 1) % cfg.historyEntries;
+    if (head == 0)
+        full = true;
+
+    // Metadata traffic: the history append is write-combined per
+    // line; the index-table update is a read-modify-write, modelled
+    // as one write per update (the index entry line).
+    if (head % cfg.entriesPerLine == 0)
+        ++mdStats.metadataWrites; // history line spill
+    ++mdStats.metadataWrites;     // index-table update
+}
+
+void
+StmsPrefetcher::observe(PC pc, Addr line_addr, bool l2_hit,
+                        Cycle cycle, std::vector<PrefetchRequest> &out)
+{
+    (void)cycle;
+    if (cfg.trainOnMissesOnly && l2_hit)
+        return;
+
+    // Prediction: look up the address's previous position in the
+    // history (one index-table DRAM read) and replay the stream that
+    // followed it (history-line DRAM reads).
+    auto it = indexTable.find(line_addr);
+    if (it != indexTable.end()) {
+        ++mdStats.metadataReads; // index table lookup
+        std::size_t pos = it->second;
+        std::size_t lines_read = 0;
+        for (unsigned d = 1; d <= cfg.degree; ++d) {
+            std::size_t next = (pos + d) % cfg.historyEntries;
+            if (!full && next >= head)
+                break;
+            if (next == head)
+                break;
+            // Reading the history in line-sized chunks.
+            if (d == 1 || next % cfg.entriesPerLine == 0)
+                ++lines_read;
+            Addr target = history[next];
+            if (target != kInvalidAddr && target != line_addr)
+                out.push_back(PrefetchRequest{target, pc});
+        }
+        mdStats.metadataReads += lines_read;
+    }
+
+    append(line_addr);
+}
+
+} // namespace prophet::pf

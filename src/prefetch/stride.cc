@@ -1,0 +1,65 @@
+#include "prefetch/stride.hh"
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+
+namespace prophet::pf
+{
+
+StridePrefetcher::StridePrefetcher(unsigned degree,
+                                   unsigned table_entries)
+    : degree(degree), table(table_entries)
+{
+    prophet_assert(degree >= 1);
+    prophet_assert(isPowerOf2(table_entries));
+}
+
+StridePrefetcher::Entry &
+StridePrefetcher::entryFor(PC pc)
+{
+    return table[static_cast<std::size_t>(pc) & (table.size() - 1)];
+}
+
+void
+StridePrefetcher::observe(PC pc, Addr line_addr, bool l1_hit,
+                          std::vector<Addr> &out)
+{
+    (void)l1_hit;
+    Entry &e = entryFor(pc);
+    if (e.pc != pc) {
+        // Direct-mapped conflict or cold entry: take over.
+        e.pc = pc;
+        e.lastLine = line_addr;
+        e.stride = 0;
+        e.confidence = 0;
+        return;
+    }
+
+    std::int64_t new_stride = static_cast<std::int64_t>(line_addr)
+        - static_cast<std::int64_t>(e.lastLine);
+    if (new_stride == 0)
+        return; // same-line re-access carries no stride information
+
+    if (new_stride == e.stride) {
+        if (e.confidence < 3)
+            ++e.confidence;
+    } else {
+        if (e.confidence > 0) {
+            --e.confidence;
+        } else {
+            e.stride = new_stride;
+        }
+    }
+    e.lastLine = line_addr;
+
+    if (e.confidence >= 2) {
+        for (unsigned d = 1; d <= degree; ++d) {
+            std::int64_t target = static_cast<std::int64_t>(line_addr)
+                + e.stride * static_cast<std::int64_t>(d);
+            if (target > 0)
+                out.push_back(static_cast<Addr>(target));
+        }
+    }
+}
+
+} // namespace prophet::pf

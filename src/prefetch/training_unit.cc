@@ -1,0 +1,77 @@
+#include "prefetch/training_unit.hh"
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+
+namespace prophet::pf
+{
+
+TrainingUnit::TrainingUnit(unsigned sets, unsigned ways)
+    : numSets(sets), numWays(ways),
+      entries(static_cast<std::size_t>(sets) * ways)
+{
+    prophet_assert(isPowerOf2(sets));
+    prophet_assert(ways >= 1);
+}
+
+unsigned
+TrainingUnit::setIndex(PC pc) const
+{
+    std::uint64_t h = pc;
+    h ^= h >> 13;
+    h *= 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+    return static_cast<unsigned>(h & (numSets - 1));
+}
+
+std::optional<Addr>
+TrainingUnit::swap(PC pc, Addr line_addr)
+{
+    unsigned set = setIndex(pc);
+    std::size_t base = static_cast<std::size_t>(set) * numWays;
+    ++clock;
+
+    // Hit: exchange the remembered address.
+    for (unsigned w = 0; w < numWays; ++w) {
+        Entry &e = entries[base + w];
+        if (e.valid && e.pc == pc) {
+            Addr prev = e.last;
+            e.last = line_addr;
+            e.stamp = clock;
+            return prev;
+        }
+    }
+
+    // Miss: allocate (invalid first, else LRU victim).
+    unsigned victim = 0;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (unsigned w = 0; w < numWays; ++w) {
+        Entry &e = entries[base + w];
+        if (!e.valid) {
+            victim = w;
+            break;
+        }
+        if (e.stamp < oldest) {
+            oldest = e.stamp;
+            victim = w;
+        }
+    }
+    entries[base + victim] =
+        Entry{pc, line_addr, clock, true};
+    return std::nullopt;
+}
+
+std::optional<Addr>
+TrainingUnit::peek(PC pc) const
+{
+    unsigned set = setIndex(pc);
+    std::size_t base = static_cast<std::size_t>(set) * numWays;
+    for (unsigned w = 0; w < numWays; ++w) {
+        const Entry &e = entries[base + w];
+        if (e.valid && e.pc == pc)
+            return e.last;
+    }
+    return std::nullopt;
+}
+
+} // namespace prophet::pf

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * PC-indexed training unit shared by the temporal prefetchers: tracks
+ * the last line address each memory instruction touched so that
+ * consecutive accesses from the same PC form the (previous -> current)
+ * correlations stored in the metadata table (Figure 3's "Training
+ * Phase": PC1 touching Addr1, Addr2, Addr3 records Addr1->Addr2,
+ * Addr2->Addr3).
+ */
+
+#ifndef PROPHET_PREFETCH_TRAINING_UNIT_HH
+#define PROPHET_PREFETCH_TRAINING_UNIT_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace prophet::pf
+{
+
+/**
+ * Fixed-capacity, set-associative training unit. Evicts LRU entries
+ * when PCs overflow a set (hardware cost: ~tens of entries; we model
+ * a generous 256 x 4).
+ */
+class TrainingUnit
+{
+  public:
+    explicit TrainingUnit(unsigned sets = 256, unsigned ways = 4);
+
+    /**
+     * Record that @p pc touched @p line_addr; returns the previous
+     * line this PC touched, if the unit still remembers it.
+     */
+    std::optional<Addr> swap(PC pc, Addr line_addr);
+
+    /** Last address for a PC without updating (tests). */
+    std::optional<Addr> peek(PC pc) const;
+
+  private:
+    struct Entry
+    {
+        PC pc = kInvalidPC;
+        Addr last = kInvalidAddr;
+        std::uint64_t stamp = 0;
+        bool valid = false;
+    };
+
+    unsigned numSets;
+    unsigned numWays;
+    std::uint64_t clock = 0;
+    std::vector<Entry> entries;
+
+    unsigned setIndex(PC pc) const;
+};
+
+} // namespace prophet::pf
+
+#endif // PROPHET_PREFETCH_TRAINING_UNIT_HH

@@ -1,0 +1,85 @@
+#include "prefetch/triage.hh"
+
+#include <algorithm>
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+#include "mem/hawkeye.hh"
+
+namespace prophet::pf
+{
+
+namespace
+{
+
+std::unique_ptr<mem::ReplacementPolicy>
+makeMetaPolicy(const std::string &name)
+{
+    if (name == "hawkeye")
+        return std::make_unique<mem::HawkeyePolicy>();
+    return mem::makePolicy(name);
+}
+
+} // anonymous namespace
+
+TriagePrefetcher::TriagePrefetcher(const TriageConfig &config)
+    : cfg(config),
+      table(config.numSets, config.maxWays,
+            makeMetaPolicy(config.metaReplacement)),
+      bloomFilter(1 << 18, 4)
+{
+    prophet_assert(cfg.degree >= 1);
+}
+
+void
+TriagePrefetcher::observe(PC pc, Addr line_addr, bool l2_hit,
+                          Cycle cycle, std::vector<PrefetchRequest> &out)
+{
+    (void)l2_hit;
+    (void)cycle;
+
+    // Training: link the PC's previous access to this one. Triage has
+    // no insertion policy — every correlation is inserted.
+    if (auto prev = trainer.swap(pc, line_addr)) {
+        if (*prev != line_addr) {
+            if (cfg.bloomResizing && !bloomFilter.mayContain(*prev))
+                bloomFilter.insert(*prev);
+            table.insert(*prev, line_addr, 0);
+        }
+    }
+
+    // Prediction: follow the Markov chain `degree` steps.
+    Addr cur = line_addr;
+    for (unsigned d = 0; d < cfg.degree; ++d) {
+        auto target = table.lookup(cur);
+        if (!target)
+            break;
+        out.push_back(PrefetchRequest{*target, pc});
+        cur = *target;
+    }
+
+    if (cfg.bloomResizing) {
+        ++accessesSinceResize;
+        maybeResize();
+    }
+}
+
+void
+TriagePrefetcher::maybeResize()
+{
+    if (accessesSinceResize < cfg.resizeWindow)
+        return;
+    accessesSinceResize = 0;
+
+    // Size the table to hold the estimated live metadata working set.
+    double estimate = bloomFilter.estimateCardinality();
+    std::uint64_t entries_per_way =
+        static_cast<std::uint64_t>(cfg.numSets) * kEntriesPerLine;
+    auto ways = static_cast<unsigned>(
+        divCeil(static_cast<std::uint64_t>(estimate), entries_per_way));
+    ways = std::min(ways, cfg.maxWays);
+    table.setAllocatedWays(ways);
+    bloomFilter.clear();
+}
+
+} // namespace prophet::pf

@@ -1,0 +1,162 @@
+#include "prefetch/triangel.hh"
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+
+namespace prophet::pf
+{
+
+namespace
+{
+
+std::size_t
+mix(std::uint64_t v, std::size_t mask)
+{
+    v ^= v >> 21;
+    v *= 0x2545f4914f6cdd1dULL;
+    v ^= v >> 35;
+    return static_cast<std::size_t>(v) & mask;
+}
+
+} // anonymous namespace
+
+TriangelPrefetcher::TriangelPrefetcher(const TriangelConfig &config)
+    : cfg(config),
+      table(config.numSets, config.maxWays,
+            std::make_unique<mem::SrripPolicy>()),
+      dueller(config.numSets, 16, config.maxWays, 64,
+              config.duellerWindow),
+      confs(1024),
+      samples(config.sampleEntries),
+      reuseSamples(config.sampleEntries)
+{
+    prophet_assert(cfg.degree >= 1);
+    prophet_assert(isPowerOf2(config.sampleEntries));
+}
+
+TriangelPrefetcher::ConfEntry &
+TriangelPrefetcher::confFor(PC pc)
+{
+    ConfEntry &e = confs[mix(pc, confs.size() - 1)];
+    if (!e.valid || e.pc != pc) {
+        e.pc = pc;
+        e.pattern = cfg.confInit;
+        e.reuse = cfg.confInit;
+        e.valid = true;
+    }
+    return e;
+}
+
+const TriangelPrefetcher::ConfEntry *
+TriangelPrefetcher::confPeek(PC pc) const
+{
+    const ConfEntry &e = confs[mix(pc, confs.size() - 1)];
+    return (e.valid && e.pc == pc) ? &e : nullptr;
+}
+
+std::uint8_t
+TriangelPrefetcher::patternConf(PC pc) const
+{
+    const ConfEntry *e = confPeek(pc);
+    return e ? e->pattern : cfg.confInit;
+}
+
+std::uint8_t
+TriangelPrefetcher::reuseConf(PC pc) const
+{
+    const ConfEntry *e = confPeek(pc);
+    return e ? e->reuse : cfg.confInit;
+}
+
+void
+TriangelPrefetcher::bump(std::uint8_t &v, bool up, std::uint8_t max)
+{
+    if (up) {
+        if (v < max)
+            ++v;
+    } else {
+        if (v > 0)
+            --v;
+    }
+}
+
+void
+TriangelPrefetcher::trainPattern(ConfEntry &conf, Addr prev, Addr cur)
+{
+    // Did the previously sampled successor of `prev` recur? A match
+    // means the PC's stream repeats (temporal pattern); a mismatch
+    // means the correlation is unstable. The sample cache is the
+    // short-term history whose blind spots Figure 1 illustrates.
+    SampleEntry &s = samples[mix(prev, samples.size() - 1)];
+    if (s.valid && s.addr == prev)
+        bump(conf.pattern, s.next == cur, cfg.confMax);
+    s.addr = prev;
+    s.next = cur;
+    s.valid = true;
+}
+
+void
+TriangelPrefetcher::trainReuse(ConfEntry &conf, Addr cur)
+{
+    // Sample 1/reuseSampleRate of addresses; on re-access, compare
+    // the observed reuse distance against the table's capacity.
+    if (mix(cur * 0x517cc1b727220a95ULL, cfg.reuseSampleRate - 1) != 0)
+        return;
+    ReuseEntry &r = reuseSamples[mix(cur, reuseSamples.size() - 1)];
+    if (r.valid && r.addr == cur) {
+        std::uint64_t distance = accessIndex - r.when;
+        std::uint64_t capacity = static_cast<std::uint64_t>(cfg.numSets)
+            * cfg.maxWays * kEntriesPerLine;
+        bump(conf.reuse, distance <= capacity, cfg.confMax);
+    }
+    r.addr = cur;
+    r.when = accessIndex;
+    r.valid = true;
+}
+
+void
+TriangelPrefetcher::observe(PC pc, Addr line_addr, bool l2_hit,
+                            Cycle cycle,
+                            std::vector<PrefetchRequest> &out)
+{
+    (void)l2_hit;
+    (void)cycle;
+    ++accessIndex;
+
+    ConfEntry &conf = confFor(pc);
+    auto prev = trainer.swap(pc, line_addr);
+
+    if (prev && *prev != line_addr)
+        trainPattern(conf, *prev, line_addr);
+    trainReuse(conf, line_addr);
+
+    bool pattern_ok = conf.pattern >= cfg.confThreshold;
+    bool reuse_ok = conf.reuse >= cfg.confThreshold;
+    bool allow = !cfg.insertionFilter || (pattern_ok && reuse_ok);
+
+    // Training-data filtering: below confidence, neither insert nor
+    // predict for this PC.
+    if (allow && prev && *prev != line_addr)
+        table.insert(*prev, line_addr, 0);
+
+    if (!cfg.insertionFilter || pattern_ok) {
+        Addr cur = line_addr;
+        for (unsigned d = 0; d < cfg.degree; ++d) {
+            auto target = table.lookup(cur);
+            if (!target)
+                break;
+            out.push_back(PrefetchRequest{*target, pc});
+            cur = *target;
+        }
+        if (cfg.duellerResizing)
+            dueller.observeMetadataAccess(line_addr);
+    }
+
+    if (cfg.duellerResizing) {
+        dueller.observeLlcAccess(line_addr);
+        if (auto ways = dueller.poll())
+            table.setAllocatedWays(*ways);
+    }
+}
+
+} // namespace prophet::pf

@@ -1,0 +1,123 @@
+#include "rpg2/kernel_id.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace prophet::rpg2
+{
+
+std::vector<Kernel>
+identifyKernels(const trace::Trace &t,
+                const std::unordered_map<PC, std::uint64_t> &pc_misses,
+                const trace::IndirectResolver *resolver,
+                const KernelIdConfig &cfg)
+{
+    std::vector<Kernel> kernels;
+    if (!resolver)
+        return kernels;
+
+    std::uint64_t total_misses = 0;
+    for (const auto &[pc, misses] : pc_misses)
+        total_misses += misses;
+    if (total_misses == 0)
+        return kernels;
+
+    // Per-PC stride statistics over the trace, plus the dependent
+    // consumer that follows each PC (the indirect load a[b[i]] whose
+    // misses the kernel's prefetches would cover).
+    struct PcStat
+    {
+        Addr last = kInvalidAddr;
+        std::uint64_t accesses = 0;
+        std::map<std::int64_t, std::uint64_t> deltas;
+        PC consumer = kInvalidPC;
+    };
+    std::unordered_map<PC, PcStat> stats;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const auto &rec = t[i];
+        PcStat &s = stats[rec.pc];
+        ++s.accesses;
+        if (s.last != kInvalidAddr) {
+            auto d = static_cast<std::int64_t>(rec.addr)
+                - static_cast<std::int64_t>(s.last);
+            if (d != 0)
+                ++s.deltas[d];
+        }
+        s.last = rec.addr;
+        // Find this PC's dependent consumer within a short forward
+        // window (other accesses, e.g. edge weights, may interleave
+        // between the kernel load and the indirect use).
+        if (s.consumer == kInvalidPC) {
+            for (std::size_t j = i + 1;
+                 j < t.size() && j <= i + 4; ++j) {
+                if (t[j].pc == rec.pc)
+                    break;
+                if (t[j].dependsOnPrev && t[j].pc != rec.pc) {
+                    s.consumer = t[j].pc;
+                    break;
+                }
+            }
+        }
+    }
+
+    for (const auto &[pc, s] : stats) {
+        if (s.accesses < cfg.minAccesses || s.deltas.empty())
+            continue;
+
+        // Miss share counts the kernel's own misses plus its
+        // dependent consumer's: the prefetch covers both the kernel
+        // line and the indirect target.
+        std::uint64_t misses = 0;
+        if (auto it = pc_misses.find(pc); it != pc_misses.end())
+            misses += it->second;
+        if (s.consumer != kInvalidPC) {
+            if (auto it = pc_misses.find(s.consumer);
+                it != pc_misses.end())
+                misses += it->second;
+        }
+        double share = static_cast<double>(misses)
+            / static_cast<double>(total_misses);
+        std::int64_t best_delta = 0;
+        std::uint64_t best_count = 0, delta_total = 0;
+        for (const auto &[d, c] : s.deltas) {
+            delta_total += c;
+            if (c > best_count) {
+                best_count = c;
+                best_delta = d;
+            }
+        }
+        double coverage = static_cast<double>(best_count)
+            / static_cast<double>(delta_total);
+
+        if (coverage < cfg.minStrideCoverage)
+            continue;
+
+        // The runtime must be able to compute the indirect target.
+        auto probe = resolver->resolve(pc, t[0].addr, 0);
+        bool resolvable = false;
+        // Probe with an address actually from this PC.
+        for (const auto &rec : t) {
+            if (rec.pc == pc) {
+                resolvable =
+                    resolver->resolve(pc, rec.addr, 1).has_value();
+                break;
+            }
+        }
+        (void)probe;
+        if (!resolvable)
+            continue;
+
+        if (share < cfg.minMissShare)
+            continue;
+
+        kernels.push_back(Kernel{pc, best_delta, coverage, share});
+    }
+
+    std::sort(kernels.begin(), kernels.end(),
+              [](const Kernel &a, const Kernel &b) {
+                  return a.missShare > b.missShare;
+              });
+    return kernels;
+}
+
+} // namespace prophet::rpg2

@@ -1,0 +1,47 @@
+#include "rpg2/rpg2.hh"
+
+namespace prophet::rpg2
+{
+
+void
+Rpg2Plan::setDistance(std::int64_t distance)
+{
+    for (auto &[pc, k] : kernels)
+        k.distance = distance;
+}
+
+std::vector<Addr>
+Rpg2Plan::prefetchAddrs(PC pc, Addr addr,
+                        const trace::IndirectResolver *resolver) const
+{
+    std::vector<Addr> out;
+    auto it = kernels.find(pc);
+    if (it == kernels.end())
+        return out;
+    const ArmedKernel &k = it->second;
+
+    // The kernel line `distance` iterations ahead (b[i + d]) ...
+    std::int64_t kernel_target = static_cast<std::int64_t>(addr)
+        + k.stride * k.distance;
+    if (kernel_target > 0)
+        out.push_back(static_cast<Addr>(kernel_target));
+
+    // ... and the indirect target it selects (a[b[i + d]]).
+    if (resolver) {
+        if (auto t = resolver->resolve(pc, addr, k.distance))
+            out.push_back(*t);
+    }
+    return out;
+}
+
+Rpg2Plan
+buildPlan(const std::vector<Kernel> &kernels,
+          std::int64_t initial_distance)
+{
+    Rpg2Plan plan;
+    for (const auto &k : kernels)
+        plan.arm(k.pc, k.stride, initial_distance);
+    return plan;
+}
+
+} // namespace prophet::rpg2

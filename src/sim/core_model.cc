@@ -1,0 +1,95 @@
+#include "sim/core_model.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace prophet::sim
+{
+
+CoreModel::CoreModel(const CoreParams &params)
+    : prm(params)
+{
+    prophet_assert(prm.issueWidth > 0.0);
+    prophet_assert(prm.robSize >= 1);
+}
+
+Cycle
+CoreModel::beginAccess(unsigned inst_gap, bool depends_on_prev)
+{
+    // Issue the gap instructions plus this access at sustained width.
+    instCount += inst_gap + 1;
+    issueClock += static_cast<double>(inst_gap + 1) / prm.issueWidth;
+
+    // ROB constraint: issue may not run more than robSize
+    // instructions ahead of the oldest unretired load.
+    while (!outstanding.empty()) {
+        const auto &[idx, retire_at] = outstanding.front();
+        if (idx + prm.robSize <= instCount) {
+            // That load must retire before this instruction can
+            // even occupy the ROB.
+            if (issueClock < retire_at)
+                issueClock = retire_at;
+            outstanding.pop_front();
+        } else {
+            break;
+        }
+    }
+
+    // Data dependence: a chased pointer cannot issue before its
+    // parent's value arrives.
+    if (depends_on_prev && issueClock < lastLoadComplete)
+        issueClock = lastLoadComplete;
+
+    return static_cast<Cycle>(std::llround(std::ceil(issueClock)));
+}
+
+void
+CoreModel::completeAccess(Cycle ready_at)
+{
+    auto ready = static_cast<double>(ready_at);
+    lastLoadComplete = ready;
+
+    // In-order retirement: this load retires no earlier than every
+    // prior instruction.
+    retireClock = std::max(retireClock, ready);
+    outstanding.emplace_back(instCount, retireClock);
+}
+
+Cycle
+CoreModel::finalCycles() const
+{
+    double done = std::max(issueClock, retireClock);
+    return static_cast<Cycle>(std::llround(std::ceil(done)));
+}
+
+double
+CoreModel::ipc() const
+{
+    Cycle c = finalCycles();
+    if (c == 0)
+        return 0.0;
+    return static_cast<double>(instCount) / static_cast<double>(c);
+}
+
+void
+CoreModel::mark()
+{
+    // Statistics-window boundary: drain the pipeline so the measured
+    // window does not inherit retirement backlog from warmup.
+    markCycles = std::max(issueClock, retireClock);
+    issueClock = markCycles;
+    retireClock = markCycles;
+    markInsts = instCount;
+}
+
+double
+CoreModel::ipcSinceMark() const
+{
+    double cycles = std::max(issueClock, retireClock) - markCycles;
+    if (cycles <= 0.0)
+        return 0.0;
+    return static_cast<double>(instCount - markInsts) / cycles;
+}
+
+} // namespace prophet::sim

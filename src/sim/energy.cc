@@ -1,0 +1,25 @@
+#include "sim/energy.hh"
+
+namespace prophet::sim
+{
+
+EnergyReport
+memoryEnergy(const RunStats &stats, const EnergyParams &params)
+{
+    EnergyReport r;
+    r.l1Nj = params.l1AccessNj * static_cast<double>(stats.l1Accesses);
+    r.l2Nj = params.l2AccessNj * static_cast<double>(stats.l2Accesses);
+    r.llcNj =
+        params.llcAccessNj * static_cast<double>(stats.llcAccesses);
+    // Metadata-table activity: lookups plus insert/update writes.
+    double md_accesses =
+        static_cast<double>(stats.markov.lookups)
+        + static_cast<double>(stats.markov.inserts)
+        + static_cast<double>(stats.markov.updates);
+    r.metadataNj = params.metadataAccessNj * md_accesses;
+    r.dramNj = params.dramAccessNj
+        * static_cast<double>(stats.dramReads + stats.dramWrites);
+    return r;
+}
+
+} // namespace prophet::sim

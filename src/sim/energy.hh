@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Memory-hierarchy energy model (Section 5.11). The paper uses CACTI
+ * at 22 nm only to obtain per-access energies and states the one
+ * ratio that matters: DRAM access energy ~ 25x an LLC access. We
+ * encode representative 22 nm per-access energies directly (CACTI is
+ * not redistributable); all conclusions depend only on the ratios.
+ */
+
+#ifndef PROPHET_SIM_ENERGY_HH
+#define PROPHET_SIM_ENERGY_HH
+
+#include "sim/system.hh"
+
+namespace prophet::sim
+{
+
+/** Per-access energies in nanojoules (22 nm class). */
+struct EnergyParams
+{
+    double l1AccessNj = 0.05;
+    double l2AccessNj = 0.25;
+    double llcAccessNj = 1.0;
+    double metadataAccessNj = 1.0; ///< metadata lives in LLC arrays
+    double dramAccessNj = 25.0;    ///< 25x LLC (Section 5.11)
+};
+
+/** Energy breakdown of one run. */
+struct EnergyReport
+{
+    double l1Nj = 0.0;
+    double l2Nj = 0.0;
+    double llcNj = 0.0;
+    double metadataNj = 0.0;
+    double dramNj = 0.0;
+
+    double
+    totalNj() const
+    {
+        return l1Nj + l2Nj + llcNj + metadataNj + dramNj;
+    }
+};
+
+/** Compute the memory-hierarchy energy of a run. */
+EnergyReport memoryEnergy(const RunStats &stats,
+                          const EnergyParams &params = {});
+
+} // namespace prophet::sim
+
+#endif // PROPHET_SIM_ENERGY_HH

@@ -1,0 +1,177 @@
+#include "sim/runner.hh"
+
+#include "common/log.hh"
+#include "rpg2/distance_tuner.hh"
+#include "workloads/registry.hh"
+
+namespace prophet::sim
+{
+
+Runner::Runner(SystemConfig base_cfg, std::size_t records)
+    : base(std::move(base_cfg)), recordsOverride(records)
+{}
+
+void
+Runner::ensureWorkload(const std::string &workload)
+{
+    if (traces.count(workload))
+        return;
+    auto gen = workloads::makeWorkload(workload, recordsOverride);
+    traces.emplace(workload, gen->generate());
+    generators.emplace(workload, std::move(gen));
+}
+
+const trace::Trace &
+Runner::traceFor(const std::string &workload)
+{
+    ensureWorkload(workload);
+    return traces.at(workload);
+}
+
+const trace::IndirectResolver *
+Runner::resolverFor(const std::string &workload)
+{
+    ensureWorkload(workload);
+    return generators.at(workload)->resolver();
+}
+
+RunStats
+Runner::runConfig(const std::string &workload, const SystemConfig &cfg)
+{
+    ensureWorkload(workload);
+    System system(cfg, resolverFor(workload));
+    return system.run(traces.at(workload));
+}
+
+const RunStats &
+Runner::baseline(const std::string &workload)
+{
+    auto it = baselines.find(workload);
+    if (it != baselines.end())
+        return it->second;
+    SystemConfig cfg = base;
+    cfg.l2Pf = L2PfKind::None;
+    cfg.rpg2Plan = rpg2::Rpg2Plan{};
+    RunStats stats = runConfig(workload, cfg);
+    return baselines.emplace(workload, std::move(stats)).first->second;
+}
+
+RunStats
+Runner::runTriangel(const std::string &workload)
+{
+    SystemConfig cfg = base;
+    cfg.l2Pf = L2PfKind::Triangel;
+    return runConfig(workload, cfg);
+}
+
+RunStats
+Runner::runTriage(const std::string &workload, unsigned degree)
+{
+    SystemConfig cfg = base;
+    cfg.l2Pf = degree >= 4 ? L2PfKind::Triage4 : L2PfKind::Triage;
+    return runConfig(workload, cfg);
+}
+
+core::ProfileSnapshot
+Runner::profileWorkload(const std::string &workload)
+{
+    ensureWorkload(workload);
+    SystemConfig cfg = base;
+    cfg.l2Pf = L2PfKind::Simplified;
+    System system(cfg, resolverFor(workload));
+    system.run(traces.at(workload));
+    prophet_assert(system.prophet() != nullptr);
+    return system.prophet()->takeSnapshot();
+}
+
+ProphetOutcome
+Runner::runProphet(const std::string &workload,
+                   const core::AnalyzerConfig &acfg,
+                   const core::ProphetConfig &pcfg)
+{
+    ProphetOutcome out;
+    out.profile = profileWorkload(workload);
+    core::Analyzer analyzer(acfg);
+    out.binary = analyzer.analyze(out.profile);
+    out.stats = runProphetWithBinary(workload, out.binary, pcfg);
+    return out;
+}
+
+RunStats
+Runner::runProphetWithBinary(const std::string &workload,
+                             const core::OptimizedBinary &binary,
+                             const core::ProphetConfig &pcfg)
+{
+    SystemConfig cfg = base;
+    cfg.l2Pf = L2PfKind::Prophet;
+    cfg.prophet = pcfg;
+    cfg.binary = binary;
+    return runConfig(workload, cfg);
+}
+
+Rpg2Outcome
+Runner::runRpg2(const std::string &workload)
+{
+    Rpg2Outcome out;
+    const RunStats &base_stats = baseline(workload);
+    const trace::Trace &t = traceFor(workload);
+    const trace::IndirectResolver *resolver = resolverFor(workload);
+
+    out.kernels =
+        rpg2::identifyKernels(t, base_stats.pcMisses, resolver);
+    if (out.kernels.empty()) {
+        // No qualified kernels (mcf/omnetpp/soplex): RPG2 leaves the
+        // binary unchanged, so performance equals the baseline.
+        out.stats = base_stats;
+        out.tunedDistance = 0;
+        return out;
+    }
+
+    // Binary-search the prefetch distance on measured IPC.
+    std::map<std::int64_t, RunStats> runs;
+    auto evaluate = [&](std::int64_t d) {
+        SystemConfig cfg = base;
+        cfg.l2Pf = L2PfKind::None;
+        cfg.rpg2Plan = rpg2::buildPlan(out.kernels, d);
+        RunStats s = runConfig(workload, cfg);
+        double ipc = s.ipc;
+        runs.emplace(d, std::move(s));
+        return ipc;
+    };
+    auto tuned = rpg2::tuneDistance(evaluate, {1, 64});
+    out.tunedDistance = tuned.bestDistance;
+    out.stats = runs.at(tuned.bestDistance);
+    return out;
+}
+
+double
+Runner::speedup(const std::string &workload, const RunStats &stats)
+{
+    const RunStats &b = baseline(workload);
+    prophet_assert(b.ipc > 0.0);
+    return stats.ipc / b.ipc;
+}
+
+double
+Runner::trafficNorm(const std::string &workload, const RunStats &stats)
+{
+    const RunStats &b = baseline(workload);
+    if (b.dramTraffic() == 0)
+        return 1.0;
+    return static_cast<double>(stats.dramTraffic())
+        / static_cast<double>(b.dramTraffic());
+}
+
+double
+Runner::coverage(const std::string &workload, const RunStats &stats)
+{
+    const RunStats &b = baseline(workload);
+    if (b.l2DemandMisses == 0)
+        return 0.0;
+    double reduced = static_cast<double>(b.l2DemandMisses)
+        - static_cast<double>(stats.l2DemandMisses);
+    return std::max(0.0, reduced)
+        / static_cast<double>(b.l2DemandMisses);
+}
+
+} // namespace prophet::sim

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Experiment orchestration: generates/caches workload traces, runs
+ * configured systems over them, and implements the multi-run
+ * workflows the evaluation needs — Prophet's profile/analyze/learn
+ * pipeline (Figure 5) and RPG2's identify/tune pipeline.
+ */
+
+#ifndef PROPHET_SIM_RUNNER_HH
+#define PROPHET_SIM_RUNNER_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hh"
+#include "core/learner.hh"
+#include "rpg2/kernel_id.hh"
+#include "sim/system.hh"
+
+namespace prophet::sim
+{
+
+/** A Prophet run plus the artifacts that produced it. */
+struct ProphetOutcome
+{
+    core::OptimizedBinary binary{};
+    core::ProfileSnapshot profile{};
+    RunStats stats{};
+};
+
+/** An RPG2 run plus the plan that produced it. */
+struct Rpg2Outcome
+{
+    std::vector<rpg2::Kernel> kernels{};
+    std::int64_t tunedDistance = 0;
+    RunStats stats{};
+};
+
+/**
+ * The experiment runner. One instance caches traces and baseline
+ * runs across the experiments of a bench binary.
+ */
+class Runner
+{
+  public:
+    /**
+     * @param base Base configuration every run derives from
+     *        (Table 1 by default).
+     * @param records Trace-length override (0 = workload default).
+     */
+    explicit Runner(SystemConfig base = SystemConfig::table1(),
+                    std::size_t records = 0);
+
+    /** The (cached) trace of a workload. */
+    const trace::Trace &traceFor(const std::string &workload);
+
+    /** The workload's indirect resolver (may be nullptr). */
+    const trace::IndirectResolver *
+    resolverFor(const std::string &workload);
+
+    /** Run an explicit configuration over a workload. */
+    RunStats runConfig(const std::string &workload,
+                       const SystemConfig &cfg);
+
+    /** Cached baseline (no temporal prefetcher). */
+    const RunStats &baseline(const std::string &workload);
+
+    /** Triangel run. */
+    RunStats runTriangel(const std::string &workload);
+
+    /** Triage run at the given degree (1 or 4). */
+    RunStats runTriage(const std::string &workload, unsigned degree);
+
+    /**
+     * Profile a workload with the simplified temporal prefetcher
+     * (Step 1) and return the counter snapshot.
+     */
+    core::ProfileSnapshot profileWorkload(const std::string &workload);
+
+    /**
+     * The full Prophet pipeline on one input: profile, analyze,
+     * run the optimized binary.
+     */
+    ProphetOutcome runProphet(
+        const std::string &workload,
+        const core::AnalyzerConfig &acfg = {},
+        const core::ProphetConfig &pcfg = core::ProphetConfig{});
+
+    /** Run Prophet with an existing optimized binary (learning). */
+    RunStats runProphetWithBinary(
+        const std::string &workload,
+        const core::OptimizedBinary &binary,
+        const core::ProphetConfig &pcfg = core::ProphetConfig{});
+
+    /**
+     * The full RPG2 pipeline: identify kernels from a baseline
+     * profile, binary-search the distance, report the best run.
+     * Workloads with no qualified kernels return the baseline run
+     * (RPG2 inserts nothing).
+     */
+    Rpg2Outcome runRpg2(const std::string &workload);
+
+    /** The base configuration (benches derive variants from it). */
+    const SystemConfig &baseConfig() const { return base; }
+
+    /** Speedup of stats over the cached baseline of a workload. */
+    double speedup(const std::string &workload, const RunStats &stats);
+
+    /** DRAM traffic normalized to the workload baseline. */
+    double trafficNorm(const std::string &workload,
+                       const RunStats &stats);
+
+    /** Coverage: demand-miss reduction vs the workload baseline. */
+    double coverage(const std::string &workload,
+                    const RunStats &stats);
+
+  private:
+    SystemConfig base;
+    std::size_t recordsOverride;
+
+    std::map<std::string, trace::GeneratorPtr> generators;
+    std::map<std::string, trace::Trace> traces;
+    std::map<std::string, RunStats> baselines;
+
+    void ensureWorkload(const std::string &workload);
+};
+
+} // namespace prophet::sim
+
+#endif // PROPHET_SIM_RUNNER_HH

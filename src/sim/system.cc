@@ -1,0 +1,249 @@
+#include "sim/system.hh"
+
+#include "common/log.hh"
+#include "prefetch/ipcp.hh"
+#include "prefetch/stride.hh"
+#include "prefetch/domino.hh"
+#include "prefetch/triage.hh"
+#include "prefetch/triangel.hh"
+
+namespace prophet::sim
+{
+
+namespace
+{
+
+std::unique_ptr<pf::L1Prefetcher>
+makeL1Pf(L1PfKind kind)
+{
+    switch (kind) {
+      case L1PfKind::None:
+        return nullptr;
+      case L1PfKind::Stride:
+        return std::make_unique<pf::StridePrefetcher>(8);
+      case L1PfKind::Ipcp:
+        return std::make_unique<pf::IpcpPrefetcher>();
+    }
+    return nullptr;
+}
+
+} // anonymous namespace
+
+SystemConfig
+SystemConfig::table1()
+{
+    SystemConfig cfg;
+    // Table 1: 64 KB 4-way L1 (2 cycles, PLRU), 512 KB 8-way L2
+    // (9 cycles, PLRU), 2 MB 16-way LLC (20 cycles), LPDDR5-class
+    // single-channel DRAM; 5-wide fetch, 288-entry ROB.
+    cfg.core = CoreParams{5.0, 288};
+    cfg.hier.l1d = {"L1D", 64 * 1024, 4, 2, 16, "plru"};
+    cfg.hier.l2 = {"L2", 512 * 1024, 8, 9, 32, "plru"};
+    cfg.hier.llc = {"LLC", 2 * 1024 * 1024, 16, 20, 36, "lru"};
+    cfg.hier.dram = mem::DramConfig{150, 8, 1};
+    cfg.l1Pf = L1PfKind::Stride;
+    cfg.l2Pf = L2PfKind::None;
+    return cfg;
+}
+
+System::System(const SystemConfig &config,
+               const trace::IndirectResolver *resolver)
+    : cfg(config), resolver(resolver), coreModel(config.core),
+      hier(config.hier), l1Pf(makeL1Pf(config.l1Pf))
+{
+    switch (cfg.l2Pf) {
+      case L2PfKind::None:
+        break;
+      case L2PfKind::Triage: {
+        pf::TriageConfig tc = cfg.triage;
+        tc.degree = 1;
+        l2Pf = std::make_unique<pf::TriagePrefetcher>(tc);
+        break;
+      }
+      case L2PfKind::Triage4: {
+        pf::TriageConfig tc = cfg.triage;
+        tc.degree = 4;
+        l2Pf = std::make_unique<pf::TriagePrefetcher>(tc);
+        break;
+      }
+      case L2PfKind::Triangel:
+        l2Pf = std::make_unique<pf::TriangelPrefetcher>(cfg.triangel);
+        break;
+      case L2PfKind::Prophet: {
+        auto p = std::make_unique<core::ProphetPrefetcher>(
+            cfg.prophet, cfg.binary);
+        prophetPf = p.get();
+        l2Pf = std::move(p);
+        break;
+      }
+      case L2PfKind::Simplified: {
+        core::ProphetConfig pc = cfg.prophet;
+        pc.profilingMode = true;
+        auto p = std::make_unique<core::ProphetPrefetcher>(pc);
+        prophetPf = p.get();
+        l2Pf = std::move(p);
+        break;
+      }
+      case L2PfKind::Stms:
+        l2Pf = std::make_unique<pf::StmsPrefetcher>(cfg.stms);
+        break;
+      case L2PfKind::Domino:
+        l2Pf = std::make_unique<pf::DominoPrefetcher>(cfg.domino);
+        break;
+    }
+    syncPartition();
+}
+
+System::~System() = default;
+
+void
+System::syncPartition()
+{
+    unsigned ways = l2Pf ? l2Pf->metadataWays() : 0;
+    // The metadata table never takes the whole LLC.
+    prophet_assert(ways < hier.llc().assoc());
+    if (ways != hier.llc().reservedWays())
+        hier.llc().setReservedWays(ways);
+}
+
+RunStats
+System::run(const trace::Trace &t)
+{
+    std::vector<Addr> l1_candidates;
+    std::vector<pf::PrefetchRequest> l2_requests;
+
+    std::uint64_t useful = 0, late = 0;
+    std::uint64_t issued_after_warmup = 0;
+    std::unordered_map<PC, std::uint64_t> pc_misses;
+
+    std::size_t warm = std::min<std::size_t>(cfg.warmupRecords,
+                                             t.size() / 2);
+    bool warmed = false;
+
+    std::uint64_t issued_before_mark = 0;
+
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const trace::TraceRecord &rec = t[i];
+
+        if (!warmed && i >= warm) {
+            // Warmup boundary: reset the statistics windows.
+            hier.resetStats();
+            coreModel.mark();
+            useful = 0;
+            late = 0;
+            pc_misses.clear();
+            issued_before_mark = hier.l2PrefetchesIssued();
+            warmed = true;
+        }
+
+        Cycle cycle = coreModel.beginAccess(rec.instGap,
+                                            rec.dependsOnPrev);
+        mem::AccessOutcome out =
+            hier.access(rec.pc, rec.addr, rec.isWrite, cycle);
+        coreModel.completeAccess(out.readyAt);
+
+        if (out.prefetchUseful
+            && out.prefetchClass == mem::PfClass::L2) {
+            ++useful;
+            if (out.prefetchLate)
+                ++late;
+            if (l2Pf)
+                l2Pf->notifyUseful(out.prefetchPc);
+        }
+
+        if (out.l2Accessed && !out.l2Hit)
+            ++pc_misses[rec.pc];
+
+        // Temporal prefetcher observes the demand L2 access stream.
+        if (out.l2Accessed && l2Pf) {
+            l2_requests.clear();
+            l2Pf->observe(rec.pc, out.lineAddr, out.l2Hit, cycle,
+                          l2_requests);
+            for (const auto &req : l2_requests)
+                if (hier.prefetchL2(req.creditPc, req.lineAddr, cycle))
+                    l2Pf->notifyIssued(req.creditPc);
+        }
+
+        // RPG2 software prefetch: armed kernel PCs issue the
+        // addresses the inserted code would compute.
+        if (!cfg.rpg2Plan.empty()) {
+            for (Addr a :
+                 cfg.rpg2Plan.prefetchAddrs(rec.pc, rec.addr,
+                                            resolver))
+                hier.prefetchL2(rec.pc, lineAddr(a), cycle);
+        }
+
+        // L1 prefetcher observes every demand L1 access; its
+        // requests that reach the L2 also train the temporal
+        // prefetcher (Section 5.1).
+        if (l1Pf) {
+            l1_candidates.clear();
+            l1Pf->observe(rec.pc, out.lineAddr,
+                          out.level == mem::HitLevel::L1,
+                          l1_candidates);
+            for (Addr cand : l1_candidates) {
+                auto pf_out = hier.prefetchL1(rec.pc, cand, cycle);
+                if (pf_out.l2Accessed && l2Pf) {
+                    l2_requests.clear();
+                    l2Pf->observe(rec.pc, cand, pf_out.l2Hit, cycle,
+                                  l2_requests);
+                    for (const auto &req : l2_requests)
+                        if (hier.prefetchL2(req.creditPc,
+                                            req.lineAddr, cycle))
+                            l2Pf->notifyIssued(req.creditPc);
+                }
+            }
+        }
+
+        if ((i & (cfg.partitionSyncInterval - 1)) == 0)
+            syncPartition();
+    }
+
+    issued_after_warmup =
+        hier.l2PrefetchesIssued() - issued_before_mark;
+
+    RunStats s;
+    s.ipc = coreModel.ipcSinceMark();
+    s.cycles = coreModel.finalCycles();
+    s.instructions = coreModel.retiredInstructions();
+    s.records = t.size();
+
+    const auto &l1s = hier.l1().stats();
+    const auto &l2s = hier.l2().stats();
+    const auto &llcs = hier.llc().stats();
+    s.l1Misses = l1s.demandMisses;
+    s.l2DemandAccesses = l2s.demandHits + l2s.demandMisses;
+    s.l2DemandMisses = l2s.demandMisses;
+    s.llcMisses = llcs.demandMisses;
+    s.l1Accesses = l1s.demandHits + l1s.demandMisses;
+    s.l2Accesses = s.l2DemandAccesses;
+    s.llcAccesses = llcs.demandHits + llcs.demandMisses;
+
+    s.l2PrefetchesIssued = issued_after_warmup;
+    s.l2PrefetchesUseful = useful;
+    s.latePrefetches = late;
+
+    const auto &ds = hier.dram().stats();
+    s.dramReads = ds.reads;
+    s.dramWrites = ds.writes;
+    s.dramPrefetchReads = ds.prefetchReads;
+
+    if (auto *tri = dynamic_cast<pf::TriagePrefetcher *>(l2Pf.get()))
+        s.markov = tri->markovTable().stats();
+    else if (auto *tg =
+                 dynamic_cast<pf::TriangelPrefetcher *>(l2Pf.get()))
+        s.markov = tg->markovTable().stats();
+    else if (auto *st = dynamic_cast<pf::StmsPrefetcher *>(l2Pf.get()))
+        s.offchipMeta = st->metadataStats();
+    else if (auto *dm =
+                 dynamic_cast<pf::DominoPrefetcher *>(l2Pf.get()))
+        s.offchipMeta = dm->metadataStats();
+    else if (prophetPf)
+        s.markov = prophetPf->markovTable().stats();
+    s.finalMetadataWays = l2Pf ? l2Pf->metadataWays() : 0;
+
+    s.pcMisses = std::move(pc_misses);
+    return s;
+}
+
+} // namespace prophet::sim

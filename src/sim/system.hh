@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The assembled system: core timing model + cache hierarchy + L1
+ * prefetcher + temporal prefetcher + RPG2 plan, driven over a
+ * workload trace. Produces the RunStats every figure is computed
+ * from.
+ */
+
+#ifndef PROPHET_SIM_SYSTEM_HH
+#define PROPHET_SIM_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "core/prophet.hh"
+#include "mem/hierarchy.hh"
+#include "prefetch/prefetcher.hh"
+#include "prefetch/stms.hh"
+#include "sim/core_model.hh"
+#include "sim/system_config.hh"
+#include "trace/generator.hh"
+
+namespace prophet::sim
+{
+
+/** Everything one simulation run reports. */
+struct RunStats
+{
+    // Performance.
+    double ipc = 0.0;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t records = 0;
+
+    // Demand behaviour (post-warmup).
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2DemandAccesses = 0;
+    std::uint64_t l2DemandMisses = 0;
+    std::uint64_t llcMisses = 0;
+
+    // Temporal prefetcher behaviour.
+    std::uint64_t l2PrefetchesIssued = 0;
+    std::uint64_t l2PrefetchesUseful = 0;
+    std::uint64_t latePrefetches = 0;
+
+    // DRAM traffic.
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    std::uint64_t dramPrefetchReads = 0;
+
+    // Metadata table.
+    pf::MarkovStats markov{};
+    unsigned finalMetadataWays = 0;
+
+    /** DRAM metadata traffic of off-chip schemes (STMS/Domino). */
+    pf::OffchipMetadataStats offchipMeta{};
+
+    // Energy accounting inputs (total accesses per level).
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t llcAccesses = 0;
+
+    // Per-PC L2 demand misses (RPG2 kernel identification, hint-PC
+    // selection checks).
+    std::unordered_map<PC, std::uint64_t> pcMisses;
+
+    /** Prefetch accuracy = useful / issued (0 when none issued). */
+    double
+    prefetchAccuracy() const
+    {
+        return l2PrefetchesIssued == 0
+            ? 0.0
+            : static_cast<double>(l2PrefetchesUseful)
+                / static_cast<double>(l2PrefetchesIssued);
+    }
+
+    /** DRAM traffic = reads + writes. */
+    std::uint64_t dramTraffic() const { return dramReads + dramWrites; }
+};
+
+/**
+ * One simulated machine. Construct per run; run() may be called once.
+ */
+class System
+{
+  public:
+    /**
+     * @param config System configuration.
+     * @param resolver The workload's indirect resolver (RPG2);
+     *        nullptr when absent.
+     */
+    explicit System(const SystemConfig &config,
+                    const trace::IndirectResolver *resolver = nullptr);
+
+    ~System();
+
+    /** Simulate the trace and return the statistics. */
+    RunStats run(const trace::Trace &t);
+
+    /**
+     * The Prophet prefetcher instance when l2Pf is Prophet or
+     * Simplified; nullptr otherwise. Valid after construction; used
+     * to pull profiling snapshots after run().
+     */
+    core::ProphetPrefetcher *prophet() { return prophetPf; }
+
+    /** The hierarchy (tests / detailed inspection). */
+    mem::Hierarchy &hierarchy() { return hier; }
+
+  private:
+    SystemConfig cfg;
+    const trace::IndirectResolver *resolver;
+    CoreModel coreModel;
+    mem::Hierarchy hier;
+    std::unique_ptr<pf::L1Prefetcher> l1Pf;
+    std::unique_ptr<pf::TemporalPrefetcher> l2Pf;
+    core::ProphetPrefetcher *prophetPf = nullptr;
+
+    void syncPartition();
+};
+
+} // namespace prophet::sim
+
+#endif // PROPHET_SIM_SYSTEM_HH

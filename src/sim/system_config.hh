@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Whole-system configuration: Table 1's parameters plus the
+ * prefetcher selection and feature knobs every figure varies.
+ */
+
+#ifndef PROPHET_SIM_SYSTEM_CONFIG_HH
+#define PROPHET_SIM_SYSTEM_CONFIG_HH
+
+#include <string>
+
+#include "core/analyzer.hh"
+#include "core/prophet.hh"
+#include "mem/hierarchy.hh"
+#include "prefetch/domino.hh"
+#include "prefetch/stms.hh"
+#include "prefetch/triage.hh"
+#include "prefetch/triangel.hh"
+#include "rpg2/rpg2.hh"
+#include "sim/core_model.hh"
+
+namespace prophet::sim
+{
+
+/** L1 prefetcher selection (Table 1 default: degree-8 stride). */
+enum class L1PfKind { None, Stride, Ipcp };
+
+/** Temporal (L2) prefetcher selection. */
+enum class L2PfKind
+{
+    None,       ///< baseline without temporal prefetching
+    Triage,     ///< Triage, degree 1, Hawkeye metadata replacement
+    Triage4,    ///< Triage at prefetch degree 4 (Figure 19 baseline)
+    Triangel,   ///< Triangel (state of the art)
+    Prophet,    ///< Prophet (profile-guided), needs an OptimizedBinary
+    Simplified, ///< Prophet's profiling configuration (Section 3.2)
+    Stms,       ///< off-chip-metadata STMS (historical baseline)
+    Domino,     ///< off-chip-metadata Domino (historical baseline)
+};
+
+/** The full system configuration. */
+struct SystemConfig
+{
+    CoreParams core{};
+    mem::HierarchyConfig hier{};
+
+    L1PfKind l1Pf = L1PfKind::Stride;
+    L2PfKind l2Pf = L2PfKind::None;
+
+    pf::TriageConfig triage{};
+    pf::TriangelConfig triangel{};
+    pf::StmsConfig stms{};
+    pf::DominoConfig domino{};
+    core::ProphetConfig prophet{};
+
+    /** Hints + CSR for Prophet mode (the "optimized binary"). */
+    core::OptimizedBinary binary{};
+
+    /** RPG2 software-prefetch plan (empty = disabled). */
+    rpg2::Rpg2Plan rpg2Plan{};
+
+    /** Records before the statistics warmup boundary. */
+    std::size_t warmupRecords = 200'000;
+
+    /** Resync LLC way partition every this many records. */
+    std::size_t partitionSyncInterval = 4096;
+
+    /** Default Table 1 configuration. */
+    static SystemConfig table1();
+};
+
+} // namespace prophet::sim
+
+#endif // PROPHET_SIM_SYSTEM_CONFIG_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Named scalar counters. The simulator's statistics are plain
+ * integers grouped in structs; this header provides a tiny registry
+ * used where a dynamic set of named counters is convenient (e.g. the
+ * PMU-style counter dump in Prophet's profiler).
+ */
+
+#ifndef PROPHET_STATS_COUNTER_HH
+#define PROPHET_STATS_COUNTER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace prophet::stats
+{
+
+/**
+ * A group of named monotonically increasing counters, in the spirit
+ * of a PMU counter file. Lookup creates counters on demand.
+ */
+class CounterGroup
+{
+  public:
+    /** Access (and create if absent) the counter with this name. */
+    std::uint64_t &
+    operator[](const std::string &name)
+    {
+        return counters[name];
+    }
+
+    /** Read a counter; returns 0 if it was never touched. */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters.find(name);
+        return it == counters.end() ? 0 : it->second;
+    }
+
+    /** Number of distinct counters. */
+    std::size_t size() const { return counters.size(); }
+
+    /** Reset all counters to zero (keeps names). */
+    void
+    reset()
+    {
+        for (auto &kv : counters)
+            kv.second = 0;
+    }
+
+    /** Iteration support for reporting. */
+    auto begin() const { return counters.begin(); }
+    auto end() const { return counters.end(); }
+
+  private:
+    std::map<std::string, std::uint64_t> counters;
+};
+
+} // namespace prophet::stats
+
+#endif // PROPHET_STATS_COUNTER_HH

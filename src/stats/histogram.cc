@@ -1,0 +1,57 @@
+#include "stats/histogram.hh"
+
+#include "common/log.hh"
+
+namespace prophet::stats
+{
+
+Histogram::Histogram(std::size_t num_buckets)
+    : buckets(num_buckets, 0)
+{
+    prophet_assert(num_buckets >= 1);
+}
+
+void
+Histogram::add(std::uint64_t sample)
+{
+    std::size_t idx = sample < buckets.size()
+        ? static_cast<std::size_t>(sample) : buckets.size() - 1;
+    ++buckets[idx];
+    ++totalSamples;
+    sum += sample < buckets.size() ? sample : buckets.size() - 1;
+}
+
+std::uint64_t
+Histogram::bucket(std::size_t i) const
+{
+    prophet_assert(i < buckets.size());
+    return buckets[i];
+}
+
+double
+Histogram::fraction(std::size_t i) const
+{
+    if (totalSamples == 0)
+        return 0.0;
+    return static_cast<double>(bucket(i))
+        / static_cast<double>(totalSamples);
+}
+
+double
+Histogram::mean() const
+{
+    if (totalSamples == 0)
+        return 0.0;
+    return static_cast<double>(sum) / static_cast<double>(totalSamples);
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets)
+        b = 0;
+    totalSamples = 0;
+    sum = 0;
+}
+
+} // namespace prophet::stats

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Simple integer histogram used for reuse-distance distributions and
+ * the Markov-target-count distribution of Figure 8.
+ */
+
+#ifndef PROPHET_STATS_HISTOGRAM_HH
+#define PROPHET_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace prophet::stats
+{
+
+/**
+ * Histogram over non-negative integer samples with a saturating
+ * overflow bucket. Bucket i counts samples equal to i; samples >=
+ * numBuckets land in the last bucket.
+ */
+class Histogram
+{
+  public:
+    /** Construct with the given number of exact buckets (>= 1). */
+    explicit Histogram(std::size_t num_buckets);
+
+    /** Record one sample. */
+    void add(std::uint64_t sample);
+
+    /** Count in bucket i (i < numBuckets()). */
+    std::uint64_t bucket(std::size_t i) const;
+
+    /** Total samples recorded. */
+    std::uint64_t total() const { return totalSamples; }
+
+    /** Number of buckets, including the overflow bucket. */
+    std::size_t numBuckets() const { return buckets.size(); }
+
+    /** Fraction of samples in bucket i; 0 if the histogram is empty. */
+    double fraction(std::size_t i) const;
+
+    /** Mean of recorded samples (overflow samples counted at cap). */
+    double mean() const;
+
+    /** Reset all buckets. */
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t totalSamples = 0;
+    std::uint64_t sum = 0;
+};
+
+} // namespace prophet::stats
+
+#endif // PROPHET_STATS_HISTOGRAM_HH

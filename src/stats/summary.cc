@@ -1,0 +1,47 @@
+#include "stats/summary.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace prophet::stats
+{
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        prophet_assert(v > 0.0);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+weightedMean(const std::vector<double> &values,
+             const std::vector<double> &weights)
+{
+    prophet_assert(values.size() == weights.size());
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        num += values[i] * weights[i];
+        den += weights[i];
+    }
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : values)
+        s += v;
+    return s / static_cast<double>(values.size());
+}
+
+} // namespace prophet::stats

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Aggregation helpers for the evaluation harness: geometric means for
+ * speedup figures and weighted means for checkpoint aggregation.
+ */
+
+#ifndef PROPHET_STATS_SUMMARY_HH
+#define PROPHET_STATS_SUMMARY_HH
+
+#include <vector>
+
+namespace prophet::stats
+{
+
+/**
+ * Geometric mean of strictly positive values. Returns 0 for an empty
+ * input. Used for the "Geomean" bar in every speedup figure.
+ */
+double geomean(const std::vector<double> &values);
+
+/**
+ * Weighted arithmetic mean; weights need not be normalized. Returns 0
+ * if the weights sum to zero. Used to aggregate SimPoint-style
+ * checkpoint results.
+ */
+double weightedMean(const std::vector<double> &values,
+                    const std::vector<double> &weights);
+
+/** Arithmetic mean; 0 for empty input. */
+double mean(const std::vector<double> &values);
+
+} // namespace prophet::stats
+
+#endif // PROPHET_STATS_SUMMARY_HH

@@ -1,0 +1,66 @@
+#include "stats/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace prophet::stats
+{
+
+Table::Table(std::vector<std::string> header)
+    : headerRow(std::move(header))
+{
+    prophet_assert(!headerRow.empty());
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    prophet_assert(row.size() == headerRow.size());
+    rows.push_back(std::move(row));
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(headerRow.size(), 0);
+    for (std::size_t c = 0; c < headerRow.size(); ++c)
+        widths[c] = headerRow[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](std::ostringstream &os,
+                        const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "" : "  ");
+            os << row[c];
+            for (std::size_t p = row[c].size(); p < widths[c]; ++p)
+                os << ' ';
+        }
+        os << '\n';
+    };
+
+    std::ostringstream os;
+    emit_row(os, headerRow);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c == 0 ? 0 : 2);
+    for (std::size_t i = 0; i < total; ++i)
+        os << '-';
+    os << '\n';
+    for (const auto &row : rows)
+        emit_row(os, row);
+    return os.str();
+}
+
+} // namespace prophet::stats

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The unit of the trace-driven simulation: one retired memory
+ * instruction with enough microarchitectural context for the timing
+ * model (instruction gap since the previous memory access, and whether
+ * the address depends on the previous load's value).
+ */
+
+#ifndef PROPHET_TRACE_RECORD_HH
+#define PROPHET_TRACE_RECORD_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace prophet::trace
+{
+
+/**
+ * One memory access in a workload trace.
+ *
+ * @c dependsOnPrev models pointer chasing: when set, this access's
+ * address was computed from the previous load's data, so its issue
+ * cannot overlap with that load's miss. Independent accesses may
+ * overlap within the core's ROB window (memory-level parallelism).
+ */
+struct TraceRecord
+{
+    /** PC of the memory instruction. */
+    PC pc = kInvalidPC;
+
+    /** Byte address accessed. */
+    Addr addr = kInvalidAddr;
+
+    /** Non-memory instructions retired since the previous record. */
+    std::uint16_t instGap = 1;
+
+    /** Address depends on the previous load's value. */
+    bool dependsOnPrev = false;
+
+    /** Store (writeback-generating) access rather than a load. */
+    bool isWrite = false;
+};
+
+} // namespace prophet::trace
+
+#endif // PROPHET_TRACE_RECORD_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * In-memory access trace: the interface between workload generators
+ * and the simulator. Traces also expose an instruction count so the
+ * timing model can compute IPC.
+ */
+
+#ifndef PROPHET_TRACE_TRACE_HH
+#define PROPHET_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace prophet::trace
+{
+
+/**
+ * A whole-workload memory access trace. Appending maintains the total
+ * retired-instruction count (memory instructions + instruction gaps).
+ */
+class Trace
+{
+  public:
+    Trace() = default;
+
+    /** Reserve space for n records. */
+    void reserve(std::size_t n) { records.reserve(n); }
+
+    /** Append one record. */
+    void
+    append(const TraceRecord &rec)
+    {
+        totalInsts += rec.instGap + 1;
+        records.push_back(rec);
+    }
+
+    /** Convenience append. */
+    void
+    append(PC pc, Addr addr, std::uint16_t inst_gap = 1,
+           bool depends_on_prev = false, bool is_write = false)
+    {
+        append(TraceRecord{pc, addr, inst_gap, depends_on_prev,
+                           is_write});
+    }
+
+    /** Number of memory accesses. */
+    std::size_t size() const { return records.size(); }
+
+    /** True if the trace has no records. */
+    bool empty() const { return records.empty(); }
+
+    /** Access record i. */
+    const TraceRecord &operator[](std::size_t i) const
+    {
+        return records[i];
+    }
+
+    /** Total retired instructions represented by the trace. */
+    std::uint64_t totalInstructions() const { return totalInsts; }
+
+    /** Iteration support. */
+    auto begin() const { return records.begin(); }
+    auto end() const { return records.end(); }
+
+  private:
+    std::vector<TraceRecord> records;
+    std::uint64_t totalInsts = 0;
+};
+
+} // namespace prophet::trace
+
+#endif // PROPHET_TRACE_TRACE_HH

@@ -1,0 +1,129 @@
+#include "trace/trace_io.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace prophet::trace
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'P', 'T', 'R', 'C'};
+constexpr std::uint32_t kVersion = 1;
+
+/** Packed on-disk record (fixed layout, little-endian hosts). */
+struct PackedRecord
+{
+    std::uint64_t pc;
+    std::uint64_t addr;
+    std::uint16_t instGap;
+    std::uint8_t flags; // bit0 depends, bit1 write
+    std::uint8_t pad = 0;
+};
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+} // anonymous namespace
+
+bool
+saveBinary(const Trace &t, const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+    std::uint64_t count = t.size();
+    if (std::fwrite(kMagic, 1, 4, f.get()) != 4)
+        return false;
+    if (std::fwrite(&kVersion, sizeof(kVersion), 1, f.get()) != 1)
+        return false;
+    if (std::fwrite(&count, sizeof(count), 1, f.get()) != 1)
+        return false;
+    for (const auto &rec : t) {
+        PackedRecord p{rec.pc, rec.addr, rec.instGap,
+                       static_cast<std::uint8_t>(
+                           (rec.dependsOnPrev ? 1 : 0)
+                           | (rec.isWrite ? 2 : 0))};
+        if (std::fwrite(&p, sizeof(p), 1, f.get()) != 1)
+            return false;
+    }
+    return true;
+}
+
+bool
+loadBinary(Trace &out, const std::string &path)
+{
+    out = Trace{};
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return false;
+    char magic[4];
+    std::uint32_t version = 0;
+    std::uint64_t count = 0;
+    if (std::fread(magic, 1, 4, f.get()) != 4
+        || std::memcmp(magic, kMagic, 4) != 0)
+        return false;
+    if (std::fread(&version, sizeof(version), 1, f.get()) != 1
+        || version != kVersion)
+        return false;
+    if (std::fread(&count, sizeof(count), 1, f.get()) != 1)
+        return false;
+    out.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        PackedRecord p;
+        if (std::fread(&p, sizeof(p), 1, f.get()) != 1) {
+            out = Trace{};
+            return false;
+        }
+        out.append(p.pc, p.addr, p.instGap, p.flags & 1, p.flags & 2);
+    }
+    return true;
+}
+
+bool
+saveText(const Trace &t, const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "w"));
+    if (!f)
+        return false;
+    for (const auto &rec : t) {
+        if (std::fprintf(f.get(),
+                         "%" PRIx64 " %" PRIx64 " %u %u %u\n",
+                         rec.pc, rec.addr, rec.instGap,
+                         rec.dependsOnPrev ? 1 : 0,
+                         rec.isWrite ? 1 : 0) < 0)
+            return false;
+    }
+    return true;
+}
+
+bool
+loadText(Trace &out, const std::string &path)
+{
+    out = Trace{};
+    FilePtr f(std::fopen(path.c_str(), "r"));
+    if (!f)
+        return false;
+    std::uint64_t pc, addr;
+    unsigned gap, dep, wr;
+    while (std::fscanf(f.get(),
+                       "%" SCNx64 " %" SCNx64 " %u %u %u\n", &pc,
+                       &addr, &gap, &dep, &wr) == 5) {
+        out.append(pc, addr, static_cast<std::uint16_t>(gap), dep != 0,
+                   wr != 0);
+    }
+    return true;
+}
+
+} // namespace prophet::trace

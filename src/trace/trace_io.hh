@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Trace serialization: a compact binary format so traces can be
+ * generated once, archived, and replayed (the SimPoint-checkpoint
+ * workflow's moral equivalent), plus a human-readable text form for
+ * debugging and interop with external tools.
+ */
+
+#ifndef PROPHET_TRACE_TRACE_IO_HH
+#define PROPHET_TRACE_TRACE_IO_HH
+
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace prophet::trace
+{
+
+/**
+ * Write a trace in the binary format (magic "PTRC", version, record
+ * count, packed records). Returns false on I/O failure.
+ */
+bool saveBinary(const Trace &t, const std::string &path);
+
+/**
+ * Read a binary trace written by saveBinary. Returns an empty trace
+ * and false on failure or format mismatch.
+ */
+bool loadBinary(Trace &out, const std::string &path);
+
+/**
+ * Write a text form: one record per line,
+ * "pc addr inst_gap depends is_write" in hex/dec.
+ */
+bool saveText(const Trace &t, const std::string &path);
+
+/** Read the text form. */
+bool loadText(Trace &out, const std::string &path);
+
+} // namespace prophet::trace
+
+#endif // PROPHET_TRACE_TRACE_IO_HH

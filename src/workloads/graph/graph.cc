@@ -1,0 +1,69 @@
+#include "workloads/graph/graph.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace prophet::workloads::graph
+{
+
+CsrGraph
+makeUniformGraph(std::uint32_t vertices, unsigned avg_degree,
+                 std::uint64_t seed)
+{
+    prophet_assert(vertices >= 2 && avg_degree >= 1);
+    Rng rng(seed);
+    CsrGraph g;
+    g.rowOffsets.resize(vertices + 1);
+    g.rowOffsets[0] = 0;
+
+    // Degrees vary between avg/2 and 3*avg/2 for some irregularity.
+    std::vector<std::uint32_t> degrees(vertices);
+    for (std::uint32_t v = 0; v < vertices; ++v) {
+        unsigned lo = std::max(1u, avg_degree / 2);
+        degrees[v] = static_cast<std::uint32_t>(
+            rng.range(lo, avg_degree + avg_degree / 2));
+        g.rowOffsets[v + 1] = g.rowOffsets[v] + degrees[v];
+    }
+    g.colIndices.resize(g.rowOffsets[vertices]);
+    g.weights.resize(g.colIndices.size());
+    for (auto &c : g.colIndices)
+        c = static_cast<std::uint32_t>(rng.below(vertices));
+    for (auto &w : g.weights)
+        w = static_cast<std::uint32_t>(rng.range(1, 64));
+    return g;
+}
+
+CsrGraph
+makeSkewedGraph(std::uint32_t vertices, unsigned avg_degree,
+                std::uint64_t seed)
+{
+    prophet_assert(vertices >= 2 && avg_degree >= 1);
+    Rng rng(seed);
+    CsrGraph g;
+    g.rowOffsets.resize(vertices + 1);
+    g.rowOffsets[0] = 0;
+    for (std::uint32_t v = 0; v < vertices; ++v) {
+        unsigned lo = std::max(1u, avg_degree / 2);
+        auto deg = static_cast<std::uint32_t>(
+            rng.range(lo, avg_degree + avg_degree / 2));
+        g.rowOffsets[v + 1] = g.rowOffsets[v] + deg;
+    }
+    g.colIndices.resize(g.rowOffsets[vertices]);
+    g.weights.resize(g.colIndices.size());
+
+    // Zipf-ish destinations via inverse-power transform of a uniform
+    // draw: rank = floor(V * u^2) concentrates edges on low ranks.
+    for (auto &c : g.colIndices) {
+        double u = rng.uniform();
+        c = static_cast<std::uint32_t>(
+            static_cast<double>(vertices) * u * u);
+        if (c >= vertices)
+            c = vertices - 1;
+    }
+    for (auto &w : g.weights)
+        w = static_cast<std::uint32_t>(rng.range(1, 64));
+    return g;
+}
+
+} // namespace prophet::workloads::graph

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Compressed-sparse-row graph and deterministic generators for the
+ * CRONO-like workloads (Figure 15). The kernels in
+ * graph_workloads.hh walk these structures and emit the access
+ * traces; the graph itself is real data, so indirect targets
+ * (`nodeData[col[e]]`) are genuinely data-dependent.
+ */
+
+#ifndef PROPHET_WORKLOADS_GRAPH_GRAPH_HH
+#define PROPHET_WORKLOADS_GRAPH_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace prophet::workloads::graph
+{
+
+/** CSR graph. */
+struct CsrGraph
+{
+    /** rowOffsets[v] .. rowOffsets[v+1] index colIndices. */
+    std::vector<std::uint32_t> rowOffsets;
+
+    /** Edge destinations. */
+    std::vector<std::uint32_t> colIndices;
+
+    /** Edge weights (SSSP). */
+    std::vector<std::uint32_t> weights;
+
+    std::uint32_t
+    numVertices() const
+    {
+        return rowOffsets.empty()
+            ? 0u
+            : static_cast<std::uint32_t>(rowOffsets.size() - 1);
+    }
+
+    std::uint64_t numEdges() const { return colIndices.size(); }
+
+    /** Degree of a vertex. */
+    std::uint32_t
+    degree(std::uint32_t v) const
+    {
+        return rowOffsets[v + 1] - rowOffsets[v];
+    }
+};
+
+/**
+ * Uniform random graph: each vertex gets ~avg_degree out-edges to
+ * uniformly random destinations. Deterministic per seed.
+ */
+CsrGraph makeUniformGraph(std::uint32_t vertices, unsigned avg_degree,
+                          std::uint64_t seed);
+
+/**
+ * Skewed (power-law-ish) graph: destination probability proportional
+ * to a Zipf-like rank, modelling social/web graphs where hub
+ * vertices concentrate reuse.
+ */
+CsrGraph makeSkewedGraph(std::uint32_t vertices, unsigned avg_degree,
+                         std::uint64_t seed);
+
+} // namespace prophet::workloads::graph
+
+#endif // PROPHET_WORKLOADS_GRAPH_GRAPH_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * CRONO-like graph kernels (Figure 15): BFS, DFS, SSSP
+ * (Bellman-Ford), PageRank, and betweenness centrality over CSR
+ * graphs. Each kernel genuinely executes over the graph and emits
+ * its memory accesses:
+ *
+ *  - frontier/queue/stack accesses (dense),
+ *  - rowOffsets[v] lookups,
+ *  - colIndices[e] scans — *stride prefetch kernels*: an
+ *    IndirectResolver is exposed for the data accesses they index,
+ *    which is exactly the structure RPG2 supports ("CRONO features
+ *    more prefetch kernels with stride patterns, aligning with
+ *    RPG2's strengths"),
+ *  - vertexData[colIndices[e]] indirect accesses (data-dependent).
+ *
+ * Repeated traversals (multiple roots / relaxation rounds /
+ * iterations) produce the temporal patterns hardware prefetchers
+ * learn, so Prophet and Triangel compete with RPG2 on its home turf.
+ *
+ * Scaling note: paper inputs like dfs_800000_800 exceed an offline
+ * simulation budget; vertex counts are capped at 65,536 and average
+ * degrees at 5 so several traversal rounds fit one trace (temporal
+ * prefetchers need re-traversal to train) while the 64 B/vertex data
+ * array still exceeds the LLC. The
+ * original input name is preserved as the workload label.
+ */
+
+#ifndef PROPHET_WORKLOADS_GRAPH_GRAPH_WORKLOADS_HH
+#define PROPHET_WORKLOADS_GRAPH_GRAPH_WORKLOADS_HH
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "trace/generator.hh"
+#include "workloads/graph/graph.hh"
+#include "workloads/pattern_lib.hh"
+
+namespace prophet::workloads::graph
+{
+
+/** Which kernel a GraphWorkload runs. */
+enum class GraphKernel { Bfs, Dfs, Sssp, PageRank, Bc };
+
+/** Default trace length for graph workloads. */
+constexpr std::size_t kDefaultGraphRecords = 3'000'000;
+
+/**
+ * A graph-analytics workload: one kernel over one generated graph.
+ */
+class GraphWorkload : public trace::TraceGenerator
+{
+  public:
+    /**
+     * @param kernel Kernel to run.
+     * @param label Workload name (paper input label, e.g.
+     *        "bfs_100000_16").
+     * @param vertices Vertex count (after scaling).
+     * @param avg_degree Average out-degree (after scaling).
+     * @param records Trace-length budget.
+     * @param seed Graph/workload seed.
+     */
+    GraphWorkload(GraphKernel kernel, std::string label,
+                  std::uint32_t vertices, unsigned avg_degree,
+                  std::size_t records, std::uint64_t seed);
+
+    std::string name() const override { return label; }
+    trace::Trace generate() override;
+    const trace::IndirectResolver *resolver() const override;
+
+    /** The kernel's colIndices-scan PC (the RPG2 prefetch kernel). */
+    PC edgeScanPc() const { return pcBase + 2 * 0x40; }
+
+  private:
+    GraphKernel kernel;
+    std::string label;
+    std::size_t budget;
+    std::uint64_t seed;
+    CsrGraph g;
+    PC pcBase;
+    Addr memBase;
+    std::unique_ptr<PcResolver> resolverPtr;
+
+    /** Traversal-restart state (deterministic per instance). */
+    std::uint32_t rootCounter = 0;
+    unsigned iteration = 0;
+
+    // Memory map of the kernel's data structures.
+    Addr offAddr(std::uint32_t v) const;
+    Addr edgeAddr(std::uint64_t e) const;
+    Addr dataAddr(std::uint32_t v, unsigned array = 0) const;
+    Addr queueAddr(std::uint64_t slot) const;
+
+    void emitBfs(trace::Trace &t);
+    void emitDfs(trace::Trace &t);
+    void emitSssp(trace::Trace &t);
+    void emitPageRank(trace::Trace &t);
+    void emitBc(trace::Trace &t);
+};
+
+/**
+ * Factory from a paper input label like "bfs_100000_16",
+ * "pagerank_100000_100", "bc_40000_10". Unknown labels abort.
+ */
+trace::GeneratorPtr makeGraphWorkload(
+    const std::string &label,
+    std::size_t records = kDefaultGraphRecords);
+
+} // namespace prophet::workloads::graph
+
+#endif // PROPHET_WORKLOADS_GRAPH_GRAPH_WORKLOADS_HH

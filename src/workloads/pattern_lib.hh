@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Building blocks for synthetic workload traces. Each Stream models
+ * one memory-access idiom the paper's evaluation exercises; a
+ * CompositeGenerator interleaves weighted streams into a whole
+ * workload trace.
+ *
+ * Streams construct real data structures (shuffled rings, index
+ * arrays) and walk them, so temporal prefetchers learn genuine
+ * address correlations rather than scripted outcomes:
+ *
+ *  - ChaseStream: pointer chasing over a shuffled ring, repeated
+ *    traversals (the classic temporal pattern; mcf/xalancbmk). An
+ *    optional per-round mutation rate degrades pattern stability.
+ *  - AlternatingStream: bursts of repeating traversal interleaved
+ *    with bursts of garbage from the same PC — the Figure 1 pattern
+ *    that defeats short-term confidence like Triangel's PatternConf.
+ *  - BranchingChaseStream: ring nodes with multiple successors taken
+ *    alternately — multi-target Markov nodes (Figure 8, the MVB's
+ *    reason to exist).
+ *  - IndirectStream: a[b[i]] with a stride or shuffled kernel; the
+ *    stride variant exposes an IndirectResolver (RPG2's sweet spot),
+ *    the shuffled variant models mcf-style computed kernels that
+ *    defeat software prefetching.
+ *  - StrideStream: dense sequential walk (L1 prefetcher fodder).
+ *  - NoiseStream: uniform random accesses, no temporal pattern —
+ *    metadata pollution that insertion filtering should reject.
+ */
+
+#ifndef PROPHET_WORKLOADS_PATTERN_LIB_HH
+#define PROPHET_WORKLOADS_PATTERN_LIB_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "trace/generator.hh"
+
+namespace prophet::workloads
+{
+
+/**
+ * One access-pattern engine. emit() appends the stream's next access
+ * (or short dependent group) to the trace.
+ */
+class Stream
+{
+  public:
+    virtual ~Stream() = default;
+
+    /** Append the next access(es). */
+    virtual void emit(trace::Trace &t) = 0;
+};
+
+/** Parameters shared by every stream. */
+struct StreamParams
+{
+    /** First PC assigned to the stream. */
+    PC pc = 0x400000;
+
+    /** Byte base of the stream's private address region. */
+    Addr regionBase = 1ull << 32;
+
+    /** Non-memory instructions between accesses. */
+    std::uint16_t instGap = 4;
+
+    /** RNG seed (streams are deterministic per seed). */
+    std::uint64_t seed = 1;
+};
+
+/** Pointer chasing over a shuffled ring of lines. */
+class ChaseStream : public Stream
+{
+  public:
+    /**
+     * @param nodes Ring length in cache lines.
+     * @param mutation_rate Fraction of successor links re-randomized
+     *        after every full traversal (0 = perfectly repeating).
+     */
+    ChaseStream(const StreamParams &params, std::size_t nodes,
+                double mutation_rate = 0.0);
+
+    void emit(trace::Trace &t) override;
+
+  private:
+    StreamParams prm;
+    double mutationRate;
+    std::vector<std::uint32_t> next; ///< successor permutation
+    std::uint32_t pos = 0;
+    std::size_t steps = 0;
+    Rng rng;
+};
+
+/** Figure 1 pattern: interleaved useful and useless bursts. */
+class AlternatingStream : public Stream
+{
+  public:
+    /**
+     * @param nodes Ring length of the useful (repeating) phase.
+     * @param useful_len Accesses per useful burst.
+     * @param useless_len Accesses per useless (random) burst.
+     * @param noise_lines Size of the garbage region in lines.
+     */
+    AlternatingStream(const StreamParams &params, std::size_t nodes,
+                      unsigned useful_len, unsigned useless_len,
+                      std::size_t noise_lines);
+
+    void emit(trace::Trace &t) override;
+
+  private:
+    StreamParams prm;
+    unsigned usefulLen;
+    unsigned uselessLen;
+    std::size_t noiseLines;
+    std::vector<std::uint32_t> next;
+    std::uint32_t pos = 0;
+    unsigned phasePos = 0;
+    bool inUseful = true;
+    Rng rng;
+};
+
+/** Ring with alternating multi-successor nodes. */
+class BranchingChaseStream : public Stream
+{
+  public:
+    /**
+     * @param nodes Ring length in lines.
+     * @param branch_fraction Fraction of nodes with a second
+     *        successor (taken on every other visit).
+     * @param three_way_fraction Fraction with a third successor.
+     */
+    BranchingChaseStream(const StreamParams &params, std::size_t nodes,
+                         double branch_fraction,
+                         double three_way_fraction = 0.0);
+
+    void emit(trace::Trace &t) override;
+
+  private:
+    StreamParams prm;
+    std::vector<std::array<std::uint32_t, 3>> succ;
+    std::vector<std::uint8_t> numSucc;
+    std::vector<std::uint8_t> visitCount;
+    std::uint32_t pos = 0;
+};
+
+/** a[b[i]] indirect access stream. */
+class IndirectStream : public Stream
+{
+  public:
+    /**
+     * @param kernel_len Length of the index array b.
+     * @param target_lines Size of the target region a, in lines.
+     * @param stride_kernel True: i advances by +1 (RPG2-supported);
+     *        false: i follows a shuffled permutation (computed
+     *        kernel, unsupported by software prefetching).
+     */
+    IndirectStream(const StreamParams &params, std::size_t kernel_len,
+                   std::size_t target_lines, bool stride_kernel);
+
+    void emit(trace::Trace &t) override;
+
+    /** Kernel-access PC (b[i]). */
+    PC kernelPc() const { return prm.pc; }
+
+    /** Indirect-access PC (a[b[i]]). */
+    PC targetPc() const { return prm.pc + 4; }
+
+    /** True when the kernel follows a stride. */
+    bool strideKernel() const { return strideMode; }
+
+    /**
+     * Resolve the indirect target at @p distance kernel iterations
+     * past the kernel access at @p kernel_addr (the software-prefetch
+     * address computation). Only valid for stride kernels.
+     */
+    std::optional<Addr> resolve(Addr kernel_addr,
+                                std::int64_t distance) const;
+
+  private:
+    StreamParams prm;
+    bool strideMode;
+    std::vector<std::uint32_t> indexArray;   ///< b
+    std::vector<std::uint32_t> order;        ///< traversal permutation
+    std::size_t targetLines;
+    std::size_t pos = 0;
+
+    Addr kernelAddr(std::size_t i) const;
+    Addr targetAddr(std::uint32_t index) const;
+};
+
+/** Dense sequential walk. */
+class StrideStream : public Stream
+{
+  public:
+    /**
+     * @param region_lines Lines walked before wrapping.
+     * @param stride Line stride per access.
+     */
+    StrideStream(const StreamParams &params, std::size_t region_lines,
+                 unsigned stride = 1);
+
+    void emit(trace::Trace &t) override;
+
+  private:
+    StreamParams prm;
+    std::size_t regionLines;
+    unsigned stride;
+    std::size_t pos = 0;
+};
+
+/** Uniform random accesses (no pattern). */
+class NoiseStream : public Stream
+{
+  public:
+    /** @param region_lines Region size in lines. */
+    NoiseStream(const StreamParams &params, std::size_t region_lines);
+
+    void emit(trace::Trace &t) override;
+
+  private:
+    StreamParams prm;
+    std::size_t regionLines;
+    Rng rng;
+};
+
+/**
+ * PC-dispatching IndirectResolver: workloads with stride-indexed
+ * indirect kernels register a resolver callback per kernel PC; RPG2
+ * queries it exactly as its inserted prefetch code would compute the
+ * address.
+ */
+class PcResolver : public trace::IndirectResolver
+{
+  public:
+    using ResolveFn =
+        std::function<std::optional<Addr>(Addr, std::int64_t)>;
+
+    /** Register @p fn as the resolver for kernel PC @p pc. */
+    void
+    registerKernel(PC pc, ResolveFn fn)
+    {
+        kernels[pc] = std::move(fn);
+    }
+
+    std::optional<Addr>
+    resolve(PC pc, Addr kernel_addr,
+            std::int64_t distance) const override
+    {
+        auto it = kernels.find(pc);
+        if (it == kernels.end())
+            return std::nullopt;
+        return it->second(kernel_addr, distance);
+    }
+
+    /** Number of registered kernel PCs. */
+    std::size_t size() const { return kernels.size(); }
+
+  private:
+    std::unordered_map<PC, ResolveFn> kernels;
+};
+
+/**
+ * Weighted interleaving of streams into one workload trace.
+ */
+class CompositeGenerator : public trace::TraceGenerator
+{
+  public:
+    /**
+     * @param name Workload name (figure labels).
+     * @param total_records Trace length in memory accesses.
+     * @param seed Scheduler seed.
+     */
+    CompositeGenerator(std::string name, std::size_t total_records,
+                       std::uint64_t seed);
+
+    /** Add a stream with a scheduling weight. */
+    void addStream(std::unique_ptr<Stream> stream, double weight);
+
+    /** Attach a resolver for RPG2-supported kernels. */
+    void
+    setResolver(std::unique_ptr<trace::IndirectResolver> r)
+    {
+        resolverPtr = std::move(r);
+    }
+
+    std::string name() const override { return label; }
+    trace::Trace generate() override;
+
+    const trace::IndirectResolver *
+    resolver() const override
+    {
+        return resolverPtr.get();
+    }
+
+  private:
+    std::string label;
+    std::size_t totalRecords;
+    Rng rng;
+    std::vector<std::unique_ptr<Stream>> streams;
+    std::vector<double> weights;
+    std::unique_ptr<trace::IndirectResolver> resolverPtr;
+};
+
+} // namespace prophet::workloads
+
+#endif // PROPHET_WORKLOADS_PATTERN_LIB_HH

@@ -1,0 +1,71 @@
+#include "workloads/registry.hh"
+
+#include "common/log.hh"
+#include "workloads/graph/graph_workloads.hh"
+#include "workloads/spec/spec.hh"
+
+namespace prophet::workloads
+{
+
+trace::GeneratorPtr
+makeWorkload(const std::string &name, std::size_t records)
+{
+    std::size_t n = records ? records : spec::kDefaultRecords;
+
+    if (name == "mcf")
+        return spec::makeMcf(n);
+    if (name == "omnetpp")
+        return spec::makeOmnetpp(n);
+    if (name == "sphinx3")
+        return spec::makeSphinx3(n);
+    if (name == "xalancbmk")
+        return spec::makeXalancbmk(n);
+    if (name.rfind("gcc_", 0) == 0)
+        return spec::makeGcc(name.substr(4), n);
+    if (name.rfind("astar_", 0) == 0)
+        return spec::makeAstar(name.substr(6), n);
+    if (name.rfind("soplex_", 0) == 0)
+        return spec::makeSoplex(name.substr(7), n);
+    if (name.rfind("bfs_", 0) == 0 || name.rfind("dfs_", 0) == 0
+        || name.rfind("sssp_", 0) == 0 || name.rfind("bc_", 0) == 0
+        || name.rfind("pagerank_", 0) == 0)
+        return graph::makeGraphWorkload(
+            name, records ? records : graph::kDefaultGraphRecords);
+
+    prophet_fatal("unknown workload name");
+}
+
+const std::vector<std::string> &
+specWorkloads()
+{
+    static const std::vector<std::string> names = {
+        "astar_biglakes", "gcc_166",       "mcf",     "omnetpp",
+        "soplex_pds-50",  "sphinx3",       "xalancbmk",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+graphWorkloads()
+{
+    static const std::vector<std::string> names = {
+        "bc_40000_10",        "bc_56384_8",    "bfs_100000_16",
+        "bfs_80000_8",        "bfs_90000_10",  "dfs_800000_800",
+        "dfs_900000_400",     "pagerank_100000_100",
+        "sssp_100000_5",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+gccInputs()
+{
+    static const std::vector<std::string> names = {
+        "gcc_166",    "gcc_200",    "gcc_cpdecl",
+        "gcc_expr",   "gcc_expr2",  "gcc_g23",
+        "gcc_s04",    "gcc_scilab", "gcc_typeck",
+    };
+    return names;
+}
+
+} // namespace prophet::workloads

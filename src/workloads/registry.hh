@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Name-based workload factory covering every workload label used in
+ * the paper's figures, so benches and tests can instantiate
+ * workloads uniformly.
+ */
+
+#ifndef PROPHET_WORKLOADS_REGISTRY_HH
+#define PROPHET_WORKLOADS_REGISTRY_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/generator.hh"
+
+namespace prophet::workloads
+{
+
+/**
+ * Instantiate a workload by its paper label ("mcf", "gcc_166",
+ * "astar_biglakes", "bfs_100000_16", ...). Aborts on unknown names.
+ *
+ * @param records Trace-length budget (0 = workload default).
+ */
+trace::GeneratorPtr makeWorkload(const std::string &name,
+                                 std::size_t records = 0);
+
+/** The seven SPEC workloads of Figures 10-12 and 16-19, in order. */
+const std::vector<std::string> &specWorkloads();
+
+/** The nine graph workloads of Figure 15, in order. */
+const std::vector<std::string> &graphWorkloads();
+
+/** The nine gcc inputs of Figure 13, in order. */
+const std::vector<std::string> &gccInputs();
+
+} // namespace prophet::workloads
+
+#endif // PROPHET_WORKLOADS_REGISTRY_HH

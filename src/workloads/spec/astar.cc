@@ -1,0 +1,66 @@
+/**
+ * @file
+ * astar-like workload, inputs "biglakes" and "rivers". Pathfinding
+ * mixes an open-list chase with map-tile scans; the paper notes
+ * astar is "sensitive to cache pollution and memory bandwidth
+ * wastage" (Section 5.6) — the stride component keeps the DRAM
+ * channel busy, so useless prefetched lines cost real bandwidth and
+ * over-aggressive multi-path prefetching backfires. The two inputs
+ * share the solver PCs but differ in map working-set size and chase
+ * stability (Figure 14's learning pair).
+ */
+
+#include "workloads/spec/spec.hh"
+
+#include "common/log.hh"
+#include "workloads/spec/spec_common.hh"
+
+namespace prophet::workloads::spec
+{
+
+trace::GeneratorPtr
+makeAstar(const std::string &input, std::size_t records)
+{
+    constexpr unsigned kId = 5;
+    bool biglakes = input == "biglakes";
+    if (!biglakes && input != "rivers")
+        prophet_fatal("astar input must be biglakes or rivers");
+
+    auto g = std::make_unique<CompositeGenerator>(
+        "astar_" + input, records, 0x617374ULL + (biglakes ? 0 : 1));
+
+    // Open-list chase: same PC under both inputs, different working
+    // set and stability (the Load E case of Figure 7).
+    g->addStream(std::make_unique<ChaseStream>(
+                     slotParams(kId, 0, 4),
+                     biglakes ? 20480 : 28672,
+                     biglakes ? 0.12 : 0.18),
+                 0.28);
+    // Map-tile scan: bandwidth pressure.
+    g->addStream(std::make_unique<StrideStream>(
+                     slotParams(kId, 1, 3),
+                     biglakes ? 65536 : 81920),
+                 0.30);
+    // Neighbour expansion: branching revisits.
+    g->addStream(std::make_unique<BranchingChaseStream>(
+                     slotParams(kId, 2, 4), 12288, 0.20),
+                 0.10);
+    // Heuristic-table probes: input-exclusive PCs (Loads B/C).
+    unsigned exclusive_slot = biglakes ? 3 : 4;
+    g->addStream(std::make_unique<ChaseStream>(
+                     slotParams(kId, exclusive_slot, 4), 8192, 0.06),
+                 0.07);
+    // Tie-breaking randomness.
+    g->addStream(std::make_unique<NoiseStream>(
+                     slotParams(kId, 5, 5), 65536),
+                 0.17);
+    // Nearly-dead reopened-node scan: borderline accuracy whose
+    // metadata pollutes the table and wastes bandwidth — keeping it
+    // (EL_ACC = 0.05) costs more than it covers (Figure 16(a)).
+    g->addStream(std::make_unique<ChaseStream>(
+                     slotParams(kId, 6, 4), 32768, 0.88),
+                 0.08);
+    return g;
+}
+
+} // namespace prophet::workloads::spec

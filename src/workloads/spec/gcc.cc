@@ -1,0 +1,101 @@
+/**
+ * @file
+ * gcc-like workload with nine inputs (166, 200, cpdecl, expr, expr2,
+ * g23, s04, scilab, typeck) — the learning evaluation's main subject
+ * (Figure 13). The stream structure realizes Figure 7's three cases:
+ *
+ *  - Load A: three compiler-core chase streams with identical PCs
+ *    and behaviour under every input (shared code paths).
+ *  - Loads B/C: an input-family-exclusive stream; inputs in the same
+ *    family (e.g. gcc_200 and gcc_expr, which the paper observes
+ *    "share similar memory access patterns") execute the same
+ *    exclusive PCs, other families execute disjoint ones.
+ *  - Load E: a context-sensitive stream with the *same* PC under all
+ *    inputs but input-dependent pattern stability, so hints learned
+ *    from one input can be wrong for another until Eq. 4's merge
+ *    converges.
+ */
+
+#include "workloads/spec/spec.hh"
+
+#include "common/log.hh"
+#include "workloads/spec/spec_common.hh"
+
+namespace prophet::workloads::spec
+{
+
+namespace
+{
+
+/** Per-input shape: exclusive-family slot + Load E stability. */
+struct GccInput
+{
+    const char *name;
+    unsigned familySlot;     ///< exclusive-stream slot (Loads B/C)
+    std::size_t familyNodes; ///< exclusive working set (lines)
+    double eMutation;        ///< Load E per-round mutation rate
+};
+
+constexpr GccInput kInputs[] = {
+    {"166",    10, 12288, 0.02},
+    {"200",    11, 16384, 0.40},
+    {"expr",   11, 16384, 0.40},
+    {"expr2",  12, 10240, 0.04},
+    {"cpdecl", 13, 14336, 0.45},
+    {"typeck", 13, 14336, 0.45},
+    {"g23",    14, 20480, 0.10},
+    {"scilab", 14, 20480, 0.12},
+    {"s04",    15,  8192, 0.30},
+};
+
+} // anonymous namespace
+
+trace::GeneratorPtr
+makeGcc(const std::string &input, std::size_t records)
+{
+    constexpr unsigned kId = 7;
+    const GccInput *in = nullptr;
+    for (const auto &cand : kInputs)
+        if (input == cand.name)
+            in = &cand;
+    if (!in)
+        prophet_fatal("unknown gcc input");
+
+    auto g = std::make_unique<CompositeGenerator>(
+        "gcc_" + input, records,
+        0x676363ULL + in->familySlot * 7 + input.size());
+
+    // Load A: shared compiler-core paths (RTL walk, symbol table,
+    // df-chain scan) at three distinct accuracy levels.
+    g->addStream(std::make_unique<ChaseStream>(
+                     slotParams(kId, 0, 4), 16384, 0.08),
+                 0.09);
+    g->addStream(std::make_unique<ChaseStream>(
+                     slotParams(kId, 1, 4), 12288, 0.15),
+                 0.09);
+    g->addStream(std::make_unique<ChaseStream>(
+                     slotParams(kId, 2, 5), 8192, 0.45),
+                 0.06);
+
+    // Loads B/C: input-family-exclusive pass.
+    g->addStream(std::make_unique<ChaseStream>(
+                     slotParams(kId, in->familySlot, 4),
+                     in->familyNodes, 0.06),
+                 0.14);
+
+    // Load E: same PC everywhere, input-dependent stability.
+    g->addStream(std::make_unique<ChaseStream>(
+                     slotParams(kId, 5, 4), 14336, in->eMutation),
+                 0.16);
+
+    // Token scan + allocator churn (pollution sensitivity).
+    g->addStream(std::make_unique<StrideStream>(
+                     slotParams(kId, 6, 3), 20480),
+                 0.13);
+    g->addStream(std::make_unique<NoiseStream>(
+                     slotParams(kId, 7, 5), 98304),
+                 0.33);
+    return g;
+}
+
+} // namespace prophet::workloads::spec

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * soplex-like workload, inputs "pds-50" and "ref". The simplex LP
+ * solver walks sparse-matrix rows whose element order repeats across
+ * pivots but alternates between column orderings — the multi-target
+ * Markov pattern the Multi-path Victim Buffer targets (soplex gains
+ * 13.46% from the MVB in Figure 19). Its sparse index computations
+ * are RPG2-opaque (the paper sets RPG2's accuracy to 0 here: "RPG2
+ * does not identify qualified prefetch kernels for mcf, omnetpp, and
+ * soplex").
+ */
+
+#include "workloads/spec/spec.hh"
+
+#include "common/log.hh"
+#include "workloads/spec/spec_common.hh"
+
+namespace prophet::workloads::spec
+{
+
+trace::GeneratorPtr
+makeSoplex(const std::string &input, std::size_t records)
+{
+    constexpr unsigned kId = 6;
+    bool pds = input == "pds-50" || input == "pds";
+    if (!pds && input != "ref")
+        prophet_fatal("soplex input must be pds-50 or ref");
+
+    auto g = std::make_unique<CompositeGenerator>(
+        "soplex_" + std::string(pds ? "pds-50" : "ref"), records,
+        0x736f70ULL + (pds ? 0 : 1));
+
+    // Sparse-row walk with alternating successors: MVB showcase.
+    g->addStream(std::make_unique<BranchingChaseStream>(
+                     slotParams(kId, 0, 4),
+                     pds ? 32768 : 24576,
+                     /*branch_fraction=*/0.35,
+                     /*three_way_fraction=*/0.10),
+                 0.33);
+    // Column-index indirect walk, computed kernel.
+    g->addStream(std::make_unique<IndirectStream>(
+                     slotParams(kId, 1, 4), 24576, 24576,
+                     /*stride_kernel=*/false),
+                 0.20);
+    // Dense vector sweep (pricing).
+    g->addStream(std::make_unique<StrideStream>(
+                     slotParams(kId, 2, 3), 24576),
+                 0.15);
+    // Input-exclusive basis-update chase (Loads B/C of Figure 7).
+    unsigned exclusive_slot = pds ? 3 : 4;
+    g->addStream(std::make_unique<ChaseStream>(
+                     slotParams(kId, exclusive_slot, 4),
+                     pds ? 12288 : 16384, pds ? 0.04 : 0.09),
+                 0.08);
+    // Pricing scatter: no temporal structure.
+    g->addStream(std::make_unique<NoiseStream>(
+                     slotParams(kId, 5, 5), 131072),
+                 0.24);
+    return g;
+}
+
+} // namespace prophet::workloads::spec

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Factories for the SPEC-CPU-like synthetic workloads used across
+ * the paper's figures. Each factory returns a CompositeGenerator
+ * whose streams reproduce the benchmark's documented memory
+ * behaviour (see per-file comments); gcc/astar/soplex take an input
+ * label because Prophet's learning evaluation (Figures 13/14)
+ * exercises multiple inputs per application.
+ */
+
+#ifndef PROPHET_WORKLOADS_SPEC_SPEC_HH
+#define PROPHET_WORKLOADS_SPEC_SPEC_HH
+
+#include <cstddef>
+#include <string>
+
+#include "trace/generator.hh"
+
+namespace prophet::workloads::spec
+{
+
+/** Default trace length for SPEC-like workloads. */
+constexpr std::size_t kDefaultRecords = 1'200'000;
+
+/** mcf: repeated pointer chasing over arc lists. */
+trace::GeneratorPtr makeMcf(std::size_t records = kDefaultRecords);
+
+/** omnetpp: event-queue churn with interleaved useful/useless. */
+trace::GeneratorPtr makeOmnetpp(std::size_t records = kDefaultRecords);
+
+/**
+ * gcc with one of nine inputs: 166, 200, cpdecl, expr, expr2, g23,
+ * s04, scilab, typeck.
+ */
+trace::GeneratorPtr makeGcc(const std::string &input,
+                            std::size_t records = kDefaultRecords);
+
+/** astar with input "biglakes" or "rivers". */
+trace::GeneratorPtr makeAstar(const std::string &input,
+                              std::size_t records = kDefaultRecords);
+
+/** soplex with input "pds-50" or "ref". */
+trace::GeneratorPtr makeSoplex(const std::string &input,
+                               std::size_t records = kDefaultRecords);
+
+/** sphinx3: small temporal working set (resizing showcase). */
+trace::GeneratorPtr makeSphinx3(std::size_t records = kDefaultRecords);
+
+/** xalancbmk: DOM-tree pointer chasing. */
+trace::GeneratorPtr makeXalancbmk(std::size_t records =
+                                      kDefaultRecords);
+
+} // namespace prophet::workloads::spec
+
+#endif // PROPHET_WORKLOADS_SPEC_SPEC_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Shared plumbing for the SPEC-like workload factories: stable
+ * PC/region assignment per stream slot so that the same logical
+ * stream keeps the same PC across workload inputs (the property
+ * Prophet's learning step depends on — Figure 7's Load A/E cases
+ * require PC stability across inputs).
+ */
+
+#ifndef PROPHET_WORKLOADS_SPEC_SPEC_COMMON_HH
+#define PROPHET_WORKLOADS_SPEC_SPEC_COMMON_HH
+
+#include "workloads/pattern_lib.hh"
+
+namespace prophet::workloads::spec
+{
+
+/**
+ * StreamParams for logical stream slot @p slot of the workload with
+ * id @p workload_id. PCs and regions are disjoint across slots and
+ * workloads, and deterministic.
+ */
+inline StreamParams
+slotParams(unsigned workload_id, unsigned slot,
+           std::uint16_t inst_gap = 4)
+{
+    StreamParams p;
+    p.pc = 0x400000 + static_cast<PC>(workload_id) * 0x10000
+        + static_cast<PC>(slot) * 0x40;
+    p.regionBase = (Addr{1} << 36)
+        + (static_cast<Addr>(workload_id) << 30) * 16
+        + (static_cast<Addr>(slot) << 28);
+    // SPEC workloads retire substantial compute between irregular
+    // accesses; the scale factor keeps simulated IPC and speedups in
+    // the range the paper's gem5 runs report.
+    p.instGap = static_cast<std::uint16_t>(inst_gap * 10);
+    p.seed = 0x5eed0000ULL + workload_id * 131 + slot;
+    return p;
+}
+
+} // namespace prophet::workloads::spec
+
+#endif // PROPHET_WORKLOADS_SPEC_SPEC_COMMON_HH

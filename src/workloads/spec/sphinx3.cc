@@ -1,0 +1,45 @@
+/**
+ * @file
+ * sphinx3-like workload. Speech decoding touches a compact set of
+ * language-model structures: the temporal working set is well under
+ * the 1 MB metadata maximum ("sphinx3, which requires less than 1 MB
+ * of metadata table", Section 5.9), so Prophet's profile-guided
+ * resizing shrinks the table and returns LLC ways to demand data —
+ * the resizing feature's showcase. The rest of the mix is
+ * stride-friendly acoustic scoring.
+ */
+
+#include "workloads/spec/spec.hh"
+
+#include "workloads/spec/spec_common.hh"
+
+namespace prophet::workloads::spec
+{
+
+trace::GeneratorPtr
+makeSphinx3(std::size_t records)
+{
+    constexpr unsigned kId = 3;
+    auto g = std::make_unique<CompositeGenerator>("sphinx3", records,
+                                                  0x737068ULL);
+    // Small, highly repetitive lexicon chase (< one table way).
+    g->addStream(std::make_unique<ChaseStream>(
+                     slotParams(kId, 0, 4), 6144, 0.01),
+                 0.45);
+    // Acoustic feature scan: dense strides, L1 prefetcher fodder,
+    // and LLC capacity pressure that freed ways relieve.
+    g->addStream(std::make_unique<StrideStream>(
+                     slotParams(kId, 1, 3), 49152),
+                 0.35);
+    // HMM state walk: small branching chase.
+    g->addStream(std::make_unique<BranchingChaseStream>(
+                     slotParams(kId, 2, 4), 4096, 0.10),
+                 0.15);
+    // Scatter lookups into the senone table.
+    g->addStream(std::make_unique<NoiseStream>(
+                     slotParams(kId, 3, 5), 32768),
+                 0.05);
+    return g;
+}
+
+} // namespace prophet::workloads::spec

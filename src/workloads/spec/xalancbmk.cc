@@ -1,0 +1,47 @@
+/**
+ * @file
+ * xalancbmk-like workload. XSLT processing walks DOM trees whose
+ * node layout is pointer-linked and re-traversed per template match:
+ * medium-sized chase patterns with some multi-successor nodes
+ * (elements visited via different axes) and a computed-kernel
+ * indirect component (string-table lookups).
+ */
+
+#include "workloads/spec/spec.hh"
+
+#include "workloads/spec/spec_common.hh"
+
+namespace prophet::workloads::spec
+{
+
+trace::GeneratorPtr
+makeXalancbmk(std::size_t records)
+{
+    constexpr unsigned kId = 4;
+    auto g = std::make_unique<CompositeGenerator>("xalancbmk", records,
+                                                  0x78616cULL);
+    // DOM traversal: the dominant chase.
+    g->addStream(std::make_unique<ChaseStream>(
+                     slotParams(kId, 0, 4), 40960, 0.05),
+                 0.30);
+    // Axis-dependent revisits: branching chase.
+    g->addStream(std::make_unique<BranchingChaseStream>(
+                     slotParams(kId, 1, 4), 10240, 0.15),
+                 0.14);
+    // String-table lookups: computed kernel, RPG2-opaque.
+    g->addStream(std::make_unique<IndirectStream>(
+                     slotParams(kId, 2, 4), 16384, 16384,
+                     /*stride_kernel=*/false),
+                 0.15);
+    // Output buffer stride writes modelled as accesses.
+    g->addStream(std::make_unique<StrideStream>(
+                     slotParams(kId, 3, 3), 12288),
+                 0.10);
+    // Allocator churn.
+    g->addStream(std::make_unique<NoiseStream>(
+                     slotParams(kId, 4, 5), 98304),
+                 0.31);
+    return g;
+}
+
+} // namespace prophet::workloads::spec

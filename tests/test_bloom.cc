@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the counting Bloom filter behind Triage's resizing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/bloom.hh"
+
+namespace prophet::pf
+{
+namespace
+{
+
+TEST(Bloom, NoFalseNegatives)
+{
+    BloomFilter b(1 << 12, 4);
+    for (std::uint64_t k = 0; k < 500; ++k)
+        b.insert(k * 977 + 13);
+    for (std::uint64_t k = 0; k < 500; ++k)
+        EXPECT_TRUE(b.mayContain(k * 977 + 13));
+}
+
+TEST(Bloom, MostlyRejectsAbsentKeys)
+{
+    BloomFilter b(1 << 14, 4);
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        b.insert(k);
+    int false_pos = 0;
+    for (std::uint64_t k = 1'000'000; k < 1'010'000; ++k)
+        if (b.mayContain(k))
+            ++false_pos;
+    EXPECT_LT(false_pos, 200); // < 2%
+}
+
+TEST(Bloom, CardinalityEstimateAccurate)
+{
+    BloomFilter b(1 << 16, 4);
+    for (std::uint64_t k = 0; k < 20000; ++k)
+        b.insert(k * 2654435761ULL);
+    double est = b.estimateCardinality();
+    EXPECT_NEAR(est, 20000.0, 20000.0 * 0.05);
+}
+
+TEST(Bloom, EstimateIgnoresDuplicates)
+{
+    BloomFilter b(1 << 14, 4);
+    for (int rep = 0; rep < 10; ++rep)
+        for (std::uint64_t k = 0; k < 100; ++k)
+            if (!b.mayContain(k))
+                b.insert(k);
+    EXPECT_NEAR(b.estimateCardinality(), 100.0, 15.0);
+}
+
+TEST(Bloom, RemoveRestoresAbsence)
+{
+    BloomFilter b(1 << 12, 4);
+    b.insert(42);
+    EXPECT_TRUE(b.mayContain(42));
+    b.remove(42);
+    EXPECT_FALSE(b.mayContain(42));
+}
+
+TEST(Bloom, ClearEmptiesFilter)
+{
+    BloomFilter b(1 << 12, 4);
+    for (std::uint64_t k = 0; k < 100; ++k)
+        b.insert(k);
+    b.clear();
+    EXPECT_DOUBLE_EQ(b.estimateCardinality(), 0.0);
+    EXPECT_FALSE(b.mayContain(5));
+}
+
+TEST(Bloom, StorageBitsMatchGeometry)
+{
+    BloomFilter b(1 << 18, 4);
+    // 2^18 counters x 4 bits: the >200 KB the paper cites for
+    // tracking ~200K entries (Section 2.1.3).
+    EXPECT_EQ(b.storageBits(), (1ull << 18) * 4);
+    EXPECT_GT(b.storageBits() / 8 / 1024, 100u); // > 100 KB
+}
+
+} // anonymous namespace
+} // namespace prophet::pf

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the DRAM model: latency, channel bandwidth
+ * contention (Figure 18's axis), and traffic counters (Figure 11).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+
+namespace prophet::mem
+{
+namespace
+{
+
+TEST(Dram, ReadLatency)
+{
+    Dram d(DramConfig{150, 8, 1});
+    EXPECT_EQ(d.read(100, false), 250u);
+}
+
+TEST(Dram, BackToBackReadsQueueOnOneChannel)
+{
+    Dram d(DramConfig{150, 8, 1});
+    Cycle first = d.read(0, false);
+    Cycle second = d.read(0, false);
+    EXPECT_EQ(first, 150u);
+    EXPECT_EQ(second, 158u); // delayed by channel occupancy
+}
+
+TEST(Dram, TwoChannelsAbsorbTwoRequests)
+{
+    Dram d(DramConfig{150, 8, 2});
+    Cycle first = d.read(0, false);
+    Cycle second = d.read(0, false);
+    EXPECT_EQ(first, 150u);
+    EXPECT_EQ(second, 150u); // second channel, no delay
+    Cycle third = d.read(0, false);
+    EXPECT_EQ(third, 158u);
+}
+
+TEST(Dram, WritesConsumeBandwidth)
+{
+    Dram d(DramConfig{150, 8, 1});
+    d.write(0);
+    Cycle read = d.read(0, false);
+    EXPECT_EQ(read, 158u); // delayed behind the write burst
+}
+
+TEST(Dram, TrafficCounters)
+{
+    Dram d(DramConfig{});
+    d.read(0, false);
+    d.read(0, true);
+    d.read(0, true);
+    d.write(0);
+    EXPECT_EQ(d.stats().reads, 3u);
+    EXPECT_EQ(d.stats().prefetchReads, 2u);
+    EXPECT_EQ(d.stats().writes, 1u);
+    EXPECT_EQ(d.stats().total(), 4u);
+    d.resetStats();
+    EXPECT_EQ(d.stats().total(), 0u);
+}
+
+TEST(Dram, IdleChannelRecovers)
+{
+    Dram d(DramConfig{150, 8, 1});
+    d.read(0, false);
+    // Long after the burst, no queueing remains.
+    EXPECT_EQ(d.read(1000, false), 1150u);
+}
+
+/** Property: with more channels, total queueing never increases. */
+class ChannelSweep : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(ChannelSweep, MoreChannelsNeverSlower)
+{
+    unsigned channels = GetParam();
+    Dram narrow(DramConfig{150, 8, 1});
+    Dram wide(DramConfig{150, 8, channels});
+    Cycle last_narrow = 0, last_wide = 0;
+    for (int i = 0; i < 64; ++i) {
+        last_narrow = narrow.read(0, false);
+        last_wide = wide.read(0, false);
+    }
+    EXPECT_LE(last_wide, last_narrow);
+}
+
+INSTANTIATE_TEST_SUITE_P(Channels, ChannelSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+} // anonymous namespace
+} // namespace prophet::mem

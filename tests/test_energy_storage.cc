@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the energy (Section 5.11) and storage-overhead
+ * (Section 5.10) accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/energy.hh"
+#include "sim/storage.hh"
+
+namespace prophet::sim
+{
+namespace
+{
+
+TEST(Energy, DramDominatesAtPaperRatio)
+{
+    RunStats s;
+    s.l1Accesses = 1000;
+    s.l2Accesses = 100;
+    s.llcAccesses = 100;
+    s.dramReads = 100;
+    s.dramWrites = 0;
+    auto r = memoryEnergy(s);
+    // DRAM = 25x LLC per access (Section 5.11).
+    EXPECT_DOUBLE_EQ(r.dramNj / r.llcNj, 25.0);
+    EXPECT_GT(r.dramNj, r.totalNj() * 0.5);
+}
+
+TEST(Energy, MetadataCountsLookupsAndWrites)
+{
+    RunStats s;
+    s.markov.lookups = 10;
+    s.markov.inserts = 5;
+    s.markov.updates = 5;
+    auto r = memoryEnergy(s);
+    EXPECT_DOUBLE_EQ(r.metadataNj, 20.0 * 1.0);
+}
+
+TEST(Energy, ZeroRunZeroEnergy)
+{
+    RunStats s;
+    EXPECT_DOUBLE_EQ(memoryEnergy(s).totalNj(), 0.0);
+}
+
+TEST(Energy, ParamsScaleLinearly)
+{
+    RunStats s;
+    s.dramReads = 10;
+    EnergyParams p;
+    p.dramAccessNj = 50.0;
+    EXPECT_DOUBLE_EQ(memoryEnergy(s, p).dramNj, 500.0);
+}
+
+TEST(Storage, ProphetBreakdownMatchesSection510)
+{
+    auto items = prophetStorage();
+    ASSERT_EQ(items.size(), 3u);
+    // Replacement state: 196,608 entries x 2 bits = 48 KB.
+    EXPECT_NEAR(items[0].kib(), 48.0, 0.01);
+    // Hint buffer ~ 0.19 KB.
+    EXPECT_NEAR(items[1].kib(), 0.19, 0.15);
+    // MVB: 65,536 x 43 bits ~ 344 KB.
+    EXPECT_NEAR(items[2].kib(), 344.0, 1.0);
+}
+
+TEST(Storage, TriageCitesHawkeyeAndBloomCosts)
+{
+    auto items = triageStorage();
+    // Section 2.1: Hawkeye ~13 KB, Bloom filter > 200 KB.
+    EXPECT_NEAR(items[0].kib(), 13.0, 0.01);
+    EXPECT_GE(items[1].kib(), 200.0);
+}
+
+TEST(Storage, TriangelCheaperManagementThanTriage)
+{
+    // Triangel replaced Hawkeye+Bloom with SRRIP+Dueller to cut
+    // management storage (Section 2.1).
+    auto triage = totalBits(triageStorage());
+    auto triangel = totalBits(triangelStorage());
+    EXPECT_LT(triangel, triage);
+}
+
+TEST(Storage, TotalsSum)
+{
+    std::vector<StorageItem> items{{"a", 8}, {"b", 16}};
+    EXPECT_EQ(totalBits(items), 24u);
+}
+
+TEST(Storage, ScalesWithConfiguration)
+{
+    auto small = prophetStorage(196608, 2, 128, 1024);
+    auto big = prophetStorage(196608, 2, 128, 65536);
+    EXPECT_LT(totalBits(small), totalBits(big));
+    auto n3 = prophetStorage(196608, 3, 128, 65536);
+    EXPECT_GT(totalBits(n3), totalBits(big));
+}
+
+} // anonymous namespace
+} // namespace prophet::sim

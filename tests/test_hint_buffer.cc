@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the 128-entry hint buffer (Section 4.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hint_buffer.hh"
+
+namespace prophet::core
+{
+namespace
+{
+
+TEST(HintBuffer, InstallAndLookup)
+{
+    HintBuffer hb(128);
+    EXPECT_TRUE(hb.install(0x400, Hint{true, 2}));
+    auto h = hb.lookup(0x400);
+    ASSERT_TRUE(h.has_value());
+    EXPECT_TRUE(h->allowInsert);
+    EXPECT_EQ(h->priority, 2);
+}
+
+TEST(HintBuffer, MissingPcReturnsNothing)
+{
+    HintBuffer hb(128);
+    EXPECT_FALSE(hb.lookup(0x999).has_value());
+}
+
+TEST(HintBuffer, CapacityEnforced)
+{
+    HintBuffer hb(2);
+    EXPECT_TRUE(hb.install(1, {}));
+    EXPECT_TRUE(hb.install(2, {}));
+    EXPECT_FALSE(hb.install(3, {}));
+    EXPECT_EQ(hb.size(), 2u);
+    EXPECT_FALSE(hb.lookup(3).has_value());
+}
+
+TEST(HintBuffer, ReinstallUpdatesInPlace)
+{
+    HintBuffer hb(1);
+    hb.install(1, Hint{true, 0});
+    EXPECT_TRUE(hb.install(1, Hint{false, 3}));
+    auto h = hb.lookup(1);
+    ASSERT_TRUE(h.has_value());
+    EXPECT_FALSE(h->allowInsert);
+    EXPECT_EQ(h->priority, 3);
+    EXPECT_EQ(hb.size(), 1u);
+}
+
+TEST(HintBuffer, ClearEmpties)
+{
+    HintBuffer hb(8);
+    hb.install(1, {});
+    hb.clear();
+    EXPECT_EQ(hb.size(), 0u);
+    EXPECT_TRUE(hb.install(2, {}));
+}
+
+TEST(HintBuffer, StorageMatchesPaperQuote)
+{
+    // 128 entries at 19 bits each ~ 0.19 KB (Section 5.10).
+    HintBuffer hb(128);
+    double kib = static_cast<double>(hb.storageBits()) / 8.0 / 1024.0;
+    EXPECT_NEAR(kib, 0.19, 0.15);
+}
+
+TEST(HintBuffer, IterationCoversAllEntries)
+{
+    HintBuffer hb(16);
+    for (PC pc = 0; pc < 5; ++pc)
+        hb.install(pc, Hint{true, static_cast<std::uint8_t>(pc % 4)});
+    std::size_t n = 0;
+    for (const auto &kv : hb) {
+        (void)kv;
+        ++n;
+    }
+    EXPECT_EQ(n, 5u);
+}
+
+} // anonymous namespace
+} // namespace prophet::core

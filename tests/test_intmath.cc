@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for common/intmath.hh — the helpers behind cache
+ * geometry and Prophet's Eq. 3 rounding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/intmath.hh"
+#include "common/types.hh"
+
+namespace prophet
+{
+namespace
+{
+
+TEST(IntMath, PowerOfTwoDetection)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+}
+
+TEST(IntMath, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(196608), 17u);
+}
+
+TEST(IntMath, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(2048), 11u);
+    EXPECT_EQ(ceilLog2(2049), 12u);
+}
+
+TEST(IntMath, NextPowerOf2)
+{
+    EXPECT_EQ(nextPowerOf2(1), 1ull);
+    EXPECT_EQ(nextPowerOf2(3), 4ull);
+    EXPECT_EQ(nextPowerOf2(4), 4ull);
+    EXPECT_EQ(nextPowerOf2(100000), 131072ull);
+}
+
+TEST(IntMath, RoundNearestPowerOf2TiesUp)
+{
+    EXPECT_EQ(roundNearestPowerOf2(0), 0ull);
+    EXPECT_EQ(roundNearestPowerOf2(1), 1ull);
+    EXPECT_EQ(roundNearestPowerOf2(5), 4ull);
+    EXPECT_EQ(roundNearestPowerOf2(6), 8ull);  // tie rounds up
+    EXPECT_EQ(roundNearestPowerOf2(7), 8ull);
+    EXPECT_EQ(roundNearestPowerOf2(12), 16ull); // tie rounds up
+    EXPECT_EQ(roundNearestPowerOf2(11), 8ull);
+}
+
+TEST(IntMath, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0ull);
+    EXPECT_EQ(divCeil(1, 4), 1ull);
+    EXPECT_EQ(divCeil(4, 4), 1ull);
+    EXPECT_EQ(divCeil(5, 4), 2ull);
+    // Eq. 3 use case: entries / entries-per-way.
+    EXPECT_EQ(divCeil(196608, 24576), 8ull);
+    EXPECT_EQ(divCeil(24577, 24576), 2ull);
+}
+
+/** Property sweep: round-nearest never moves more than half away. */
+class RoundNearestSweep : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(RoundNearestSweep, WithinHalfOfInput)
+{
+    std::uint64_t n = GetParam();
+    std::uint64_t r = roundNearestPowerOf2(n);
+    EXPECT_TRUE(isPowerOf2(r));
+    double ratio = static_cast<double>(r) / static_cast<double>(n);
+    EXPECT_GE(ratio, 0.5);
+    EXPECT_LE(ratio, 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, RoundNearestSweep,
+    ::testing::Values(1, 2, 3, 5, 9, 17, 100, 1000, 4097, 100000,
+                      196608, 1000000));
+
+TEST(Types, LineAddressHelpers)
+{
+    EXPECT_EQ(lineAddr(0), 0ull);
+    EXPECT_EQ(lineAddr(63), 0ull);
+    EXPECT_EQ(lineAddr(64), 1ull);
+    EXPECT_EQ(lineToByte(lineAddr(12345)), alignToLine(12345));
+    EXPECT_EQ(alignToLine(127), 64ull);
+}
+
+} // anonymous namespace
+} // namespace prophet

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for Prophet's learning step (Section 4.3): the Eq. 4
+ * merge across inputs — the Load A / Load C / Load E cases of
+ * Figure 7 — and the Eq. 5 max-merge of allocated entries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/learner.hh"
+
+namespace prophet::core
+{
+namespace
+{
+
+ProfileSnapshot
+snapWith(PC pc, double acc, std::uint64_t entries = 1000)
+{
+    ProfileSnapshot s;
+    s.perPc[pc] = {acc, 1000, 1000};
+    s.allocatedEntries = entries;
+    return s;
+}
+
+TEST(Learner, FirstSnapshotAdopted)
+{
+    Learner l;
+    l.learn(snapWith(1, 0.8, 5000));
+    EXPECT_EQ(l.loops(), 1u);
+    EXPECT_DOUBLE_EQ(l.merged().perPc.at(1).accuracy, 0.8);
+    EXPECT_EQ(l.merged().allocatedEntries, 5000u);
+}
+
+TEST(Learner, LoadACaseStableHint)
+{
+    // Same PC, same behaviour under both inputs: the merged accuracy
+    // stays in the same Eq. 1/Eq. 2 band.
+    Learner l;
+    l.learn(snapWith(1, 0.80));
+    l.learn(snapWith(1, 0.82));
+    double merged = l.merged().perPc.at(1).accuracy;
+    EXPECT_GE(merged, 0.75); // still priority level 3
+    EXPECT_LE(merged, 0.82);
+}
+
+TEST(Learner, LoadCCaseNewPcAdopted)
+{
+    // A PC first seen under input Y adopts the new counters outright
+    // (second branch of Eq. 4).
+    Learner l;
+    l.learn(snapWith(1, 0.8));
+    l.learn(snapWith(2, 0.3));
+    EXPECT_DOUBLE_EQ(l.merged().perPc.at(2).accuracy, 0.3);
+    EXPECT_TRUE(l.merged().perPc.count(1));
+}
+
+TEST(Learner, LoadECaseMovesTowardNewObservation)
+{
+    // Same PC, different behaviour: the estimate moves by
+    // (n - o) / min(l + 1, L); with l = 1 the weight is 1/2.
+    Learner l(4);
+    l.learn(snapWith(1, 0.9));
+    l.learn(snapWith(1, 0.1));
+    EXPECT_NEAR(l.merged().perPc.at(1).accuracy, 0.5, 1e-9);
+}
+
+TEST(Learner, LoopCapLimitsForgetting)
+{
+    // After many loops the weight floors at 1/L, so frequently
+    // observed values keep influencing the estimate.
+    Learner l(4);
+    for (int i = 0; i < 10; ++i)
+        l.learn(snapWith(1, 0.8));
+    l.learn(snapWith(1, 0.0));
+    // Weight is 1/4: estimate drops from 0.8 to 0.6, not to 0.
+    EXPECT_NEAR(l.merged().perPc.at(1).accuracy, 0.6, 1e-9);
+}
+
+TEST(Learner, RepeatedObservationConverges)
+{
+    // The dominant behaviour wins over time ("frequently observed
+    // counter values dominate merged results").
+    Learner l(4);
+    l.learn(snapWith(1, 0.0));
+    for (int i = 0; i < 12; ++i)
+        l.learn(snapWith(1, 0.8));
+    EXPECT_GT(l.merged().perPc.at(1).accuracy, 0.7);
+}
+
+TEST(Learner, Eq5TakesMaxEntries)
+{
+    Learner l;
+    l.learn(snapWith(1, 0.5, 30000));
+    l.learn(snapWith(1, 0.5, 10000));
+    EXPECT_EQ(l.merged().allocatedEntries, 30000u);
+    l.learn(snapWith(1, 0.5, 90000));
+    EXPECT_EQ(l.merged().allocatedEntries, 90000u);
+}
+
+TEST(Learner, ResetForgets)
+{
+    Learner l;
+    l.learn(snapWith(1, 0.5));
+    l.reset();
+    EXPECT_EQ(l.loops(), 0u);
+    EXPECT_TRUE(l.merged().perPc.empty());
+}
+
+TEST(Learner, MultiPcMergeIndependent)
+{
+    Learner l(4);
+    ProfileSnapshot a;
+    a.perPc[1] = {0.8, 100, 100};
+    a.perPc[2] = {0.2, 100, 100};
+    l.learn(a);
+    ProfileSnapshot b;
+    b.perPc[1] = {0.8, 100, 100};
+    b.perPc[2] = {0.6, 100, 100};
+    l.learn(b);
+    EXPECT_NEAR(l.merged().perPc.at(1).accuracy, 0.8, 1e-9);
+    EXPECT_NEAR(l.merged().perPc.at(2).accuracy, 0.4, 1e-9);
+}
+
+} // anonymous namespace
+} // namespace prophet::core

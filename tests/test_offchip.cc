@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the off-chip-metadata temporal prefetchers (STMS
+ * and Domino) and their metadata-traffic accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/domino.hh"
+#include "prefetch/stms.hh"
+
+namespace prophet::pf
+{
+namespace
+{
+
+template <typename Pf>
+std::vector<PrefetchRequest>
+observe(Pf &pf, PC pc, Addr line, bool hit = false)
+{
+    std::vector<PrefetchRequest> out;
+    pf.observe(pc, line, hit, 0, out);
+    return out;
+}
+
+TEST(Stms, ReplaysHistoryAfterRepeat)
+{
+    StmsPrefetcher pf(StmsConfig{1024, 3, 16, false});
+    for (Addr a : {10, 20, 30, 40})
+        observe(pf, 1, a);
+    auto out = observe(pf, 1, 10); // 10 recurs: replay 20,30,40
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].lineAddr, 20u);
+    EXPECT_EQ(out[1].lineAddr, 30u);
+    EXPECT_EQ(out[2].lineAddr, 40u);
+}
+
+TEST(Stms, ColdAddressPredictsNothing)
+{
+    StmsPrefetcher pf;
+    auto out = observe(pf, 1, 99);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Stms, TrainOnMissesOnlyRespected)
+{
+    StmsPrefetcher pf(StmsConfig{1024, 2, 16, true});
+    observe(pf, 1, 10, /*hit=*/true); // ignored
+    observe(pf, 1, 20, false);
+    auto out = observe(pf, 1, 10, false);
+    // 10 was never recorded, so nothing to replay.
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Stms, MetadataTrafficAccumulates)
+{
+    StmsPrefetcher pf(StmsConfig{1024, 2, 16, false});
+    for (Addr a = 0; a < 100; ++a)
+        observe(pf, 1, a);
+    // Every append writes the index table; history spills per line.
+    EXPECT_GE(pf.metadataStats().metadataWrites, 100u);
+    observe(pf, 1, 0); // a hit in the index: reads charged
+    EXPECT_GE(pf.metadataStats().metadataReads, 1u);
+}
+
+TEST(Stms, HistoryWrapsWithoutCrashing)
+{
+    StmsPrefetcher pf(StmsConfig{64, 2, 16, false});
+    for (Addr a = 0; a < 500; ++a)
+        observe(pf, 1, a % 90);
+    EXPECT_EQ(pf.historySize(), 64u);
+}
+
+TEST(Stms, OccupiesNoLlcWays)
+{
+    StmsPrefetcher pf;
+    EXPECT_EQ(pf.metadataWays(), 0u);
+}
+
+TEST(Domino, PairIndexDisambiguatesStreams)
+{
+    // Two streams share address B with different successors:
+    // (A,B,C) and (X,B,D). Single-address indexing confuses them;
+    // the pair index keeps them apart.
+    DominoPrefetcher pf(DominoConfig{1024, 1, 16, false});
+    // Stream 1: A B C, twice so the pairs are indexed.
+    for (int r = 0; r < 2; ++r)
+        for (Addr a : {100, 200, 300}) // A B C
+            observe(pf, 1, a);
+    // Stream 2: X B D, twice.
+    for (int r = 0; r < 2; ++r)
+        for (Addr a : {900, 200, 400}) // X B D
+            observe(pf, 1, a);
+
+    // Now replay stream 1's prefix: after (A, B) Domino must predict
+    // C, not D, despite B's latest single-index position preceding D.
+    observe(pf, 1, 100);
+    auto out = observe(pf, 1, 200);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0].lineAddr, 300u);
+
+    // And after (X, B) it must predict D.
+    observe(pf, 1, 900);
+    auto out2 = observe(pf, 1, 200);
+    ASSERT_FALSE(out2.empty());
+    EXPECT_EQ(out2[0].lineAddr, 400u);
+}
+
+TEST(Domino, FallsBackToSingleIndexWhenPairCold)
+{
+    DominoPrefetcher pf(DominoConfig{1024, 2, 16, false});
+    for (Addr a : {10, 20, 30})
+        observe(pf, 1, a);
+    // A fresh predecessor (99, 10) has no pair entry, but 10's
+    // single-address entry still replays 20, 30.
+    observe(pf, 1, 99);
+    auto out = observe(pf, 1, 10);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].lineAddr, 20u);
+}
+
+TEST(Domino, MetadataTrafficChargedPerLookup)
+{
+    DominoPrefetcher pf(DominoConfig{1024, 1, 16, false});
+    observe(pf, 1, 1);
+    observe(pf, 1, 2);
+    auto reads_before = pf.metadataStats().metadataReads;
+    observe(pf, 1, 3);
+    EXPECT_GT(pf.metadataStats().metadataReads, reads_before);
+}
+
+} // anonymous namespace
+} // namespace prophet::pf

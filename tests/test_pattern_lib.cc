@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Unit and property tests for the workload pattern library:
+ * determinism, coverage, phase structure, branching, and the
+ * indirect resolver contract RPG2 relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "workloads/pattern_lib.hh"
+
+namespace prophet::workloads
+{
+namespace
+{
+
+StreamParams
+params(std::uint64_t seed = 1)
+{
+    StreamParams p;
+    p.pc = 0x400000;
+    p.regionBase = 1ull << 32;
+    p.instGap = 4;
+    p.seed = seed;
+    return p;
+}
+
+trace::Trace
+emitN(Stream &s, std::size_t n)
+{
+    trace::Trace t;
+    for (std::size_t i = 0; i < n; ++i)
+        s.emit(t);
+    return t;
+}
+
+TEST(ChaseStream, VisitsEveryNodeEachRound)
+{
+    ChaseStream s(params(), 64, 0.0);
+    auto t = emitN(s, 64);
+    std::set<Addr> lines;
+    for (const auto &r : t)
+        lines.insert(lineAddr(r.addr));
+    EXPECT_EQ(lines.size(), 64u); // a full traversal covers the ring
+}
+
+TEST(ChaseStream, RepeatsExactlyWithoutMutation)
+{
+    ChaseStream s(params(), 32, 0.0);
+    auto first = emitN(s, 32);
+    auto second = emitN(s, 32);
+    for (std::size_t i = 0; i < 32; ++i)
+        EXPECT_EQ(first[i].addr, second[i].addr);
+}
+
+TEST(ChaseStream, MutationPerturbsSuccessors)
+{
+    ChaseStream s(params(), 256, 0.3);
+    auto first = emitN(s, 256);
+    auto second = emitN(s, 256);
+    std::unordered_map<Addr, Addr> succ1;
+    for (std::size_t i = 0; i + 1 < 256; ++i)
+        succ1[first[i].addr] = first[i + 1].addr;
+    int changed = 0, checked = 0;
+    for (std::size_t i = 0; i + 1 < 256; ++i) {
+        auto it = succ1.find(second[i].addr);
+        if (it != succ1.end()) {
+            ++checked;
+            if (it->second != second[i + 1].addr)
+                ++changed;
+        }
+    }
+    EXPECT_GT(changed, 0);
+    EXPECT_LT(changed, checked); // but most links survive
+}
+
+TEST(ChaseStream, AccessesAreDependent)
+{
+    ChaseStream s(params(), 16, 0.0);
+    auto t = emitN(s, 8);
+    for (const auto &r : t)
+        EXPECT_TRUE(r.dependsOnPrev);
+}
+
+TEST(ChaseStream, DeterministicPerSeed)
+{
+    ChaseStream a(params(7), 64, 0.1);
+    ChaseStream b(params(7), 64, 0.1);
+    auto ta = emitN(a, 200);
+    auto tb = emitN(b, 200);
+    for (std::size_t i = 0; i < 200; ++i)
+        EXPECT_EQ(ta[i].addr, tb[i].addr);
+}
+
+TEST(AlternatingStream, PhasesAlternate)
+{
+    AlternatingStream s(params(), 64, 8, 4, 1024);
+    auto t = emitN(s, 36);
+    // Ring region is the first 64 lines; noise lives beyond.
+    Addr ring_end = params().regionBase + 64 * kLineSize;
+    // First 8 accesses useful, next 4 useless, and so on.
+    for (int i = 0; i < 8; ++i)
+        EXPECT_LT(t[i].addr, ring_end) << i;
+    for (int i = 8; i < 12; ++i)
+        EXPECT_GE(t[i].addr, ring_end) << i;
+    for (int i = 12; i < 20; ++i)
+        EXPECT_LT(t[i].addr, ring_end) << i;
+}
+
+TEST(AlternatingStream, RingPositionPersistsAcrossBursts)
+{
+    // The useful-phase pattern must repeat across bursts (that's
+    // what makes the blue dots of Figure 1 useful).
+    AlternatingStream s(params(), 16, 8, 4, 1024);
+    std::vector<Addr> useful;
+    trace::Trace t;
+    for (int i = 0; i < 120; ++i)
+        s.emit(t);
+    Addr ring_end = params().regionBase + 16 * kLineSize;
+    for (const auto &r : t)
+        if (r.addr < ring_end)
+            useful.push_back(r.addr);
+    // Ring of 16: the sequence of useful accesses is periodic.
+    ASSERT_GE(useful.size(), 48u);
+    for (std::size_t i = 0; i + 16 < useful.size(); ++i)
+        EXPECT_EQ(useful[i], useful[i + 16]);
+}
+
+TEST(BranchingChase, BranchNodesAlternateSuccessors)
+{
+    BranchingChaseStream s(params(), 128, 1.0); // every node branches
+    auto t = emitN(s, 4096);
+    std::unordered_map<Addr, std::set<Addr>> succ;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i)
+        succ[t[i].addr].insert(t[i + 1].addr);
+    int multi = 0;
+    for (const auto &[a, ss] : succ)
+        if (ss.size() >= 2)
+            ++multi;
+    EXPECT_GT(multi, 10); // plenty of multi-target nodes (Figure 8)
+}
+
+TEST(BranchingChase, ZeroFractionIsPlainRing)
+{
+    BranchingChaseStream s(params(), 64, 0.0);
+    auto t = emitN(s, 256);
+    std::unordered_map<Addr, std::set<Addr>> succ;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i)
+        succ[t[i].addr].insert(t[i + 1].addr);
+    for (const auto &[a, ss] : succ)
+        EXPECT_EQ(ss.size(), 1u);
+}
+
+TEST(IndirectStream, StrideKernelEmitsKernelThenTarget)
+{
+    IndirectStream s(params(), 64, 128, true);
+    auto t = emitN(s, 8); // 8 emissions = 16 records
+    ASSERT_EQ(t.size(), 16u);
+    for (std::size_t i = 0; i < t.size(); i += 2) {
+        EXPECT_EQ(t[i].pc, s.kernelPc());
+        EXPECT_EQ(t[i + 1].pc, s.targetPc());
+        EXPECT_TRUE(t[i + 1].dependsOnPrev);
+    }
+    // Stride kernel: b addresses advance by 4 bytes.
+    EXPECT_EQ(t[2].addr, t[0].addr + 4);
+}
+
+TEST(IndirectStream, ResolverMatchesFutureTarget)
+{
+    IndirectStream s(params(), 64, 128, true);
+    auto t = emitN(s, 64); // one full kernel pass
+    // resolve(kernel_addr_of_i, d) must equal the target accessed at
+    // iteration i + d.
+    for (std::size_t i = 0; i + 3 < 64; ++i) {
+        Addr kernel_addr = t[2 * i].addr;
+        auto resolved = s.resolve(kernel_addr, 3);
+        ASSERT_TRUE(resolved.has_value());
+        EXPECT_EQ(*resolved, t[2 * (i + 3) + 1].addr);
+    }
+}
+
+TEST(IndirectStream, ShuffledKernelRefusesResolution)
+{
+    IndirectStream s(params(), 64, 128, false);
+    auto t = emitN(s, 4);
+    EXPECT_FALSE(s.resolve(t[0].addr, 1).has_value());
+    EXPECT_FALSE(s.strideKernel());
+}
+
+TEST(IndirectStream, TraversalRepeatsAcrossRounds)
+{
+    IndirectStream s(params(), 32, 64, false);
+    auto first = emitN(s, 32);
+    auto second = emitN(s, 32);
+    for (std::size_t i = 0; i < first.size(); ++i)
+        EXPECT_EQ(first[i].addr, second[i].addr);
+}
+
+TEST(StrideStream, AdvancesByStrideAndWraps)
+{
+    StrideStream s(params(), 8, 2);
+    auto t = emitN(s, 8);
+    EXPECT_EQ(lineAddr(t[1].addr) - lineAddr(t[0].addr), 2u);
+    // Wraps within the region.
+    for (const auto &r : t)
+        EXPECT_LT(lineAddr(r.addr) - lineAddr(params().regionBase),
+                  8u);
+}
+
+TEST(NoiseStream, StaysInRegionAndSpreads)
+{
+    NoiseStream s(params(), 1024);
+    auto t = emitN(s, 2000);
+    std::set<Addr> lines;
+    for (const auto &r : t) {
+        Addr off = lineAddr(r.addr) - lineAddr(params().regionBase);
+        EXPECT_LT(off, 1024u);
+        lines.insert(off);
+    }
+    EXPECT_GT(lines.size(), 500u);
+}
+
+TEST(Composite, HonorsTotalRecords)
+{
+    CompositeGenerator g("t", 1000, 1);
+    g.addStream(std::make_unique<StrideStream>(params(), 64), 1.0);
+    auto t = g.generate();
+    EXPECT_GE(t.size(), 1000u);
+    EXPECT_LE(t.size(), 1002u);
+}
+
+TEST(Composite, WeightsShapeMix)
+{
+    CompositeGenerator g("t", 10000, 1);
+    StreamParams p1 = params();
+    StreamParams p2 = params();
+    p2.pc = 0x500000;
+    p2.regionBase = 1ull << 40;
+    g.addStream(std::make_unique<StrideStream>(p1, 64), 3.0);
+    g.addStream(std::make_unique<StrideStream>(p2, 64), 1.0);
+    auto t = g.generate();
+    std::size_t first = 0;
+    for (const auto &r : t)
+        if (r.pc == p1.pc)
+            ++first;
+    double frac = static_cast<double>(first)
+        / static_cast<double>(t.size());
+    EXPECT_NEAR(frac, 0.75, 0.05);
+}
+
+TEST(Composite, DeterministicPerSeed)
+{
+    auto make = [] {
+        CompositeGenerator g("t", 500, 99);
+        g.addStream(std::make_unique<ChaseStream>(params(3), 64, 0.1),
+                    1.0);
+        g.addStream(std::make_unique<NoiseStream>(params(4), 256),
+                    1.0);
+        return g.generate();
+    };
+    auto a = make();
+    auto b = make();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].addr, b[i].addr);
+}
+
+TEST(PcResolverTest, DispatchesByPc)
+{
+    PcResolver r;
+    r.registerKernel(5, [](Addr a, std::int64_t d) {
+        return std::optional<Addr>(a + static_cast<Addr>(d) * 10);
+    });
+    EXPECT_EQ(*r.resolve(5, 100, 3), 130u);
+    EXPECT_FALSE(r.resolve(6, 100, 3).has_value());
+    EXPECT_EQ(r.size(), 1u);
+}
+
+} // anonymous namespace
+} // namespace prophet::workloads

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the profiling counters (Section 4.1): the
+ * PEBS-event stand-ins and the snapshot arithmetic
+ * (accuracy = useful/issued, allocated = insertions - replacements).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/profile.hh"
+
+namespace prophet::core
+{
+namespace
+{
+
+TEST(PcCounters, AccuracyFormula)
+{
+    PcCounters c;
+    EXPECT_DOUBLE_EQ(c.accuracy(), 0.0); // no issues: defined as 0
+    c.issuedPrefetches = 100;
+    c.usefulPrefetches = 40;
+    EXPECT_DOUBLE_EQ(c.accuracy(), 0.4);
+}
+
+TEST(Collector, EventsAccumulatePerPc)
+{
+    ProfileCollector pc;
+    pc.notifyIssued(1);
+    pc.notifyIssued(1);
+    pc.notifyUseful(1);
+    pc.notifyIssued(2);
+    pc.notifyL2Miss(2);
+
+    auto c1 = pc.rawCounters(1);
+    EXPECT_EQ(c1.issuedPrefetches, 2u);
+    EXPECT_EQ(c1.usefulPrefetches, 1u);
+    EXPECT_EQ(c1.l2Misses, 0u);
+
+    auto c2 = pc.rawCounters(2);
+    EXPECT_EQ(c2.issuedPrefetches, 1u);
+    EXPECT_EQ(c2.l2Misses, 1u);
+    EXPECT_EQ(pc.numPcs(), 2u);
+}
+
+TEST(Collector, UnknownPcIsZero)
+{
+    ProfileCollector pc;
+    auto c = pc.rawCounters(77);
+    EXPECT_EQ(c.issuedPrefetches, 0u);
+    EXPECT_EQ(c.usefulPrefetches, 0u);
+}
+
+TEST(Collector, SnapshotDistillsAccuracy)
+{
+    ProfileCollector pc;
+    for (int i = 0; i < 10; ++i)
+        pc.notifyIssued(5);
+    for (int i = 0; i < 7; ++i)
+        pc.notifyUseful(5);
+    pc.notifyL2Miss(5);
+    pc.setTableCounters(1000, 400);
+
+    auto snap = pc.snapshot();
+    ASSERT_TRUE(snap.perPc.count(5));
+    EXPECT_DOUBLE_EQ(snap.perPc.at(5).accuracy, 0.7);
+    EXPECT_EQ(snap.perPc.at(5).l2Misses, 1u);
+    // Allocated Entries = Insertions - Replacements (Section 4.1).
+    EXPECT_EQ(snap.allocatedEntries, 600u);
+}
+
+TEST(Collector, AllocatedEntriesNeverUnderflow)
+{
+    ProfileCollector pc;
+    pc.setTableCounters(10, 20);
+    EXPECT_EQ(pc.snapshot().allocatedEntries, 0u);
+}
+
+TEST(Collector, ResetClearsEverything)
+{
+    ProfileCollector pc;
+    pc.notifyIssued(1);
+    pc.setTableCounters(5, 1);
+    pc.reset();
+    EXPECT_EQ(pc.numPcs(), 0u);
+    EXPECT_EQ(pc.snapshot().allocatedEntries, 0u);
+}
+
+} // anonymous namespace
+} // namespace prophet::core

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG workload generation depends
+ * on: identical seeds must produce identical traces on any platform.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace prophet
+{
+namespace
+{
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ZeroSeedRemapped)
+{
+    Rng z(0);
+    EXPECT_NE(z.next(), 0u);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u); // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(13);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        if (r.chance(0.25))
+            ++hits;
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng r(17);
+    std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    auto orig = v;
+    r.shuffle(v);
+    std::multiset<int> a(v.begin(), v.end());
+    std::multiset<int> b(orig.begin(), orig.end());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Rng, ShuffleDeterministic)
+{
+    std::vector<int> v1{1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<int> v2 = v1;
+    Rng a(23), b(23);
+    a.shuffle(v1);
+    b.shuffle(v2);
+    EXPECT_EQ(v1, v2);
+}
+
+} // anonymous namespace
+} // namespace prophet

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for Triangel's Set Dueller (stack-distance-based
+ * partition recommendation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/set_dueller.hh"
+
+namespace prophet::pf
+{
+namespace
+{
+
+TEST(SetDueller, NoRecommendationBeforeWindow)
+{
+    SetDueller d(64, 16, 8, 1, 1000);
+    for (int i = 0; i < 100; ++i)
+        d.observeLlcAccess(static_cast<Addr>(i));
+    EXPECT_FALSE(d.poll().has_value());
+}
+
+TEST(SetDueller, RecommendsZeroWhenMetadataUseless)
+{
+    // All reuse lives in the LLC stacks; metadata accesses never
+    // repeat, so borrowing ways can only lose LLC hits.
+    SetDueller d(64, 16, 8, 1, 4000);
+    std::optional<unsigned> rec;
+    Addr md_key = 1'000'000;
+    for (int round = 0; !rec && round < 10; ++round) {
+        for (Addr a = 0; a < 256; ++a) {
+            d.observeLlcAccess(a); // tight LLC working set, reused
+            d.observeMetadataAccess(md_key++); // never reused
+            rec = d.poll();
+            if (rec)
+                break;
+        }
+    }
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(*rec, 0u);
+}
+
+TEST(SetDueller, RecommendsWaysWhenMetadataReused)
+{
+    // Metadata keys are heavily reused while demand lines stream;
+    // the dueller should hand ways to the metadata table.
+    SetDueller d(64, 16, 8, 1, 4000);
+    std::optional<unsigned> rec;
+    Addr demand = 0;
+    for (int round = 0; !rec && round < 20; ++round) {
+        for (int i = 0; i < 512; ++i) {
+            d.observeLlcAccess(demand);
+            demand += 64; // streaming: no LLC reuse
+            d.observeMetadataAccess(
+                static_cast<Addr>(i % 24)); // tight reuse
+            rec = d.poll();
+            if (rec)
+                break;
+        }
+    }
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_GT(*rec, 0u);
+}
+
+TEST(SetDueller, WindowResetsHistograms)
+{
+    SetDueller d(64, 16, 8, 1, 100);
+    // First window: metadata-heavy.
+    for (int i = 0; i < 100; ++i)
+        d.observeMetadataAccess(static_cast<Addr>(i % 8));
+    auto first = d.poll();
+    ASSERT_TRUE(first.has_value());
+    // Second window: demand-only reuse; old metadata evidence must
+    // not leak in.
+    std::optional<unsigned> second;
+    for (int round = 0; !second && round < 5; ++round) {
+        for (int i = 0; i < 100; ++i) {
+            d.observeLlcAccess(static_cast<Addr>(i % 8));
+            second = d.poll();
+            if (second)
+                break;
+        }
+    }
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(*second, 0u);
+}
+
+TEST(SetDueller, StorageWithinBudget)
+{
+    // The paper quotes ~2 KB for the Set Dueller (Section 2.1.3);
+    // with a 1/64 sampling rate ours stays in that ballpark.
+    SetDueller d(2048, 16, 8, 64, 1 << 18);
+    EXPECT_LT(d.storageBits() / 8 / 1024, 16u);
+}
+
+} // anonymous namespace
+} // namespace prophet::pf

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the statistics substrate: histograms (Figure 8's
+ * Markov-target distribution), geometric means (every speedup
+ * figure), and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/counter.hh"
+#include "stats/histogram.hh"
+#include "stats/summary.hh"
+#include "stats/table.hh"
+
+namespace prophet::stats
+{
+namespace
+{
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(4);
+    h.add(0);
+    h.add(1);
+    h.add(1);
+    h.add(3);
+    h.add(10); // overflow -> last bucket
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(3), 2u);
+    EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, Fractions)
+{
+    Histogram h(3);
+    for (int i = 0; i < 3; ++i)
+        h.add(0);
+    h.add(1);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.75);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.25);
+    EXPECT_DOUBLE_EQ(h.fraction(2), 0.0);
+}
+
+TEST(Histogram, EmptyFractionIsZero)
+{
+    Histogram h(2);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, MeanCapsOverflow)
+{
+    Histogram h(4);
+    h.add(100); // counted as 3
+    h.add(1);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(Histogram, Reset)
+{
+    Histogram h(2);
+    h.add(0);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.bucket(0), 0u);
+}
+
+TEST(Summary, GeomeanBasics)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0}), 2.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Summary, GeomeanOfSpeedupsBelowArithmetic)
+{
+    std::vector<double> v{1.0, 1.2, 1.6, 2.0};
+    EXPECT_LT(geomean(v), mean(v));
+    EXPECT_GT(geomean(v), 1.0);
+}
+
+TEST(Summary, WeightedMean)
+{
+    EXPECT_DOUBLE_EQ(weightedMean({1.0, 3.0}, {1.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(weightedMean({1.0, 3.0}, {3.0, 1.0}), 1.5);
+    EXPECT_DOUBLE_EQ(weightedMean({5.0}, {0.0}), 0.0);
+}
+
+TEST(CounterGroup, CreatesOnDemand)
+{
+    CounterGroup g;
+    EXPECT_EQ(g.get("x"), 0u);
+    g["x"] += 3;
+    EXPECT_EQ(g.get("x"), 3u);
+    EXPECT_EQ(g.size(), 1u);
+    g.reset();
+    EXPECT_EQ(g.get("x"), 0u);
+    EXPECT_EQ(g.size(), 1u); // names persist
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "2.5"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+    // Header and separator and two rows -> 4 lines.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, FmtPrecision)
+{
+    EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::fmt(2.0, 3), "2.000");
+}
+
+} // anonymous namespace
+} // namespace prophet::stats

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the degree-8 L1 stride prefetcher of Table 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/stride.hh"
+
+namespace prophet::pf
+{
+namespace
+{
+
+std::vector<Addr>
+feed(StridePrefetcher &pf, PC pc, std::initializer_list<Addr> lines)
+{
+    std::vector<Addr> out;
+    for (Addr a : lines) {
+        out.clear();
+        pf.observe(pc, a, false, out);
+    }
+    return out;
+}
+
+TEST(Stride, NoPrefetchBeforeConfidence)
+{
+    StridePrefetcher pf(8);
+    auto out = feed(pf, 1, {100, 101});
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Stride, ConfidentUnitStridePrefetchesDegreeAhead)
+{
+    StridePrefetcher pf(8);
+    auto out = feed(pf, 1, {100, 101, 102, 103});
+    ASSERT_EQ(out.size(), 8u);
+    for (unsigned d = 0; d < 8; ++d)
+        EXPECT_EQ(out[d], 104u + d);
+}
+
+TEST(Stride, NegativeStrideSupported)
+{
+    StridePrefetcher pf(4);
+    auto out = feed(pf, 1, {100, 98, 96, 94});
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0], 92u);
+    EXPECT_EQ(out[3], 86u);
+}
+
+TEST(Stride, LargeStrideSupported)
+{
+    StridePrefetcher pf(2);
+    auto out = feed(pf, 1, {0, 16, 32, 48});
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 64u);
+    EXPECT_EQ(out[1], 80u);
+}
+
+TEST(Stride, RandomStreamStaysQuiet)
+{
+    StridePrefetcher pf(8);
+    auto out = feed(pf, 1, {5, 999, 17, 20480, 3, 777});
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Stride, PerPcIsolation)
+{
+    StridePrefetcher pf(4);
+    std::vector<Addr> out;
+    // Interleave two PCs with different strides.
+    for (int i = 0; i < 6; ++i) {
+        out.clear();
+        pf.observe(10, 100 + static_cast<Addr>(i), false, out);
+        out.clear();
+        pf.observe(11, 1000 + 4 * static_cast<Addr>(i), false, out);
+    }
+    out.clear();
+    pf.observe(10, 106, false, out);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0], 107u);
+    out.clear();
+    pf.observe(11, 1024, false, out);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0], 1028u);
+}
+
+TEST(Stride, SameLineReaccessIsNeutral)
+{
+    StridePrefetcher pf(4);
+    feed(pf, 1, {100, 101, 102, 103});
+    std::vector<Addr> out;
+    pf.observe(1, 103, false, out); // same line again
+    EXPECT_TRUE(out.empty());
+    out.clear();
+    pf.observe(1, 104, false, out); // stride resumes
+    EXPECT_FALSE(out.empty());
+}
+
+TEST(Stride, DegreeParameterRespected)
+{
+    for (unsigned degree : {1u, 2u, 8u, 16u}) {
+        StridePrefetcher pf(degree);
+        auto out = feed(pf, 1, {10, 11, 12, 13});
+        EXPECT_EQ(out.size(), degree);
+    }
+}
+
+} // anonymous namespace
+} // namespace prophet::pf

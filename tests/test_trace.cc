@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Unit tests for the trace substrate: record accounting and the
+ * instruction-count bookkeeping IPC depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace.hh"
+
+namespace prophet::trace
+{
+namespace
+{
+
+TEST(Trace, EmptyOnConstruction)
+{
+    Trace t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.totalInstructions(), 0u);
+}
+
+TEST(Trace, AppendCountsInstructions)
+{
+    Trace t;
+    t.append(0x400, 0x1000, 4);
+    // One memory instruction + 4 gap instructions.
+    EXPECT_EQ(t.totalInstructions(), 5u);
+    t.append(0x404, 0x2000, 0);
+    EXPECT_EQ(t.totalInstructions(), 6u);
+    EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(Trace, RecordFieldsPreserved)
+{
+    Trace t;
+    t.append(0x400, 0x1040, 7, true, true);
+    const TraceRecord &r = t[0];
+    EXPECT_EQ(r.pc, 0x400u);
+    EXPECT_EQ(r.addr, 0x1040u);
+    EXPECT_EQ(r.instGap, 7u);
+    EXPECT_TRUE(r.dependsOnPrev);
+    EXPECT_TRUE(r.isWrite);
+}
+
+TEST(Trace, DefaultsAreIndependentLoads)
+{
+    Trace t;
+    t.append(1, 2);
+    EXPECT_FALSE(t[0].dependsOnPrev);
+    EXPECT_FALSE(t[0].isWrite);
+}
+
+TEST(Trace, IterationVisitsAllRecords)
+{
+    Trace t;
+    for (int i = 0; i < 10; ++i)
+        t.append(i, i * 64);
+    int n = 0;
+    for (const auto &rec : t) {
+        EXPECT_EQ(rec.pc, static_cast<PC>(n));
+        ++n;
+    }
+    EXPECT_EQ(n, 10);
+}
+
+} // anonymous namespace
+} // namespace prophet::trace

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the PC-indexed training unit shared by the temporal
+ * prefetchers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/training_unit.hh"
+
+namespace prophet::pf
+{
+namespace
+{
+
+TEST(TrainingUnit, FirstAccessHasNoPredecessor)
+{
+    TrainingUnit tu;
+    EXPECT_FALSE(tu.swap(0x400, 100).has_value());
+}
+
+TEST(TrainingUnit, SwapReturnsPrevious)
+{
+    TrainingUnit tu;
+    tu.swap(0x400, 100);
+    auto prev = tu.swap(0x400, 200);
+    ASSERT_TRUE(prev.has_value());
+    EXPECT_EQ(*prev, 100u);
+    auto prev2 = tu.swap(0x400, 300);
+    ASSERT_TRUE(prev2.has_value());
+    EXPECT_EQ(*prev2, 200u);
+}
+
+TEST(TrainingUnit, PerPcChains)
+{
+    TrainingUnit tu;
+    tu.swap(1, 10);
+    tu.swap(2, 20);
+    EXPECT_EQ(*tu.swap(1, 11), 10u);
+    EXPECT_EQ(*tu.swap(2, 21), 20u);
+}
+
+TEST(TrainingUnit, PeekDoesNotUpdate)
+{
+    TrainingUnit tu;
+    tu.swap(5, 500);
+    EXPECT_EQ(*tu.peek(5), 500u);
+    EXPECT_EQ(*tu.peek(5), 500u);
+    EXPECT_FALSE(tu.peek(6).has_value());
+}
+
+TEST(TrainingUnit, CapacityEvictsLru)
+{
+    // 1 set x 2 ways: third distinct PC in the set evicts the LRU.
+    TrainingUnit tu(1, 2);
+    tu.swap(1, 10);
+    tu.swap(2, 20);
+    tu.swap(1, 11); // PC 1 refreshed; PC 2 is now LRU
+    tu.swap(3, 30); // evicts PC 2
+    EXPECT_TRUE(tu.peek(1).has_value());
+    EXPECT_FALSE(tu.peek(2).has_value());
+    EXPECT_TRUE(tu.peek(3).has_value());
+}
+
+TEST(TrainingUnit, EvictedPcRestartsCold)
+{
+    TrainingUnit tu(1, 1);
+    tu.swap(1, 10);
+    tu.swap(2, 20); // evicts PC 1
+    EXPECT_FALSE(tu.swap(1, 11).has_value()); // cold restart
+}
+
+TEST(TrainingUnit, ManyPcsTracked)
+{
+    TrainingUnit tu(256, 4);
+    for (PC pc = 0; pc < 500; ++pc)
+        tu.swap(pc * 0x40, pc);
+    int remembered = 0;
+    for (PC pc = 0; pc < 500; ++pc)
+        if (tu.peek(pc * 0x40).has_value())
+            ++remembered;
+    // 1024 slots for 500 PCs: nearly all should be retained.
+    EXPECT_GT(remembered, 450);
+}
+
+} // anonymous namespace
+} // namespace prophet::pf

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the Triage temporal prefetcher: PC-localized
+ * training without an insertion filter, chained degree prefetching,
+ * and Bloom-filter resizing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/triage.hh"
+
+namespace prophet::pf
+{
+namespace
+{
+
+TriageConfig
+tinyConfig(unsigned degree = 1)
+{
+    TriageConfig cfg;
+    cfg.degree = degree;
+    cfg.metaReplacement = "lru";
+    cfg.numSets = 64;
+    cfg.maxWays = 2;
+    cfg.bloomResizing = false;
+    return cfg;
+}
+
+std::vector<PrefetchRequest>
+observe(TriagePrefetcher &pf, PC pc, Addr line)
+{
+    std::vector<PrefetchRequest> out;
+    pf.observe(pc, line, false, 0, out);
+    return out;
+}
+
+TEST(Triage, LearnsSuccessorAfterOnePass)
+{
+    TriagePrefetcher pf(tinyConfig());
+    observe(pf, 1, 100);
+    observe(pf, 1, 200); // stores 100 -> 200
+    auto out = observe(pf, 1, 100);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].lineAddr, 200u);
+    EXPECT_EQ(out[0].creditPc, 1u);
+}
+
+TEST(Triage, NoInsertionFilterStoresEverything)
+{
+    TriagePrefetcher pf(tinyConfig());
+    // Even a never-repeating stream is inserted (Triage's documented
+    // weakness, Section 2.1.1).
+    for (Addr a = 0; a < 20; ++a)
+        observe(pf, 2, 1000 + a * 7);
+    EXPECT_GE(pf.markovTable().stats().inserts, 19u);
+}
+
+TEST(Triage, DegreeChainsLookups)
+{
+    TriagePrefetcher pf(tinyConfig(4));
+    // Teach the chain A->B->C->D->E.
+    for (Addr a : {10, 20, 30, 40, 50})
+        observe(pf, 1, a);
+    auto out = observe(pf, 1, 10);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0].lineAddr, 20u);
+    EXPECT_EQ(out[3].lineAddr, 50u);
+}
+
+TEST(Triage, ChainStopsAtUnknownLink)
+{
+    TriagePrefetcher pf(tinyConfig(4));
+    observe(pf, 1, 10);
+    observe(pf, 1, 20); // only 10 -> 20 known
+    // Query from a fresh PC so the lookup itself trains nothing.
+    auto out = observe(pf, 3, 10);
+    EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Triage, PcLocalizedTraining)
+{
+    TriagePrefetcher pf(tinyConfig());
+    observe(pf, 1, 100);
+    observe(pf, 2, 500); // different PC: no 100 -> 500 link
+    observe(pf, 1, 200); // 100 -> 200 via PC 1
+    auto out = observe(pf, 3, 100);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].lineAddr, 200u);
+}
+
+TEST(Triage, SameLineRunsDoNotSelfLink)
+{
+    TriagePrefetcher pf(tinyConfig());
+    observe(pf, 1, 100);
+    observe(pf, 1, 100); // must not store 100 -> 100
+    auto out = observe(pf, 1, 100);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Triage, BloomResizeShrinksForSmallWorkingSet)
+{
+    TriageConfig cfg;
+    cfg.degree = 1;
+    cfg.metaReplacement = "lru";
+    cfg.numSets = 64;
+    cfg.maxWays = 8;
+    cfg.bloomResizing = true;
+    cfg.resizeWindow = 4096;
+    TriagePrefetcher pf(cfg);
+    EXPECT_EQ(pf.metadataWays(), 8u);
+    // A small ring: ~32 distinct keys, far below one way's capacity
+    // (64 sets x 12 = 768 entries).
+    for (int round = 0; round < 200; ++round)
+        for (Addr a = 0; a < 32; ++a)
+            observe(pf, 1, 7000 + a);
+    EXPECT_EQ(pf.metadataWays(), 1u);
+}
+
+TEST(Triage, BloomResizeGrowsForLargeWorkingSet)
+{
+    TriageConfig cfg;
+    cfg.degree = 1;
+    cfg.metaReplacement = "lru";
+    cfg.numSets = 64;
+    cfg.maxWays = 8;
+    cfg.bloomResizing = true;
+    cfg.resizeWindow = 8192;
+    TriagePrefetcher pf(cfg);
+    // Drive enough distinct keys to need several ways.
+    for (int round = 0; round < 4; ++round)
+        for (Addr a = 0; a < 3000; ++a)
+            observe(pf, 1, 100000 + a);
+    EXPECT_GE(pf.metadataWays(), 3u);
+}
+
+TEST(Triage, HawkeyeReplacementConfigurable)
+{
+    TriageConfig cfg = tinyConfig();
+    cfg.metaReplacement = "hawkeye";
+    TriagePrefetcher pf(cfg);
+    observe(pf, 1, 100);
+    observe(pf, 1, 200);
+    auto out = observe(pf, 1, 100);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].lineAddr, 200u);
+}
+
+} // anonymous namespace
+} // namespace prophet::pf

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the workload registry and the structural properties the
+ * evaluation depends on: every figure label instantiates; gcc inputs
+ * share Load-A/Load-E PCs and differ in exclusive PCs (Figure 7);
+ * SPEC-like workloads expose no RPG2 resolver while graph workloads
+ * do.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/registry.hh"
+
+namespace prophet::workloads
+{
+namespace
+{
+
+std::set<PC>
+pcsOf(const std::string &name, std::size_t records = 30000)
+{
+    auto g = makeWorkload(name, records);
+    auto t = g->generate();
+    std::set<PC> pcs;
+    for (const auto &r : t)
+        pcs.insert(r.pc);
+    return pcs;
+}
+
+TEST(Registry, AllSpecWorkloadsInstantiate)
+{
+    for (const auto &name : specWorkloads()) {
+        auto g = makeWorkload(name, 2000);
+        EXPECT_EQ(g->name(), name);
+        auto t = g->generate();
+        EXPECT_GE(t.size(), 2000u);
+    }
+}
+
+TEST(Registry, AllGraphWorkloadsInstantiate)
+{
+    for (const auto &name : graphWorkloads()) {
+        auto g = makeWorkload(name, 2000);
+        EXPECT_EQ(g->name(), name);
+        EXPECT_NE(g->resolver(), nullptr);
+    }
+}
+
+TEST(Registry, AllGccInputsInstantiate)
+{
+    EXPECT_EQ(gccInputs().size(), 9u);
+    for (const auto &name : gccInputs()) {
+        auto g = makeWorkload(name, 2000);
+        EXPECT_EQ(g->name(), name);
+    }
+}
+
+TEST(Registry, SpecWorkloadsHaveNoResolver)
+{
+    // Pointer-chasing and computed-kernel workloads are outside
+    // RPG2's reach (Section 2.2): no resolver is exposed.
+    for (const char *name : {"mcf", "omnetpp", "sphinx3"}) {
+        auto g = makeWorkload(name, 1000);
+        EXPECT_EQ(g->resolver(), nullptr) << name;
+    }
+}
+
+TEST(Registry, TracesAreDeterministic)
+{
+    auto a = makeWorkload("mcf", 5000)->generate();
+    auto b = makeWorkload("mcf", 5000)->generate();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].pc, b[i].pc);
+        EXPECT_EQ(a[i].addr, b[i].addr);
+    }
+}
+
+TEST(Registry, GccInputsShareCommonPcs)
+{
+    // Figure 7 Load A: shared code paths keep the same PCs.
+    auto a = pcsOf("gcc_166");
+    auto b = pcsOf("gcc_typeck");
+    std::set<PC> shared;
+    for (PC pc : a)
+        if (b.count(pc))
+            shared.insert(pc);
+    EXPECT_GE(shared.size(), 4u); // 3 Load-A + Load-E + stride/noise
+}
+
+TEST(Registry, GccFamiliesHaveExclusivePcs)
+{
+    // Figure 7 Loads B/C: different input families execute disjoint
+    // exclusive PCs.
+    auto a = pcsOf("gcc_166");
+    auto b = pcsOf("gcc_typeck");
+    std::set<PC> only_a, only_b;
+    for (PC pc : a)
+        if (!b.count(pc))
+            only_a.insert(pc);
+    for (PC pc : b)
+        if (!a.count(pc))
+            only_b.insert(pc);
+    EXPECT_GE(only_a.size(), 1u);
+    EXPECT_GE(only_b.size(), 1u);
+}
+
+TEST(Registry, GccFamilyMembersShareExclusivePcs)
+{
+    // gcc_200 and gcc_expr share their pattern family (the paper
+    // observes they "share similar memory access patterns").
+    auto a = pcsOf("gcc_200");
+    auto b = pcsOf("gcc_expr");
+    EXPECT_EQ(a, b);
+}
+
+TEST(Registry, AstarInputsDiffer)
+{
+    auto a = pcsOf("astar_biglakes");
+    auto b = pcsOf("astar_rivers");
+    EXPECT_NE(a, b);
+    // But they share the solver PCs.
+    std::set<PC> shared;
+    for (PC pc : a)
+        if (b.count(pc))
+            shared.insert(pc);
+    EXPECT_GE(shared.size(), 3u);
+}
+
+TEST(Registry, WorkloadsUseDisjointPcRanges)
+{
+    auto a = pcsOf("mcf", 10000);
+    auto b = pcsOf("omnetpp", 10000);
+    for (PC pc : a)
+        EXPECT_EQ(b.count(pc), 0u);
+}
+
+TEST(Registry, DefaultRecordCountApplied)
+{
+    auto t = makeWorkload("sphinx3")->generate();
+    EXPECT_GE(t.size(), 1'000'000u);
+}
+
+} // anonymous namespace
+} // namespace prophet::workloads

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Structural property tests over the generated workloads: each
+ * workload must actually exhibit the memory-behaviour signature its
+ * paper counterpart is chosen for, since the figures depend on those
+ * signatures (pointer-chasing dependence in mcf, interleaved
+ * useful/useless in omnetpp, small temporal footprint in sphinx3,
+ * multi-target nodes in soplex, ...).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "workloads/registry.hh"
+
+namespace prophet::workloads
+{
+namespace
+{
+
+struct TraceProfile
+{
+    double dependentFraction = 0.0;
+    std::size_t distinctLines = 0;
+    std::size_t distinctPcs = 0;
+    double multiTargetFraction = 0.0;
+};
+
+TraceProfile
+profileTrace(const std::string &name, std::size_t records = 400000)
+{
+    auto t = makeWorkload(name, records)->generate();
+    TraceProfile p;
+    std::set<Addr> lines;
+    std::set<PC> pcs;
+    std::uint64_t dependent = 0;
+    std::unordered_map<PC, Addr> last;
+    std::unordered_map<Addr, std::set<Addr>> succ;
+    for (const auto &rec : t) {
+        Addr line = lineAddr(rec.addr);
+        lines.insert(line);
+        pcs.insert(rec.pc);
+        if (rec.dependsOnPrev)
+            ++dependent;
+        auto it = last.find(rec.pc);
+        if (it != last.end() && it->second != line)
+            succ[it->second].insert(line);
+        last[rec.pc] = line;
+    }
+    p.dependentFraction =
+        static_cast<double>(dependent) / static_cast<double>(t.size());
+    p.distinctLines = lines.size();
+    p.distinctPcs = pcs.size();
+    std::uint64_t multi = 0;
+    for (const auto &[a, s] : succ)
+        if (s.size() > 1)
+            ++multi;
+    p.multiTargetFraction = succ.empty()
+        ? 0.0
+        : static_cast<double>(multi)
+            / static_cast<double>(succ.size());
+    return p;
+}
+
+TEST(WorkloadStats, McfIsDependenceDominated)
+{
+    auto p = profileTrace("mcf");
+    // Pointer chasing dominates: most accesses are dependent loads.
+    EXPECT_GT(p.dependentFraction, 0.4);
+    // Working set far exceeds the 32K-line LLC.
+    EXPECT_GT(p.distinctLines, 150000u);
+}
+
+TEST(WorkloadStats, SoplexHasMultiTargetNodes)
+{
+    auto p = profileTrace("soplex_pds-50");
+    // The MVB's reason to exist (Figure 8): a healthy fraction of
+    // addresses with 2+ Markov targets.
+    EXPECT_GT(p.multiTargetFraction, 0.10);
+}
+
+TEST(WorkloadStats, Sphinx3FootprintIsSmall)
+{
+    auto p = profileTrace("sphinx3");
+    // Under 1 MB of metadata (196K entries) by a wide margin — the
+    // resizing showcase.
+    EXPECT_LT(p.distinctLines, 120000u);
+}
+
+TEST(WorkloadStats, AstarStrideHeavy)
+{
+    auto p = profileTrace("astar_biglakes");
+    // Bandwidth-pressure signature: lots of lines, moderate
+    // dependence.
+    EXPECT_GT(p.distinctLines, 80000u);
+    EXPECT_LT(p.dependentFraction, 0.7);
+}
+
+TEST(WorkloadStats, EveryWorkloadHasMultiplePcs)
+{
+    for (const auto &w : specWorkloads()) {
+        auto p = profileTrace(w, 100000);
+        EXPECT_GE(p.distinctPcs, 4u) << w;
+        EXPECT_LE(p.distinctPcs, 64u) << w;
+    }
+}
+
+TEST(WorkloadStats, OmnetppHasUselessBursts)
+{
+    // The Figure 1 signature: a meaningful share of the hot PC's
+    // correlations never repeat.
+    auto t = makeWorkload("omnetpp", 400000)->generate();
+    std::unordered_map<PC, std::uint64_t> counts;
+    for (const auto &rec : t)
+        ++counts[rec.pc];
+    PC hot = 0;
+    std::uint64_t best = 0;
+    for (auto &[pc, c] : counts)
+        if (c > best) {
+            best = c;
+            hot = pc;
+        }
+    std::unordered_map<Addr, std::set<Addr>> succ;
+    std::map<std::pair<Addr, Addr>, unsigned> pair_counts;
+    Addr last = kInvalidAddr;
+    for (const auto &rec : t) {
+        if (rec.pc != hot)
+            continue;
+        Addr line = lineAddr(rec.addr);
+        if (last != kInvalidAddr)
+            ++pair_counts[{last, line}];
+        last = line;
+    }
+    std::uint64_t repeating = 0, oneoff = 0;
+    for (const auto &[pair, c] : pair_counts) {
+        if (c > 1)
+            repeating += c;
+        else
+            ++oneoff;
+    }
+    EXPECT_GT(oneoff, 1000u); // red dots exist
+    EXPECT_GT(repeating, oneoff); // but blue dominates
+}
+
+TEST(WorkloadStats, GccEInputSensitivity)
+{
+    // The Load E mechanism: the shared PC's successor stability
+    // differs strongly between a stable input (166) and an unstable
+    // one (typeck). Measured as repeat fraction of its pairs.
+    auto repeat_fraction = [](const std::string &name) {
+        auto t = makeWorkload(name, 400000)->generate();
+        // Load E is slot 5 of workload id 7.
+        PC e_pc = 0x400000 + 7 * 0x10000 + 5 * 0x40;
+        std::map<std::pair<Addr, Addr>, unsigned> pairs;
+        Addr last = kInvalidAddr;
+        for (const auto &rec : t) {
+            if (rec.pc != e_pc)
+                continue;
+            Addr line = lineAddr(rec.addr);
+            if (last != kInvalidAddr)
+                ++pairs[{last, line}];
+            last = line;
+        }
+        std::uint64_t rep = 0, total = 0;
+        for (const auto &[p, c] : pairs) {
+            total += c;
+            if (c > 1)
+                rep += c;
+        }
+        return total ? static_cast<double>(rep)
+                / static_cast<double>(total)
+                     : 0.0;
+    };
+    double stable = repeat_fraction("gcc_166");
+    double unstable = repeat_fraction("gcc_typeck");
+    EXPECT_GT(stable, unstable + 0.15);
+}
+
+} // anonymous namespace
+} // namespace prophet::workloads

@@ -14,17 +14,14 @@
 #include "workloads/registry.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace prophet;
+    unsigned threads = bench::parseThreads(argc, argv);
     sim::Runner runner;
     const auto &workloads = workloads::specWorkloads();
 
-    std::map<std::string, bench::TrioResult> results;
-    for (const auto &w : workloads) {
-        std::printf("running %s...\n", w.c_str());
-        results[w] = bench::runTrio(runner, w);
-    }
+    auto results = bench::runTrios(runner, workloads, threads);
     std::printf("\n== Figure 12(a): Prefetching coverage ==\n\n");
     bench::printTrioTable(runner, workloads, results,
                           "Prefetching Coverage",

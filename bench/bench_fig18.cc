@@ -10,19 +10,16 @@
 #include "workloads/registry.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace prophet;
+    unsigned threads = bench::parseThreads(argc, argv);
     sim::SystemConfig base = sim::SystemConfig::table1();
     base.hier.dram.channels = 2;
     sim::Runner runner(base);
 
     const auto &workloads = workloads::specWorkloads();
-    std::map<std::string, bench::TrioResult> results;
-    for (const auto &w : workloads) {
-        std::printf("running %s...\n", w.c_str());
-        results[w] = bench::runTrio(runner, w);
-    }
+    auto results = bench::runTrios(runner, workloads, threads);
     std::printf("\n== Figure 18: IPC speedup with 2 DRAM channels "
                 "==\n\n");
     bench::printTrioTable(runner, workloads, results,

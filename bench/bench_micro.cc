@@ -9,6 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "mem/cache.hh"
 #include "mem/replacement.hh"
 #include "prefetch/bloom.hh"
@@ -124,4 +127,52 @@ BENCHMARK(BM_SystemStep)->Unit(benchmark::kMillisecond)
 
 } // anonymous namespace
 
-BENCHMARK_MAIN();
+/**
+ * Like BENCHMARK_MAIN(), but defaults to also writing the results as
+ * machine-readable JSON (wall-clock per component) to
+ * BENCH_micro.json, so CI can track the simulator's own performance
+ * trajectory across PRs. Explicit --benchmark_out flags override.
+ */
+int
+main(int argc, char **argv)
+{
+    bool has_out = false, fmt_is_json = true, has_fmt = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0
+            || std::strcmp(argv[i], "--benchmark_out") == 0) {
+            has_out = true;
+        } else if (std::strncmp(argv[i], "--benchmark_out_format=",
+                                23) == 0) {
+            has_fmt = true;
+            fmt_is_json = std::strcmp(argv[i] + 23, "json") == 0;
+        }
+    }
+
+    std::vector<char *> args(argv, argv + argc);
+    static char out_flag[] = "--benchmark_out=BENCH_micro.json";
+    static char fmt_flag[] = "--benchmark_out_format=json";
+    if (!has_out) {
+        if (fmt_is_json) {
+            // Default output; add the format flag only when the user
+            // didn't supply their own.
+            args.push_back(out_flag);
+            if (!has_fmt)
+                args.push_back(fmt_flag);
+        } else {
+            // A non-JSON format with no out file: don't write a
+            // mis-labelled BENCH_micro.json.
+            std::fprintf(stderr,
+                         "bench_micro: non-json --benchmark_out_format "
+                         "without --benchmark_out; skipping default "
+                         "BENCH_micro.json\n");
+        }
+    }
+
+    int eff_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&eff_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(eff_argc, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -9,11 +9,14 @@
 #define PROPHET_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "sim/runner.hh"
+#include "sim/sweep.hh"
 #include "stats/summary.hh"
 #include "stats/table.hh"
 
@@ -28,6 +31,42 @@ struct TrioResult
     sim::RunStats prophet;
 };
 
+/**
+ * Parse the shared bench flag `--threads N` (also `--threads=N`).
+ * Defaults to 1 (serial); 0 selects the hardware concurrency;
+ * malformed or negative values fall back to the default. Any thread
+ * count produces bit-identical tables — the sweep engine merges
+ * results by job index.
+ */
+inline unsigned
+parseThreads(int argc, char **argv, unsigned fallback = 1)
+{
+    auto parse = [fallback](const char *s) -> unsigned {
+        char *end = nullptr;
+        long v = std::strtol(s, &end, 10);
+        if (end == s || *end != '\0' || v < 0) {
+            std::fprintf(stderr,
+                         "--threads: invalid value '%s', using %u\n",
+                         s, fallback);
+            return fallback;
+        }
+        return static_cast<unsigned>(v);
+    };
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0) {
+            if (i + 1 < argc)
+                return parse(argv[i + 1]);
+            std::fprintf(stderr,
+                         "--threads: missing value, using %u\n",
+                         fallback);
+            return fallback;
+        }
+        if (std::strncmp(argv[i], "--threads=", 10) == 0)
+            return parse(argv[i] + 10);
+    }
+    return fallback;
+}
+
 /** Run RPG2, Triangel, and the Prophet pipeline on one workload. */
 inline TrioResult
 runTrio(sim::Runner &runner, const std::string &workload)
@@ -37,6 +76,31 @@ runTrio(sim::Runner &runner, const std::string &workload)
     r.triangel = runner.runTriangel(workload);
     r.prophet = runner.runProphet(workload).stats;
     return r;
+}
+
+/**
+ * The standard figure sweep: every workload's trio, fanned across
+ * the sweep engine's thread pool. Results are keyed by workload and
+ * independent of the thread count.
+ */
+inline std::map<std::string, TrioResult>
+runTrios(sim::Runner &runner,
+         const std::vector<std::string> &workloads, unsigned threads)
+{
+    sim::SweepEngine engine(runner, threads);
+    std::printf("sweeping %zu workloads x 3 systems on %u thread%s\n",
+                workloads.size(), engine.threads(),
+                engine.threads() == 1 ? "" : "s");
+    auto outcomes = engine.runTrios(workloads);
+    std::map<std::string, TrioResult> results;
+    for (auto &[w, o] : outcomes) {
+        TrioResult r;
+        r.rpg2 = o.rpg2.stats;
+        r.triangel = o.triangel;
+        r.prophet = o.prophet.stats;
+        results.emplace(w, std::move(r));
+    }
+    return results;
 }
 
 /** Metric extractor signature: (runner, workload, stats) -> value. */

@@ -12,10 +12,13 @@ Cache::Cache(const CacheConfig &config)
       waysTotal(config.assoc),
       latency(config.hitLatency),
       lines(static_cast<std::size_t>(config.numSets()) * config.assoc),
+      wayIds(config.assoc),
       repl(makePolicy(config.replacement))
 {
     prophet_assert(sets > 0 && isPowerOf2(sets));
     prophet_assert(waysTotal > 0);
+    for (unsigned w = 0; w < waysTotal; ++w)
+        wayIds[w] = w;
     repl->reset(sets, waysTotal);
 }
 
@@ -109,9 +112,14 @@ Cache::fill(Addr line_addr, Cycle ready_at, PfClass pf_class, PC pf_pc,
     unsigned set = setIndex(line_addr);
     int existing = findWay(set, line_addr);
     if (existing >= 0) {
-        // Refill of a present line: merge state.
+        // Refill of a present line: merge state. An in-flight line
+        // refilled with an earlier ready time takes that earlier
+        // time, otherwise late-prefetch hits would keep paying the
+        // stale later timestamp.
         Line &l = lineAt(set, static_cast<unsigned>(existing));
         l.dirty = l.dirty || dirty;
+        if (ready_at < l.readyAt)
+            l.readyAt = ready_at;
         repl->touch(set, static_cast<unsigned>(existing));
         return Eviction{};
     }
@@ -129,12 +137,12 @@ Cache::fill(Addr line_addr, Cycle ready_at, PfClass pf_class, PC pf_pc,
 
     Eviction ev;
     if (target < 0) {
-        std::vector<unsigned> candidates;
-        candidates.reserve(waysTotal - reserved);
-        for (unsigned w = reserved; w < waysTotal; ++w)
-            candidates.push_back(w);
-        prophet_assert(!candidates.empty());
-        unsigned victim = repl->victim(set, candidates);
+        // All demand ways hold valid lines: the candidate set is the
+        // contiguous [reserved, waysTotal) suffix of wayIds, so no
+        // per-miss candidate vector is ever built.
+        prophet_assert(reserved < waysTotal);
+        unsigned victim = repl->victim(set, wayIds.data() + reserved,
+                                       waysTotal - reserved);
         Line &vl = lineAt(set, victim);
         ev.valid = true;
         ev.lineAddr = vl.tag;

@@ -164,6 +164,16 @@ class Cache
     Cycle latency;
     unsigned reserved = 0;
     std::vector<Line> lines;
+
+    /**
+     * The way indices 0..assoc-1, built once at construction. The
+     * demand partition [reserved, assoc) is a contiguous suffix, so
+     * eviction candidates are always the span
+     * (wayIds.data() + reserved, assoc - reserved) — the steady-state
+     * miss path never builds a candidate vector.
+     */
+    std::vector<unsigned> wayIds;
+
     std::unique_ptr<ReplacementPolicy> repl;
     CacheStats statsData;
 

@@ -153,32 +153,32 @@ HawkeyePolicy::insert(unsigned set, unsigned way)
 }
 
 unsigned
-HawkeyePolicy::victim(unsigned set,
-                      const std::vector<unsigned> &candidates)
+HawkeyePolicy::victim(unsigned set, const unsigned *cands, unsigned n)
 {
-    prophet_assert(!candidates.empty());
+    prophet_assert(n > 0);
     std::size_t base = static_cast<std::size_t>(set) * numWays;
 
     // Prefer a cache-averse line (rrip == max).
-    for (unsigned way : candidates)
-        if (rrip[base + way] >= maxRrip)
-            return way;
+    for (unsigned i = 0; i < n; ++i)
+        if (rrip[base + cands[i]] >= maxRrip)
+            return cands[i];
 
     // Otherwise evict the oldest friendly line and detrain its
     // signature: OPT would not have evicted a friendly line, so the
     // predictor was wrong about it.
-    unsigned victim_way = candidates.front();
+    unsigned victim_way = cands[0];
     std::uint8_t oldest = 0;
-    for (unsigned way : candidates) {
+    for (unsigned i = 0; i < n; ++i) {
+        unsigned way = cands[i];
         if (rrip[base + way] >= oldest) {
             oldest = rrip[base + way];
             victim_way = way;
         }
     }
     // Age friendly candidates so ties break toward older lines later.
-    for (unsigned way : candidates)
-        if (rrip[base + way] < maxRrip - 1)
-            ++rrip[base + way];
+    for (unsigned i = 0; i < n; ++i)
+        if (rrip[base + cands[i]] < maxRrip - 1)
+            ++rrip[base + cands[i]];
 
     trainNegative(lineSig[base + victim_way]);
     return victim_way;

@@ -40,11 +40,13 @@ class HawkeyePolicy : public ReplacementPolicy
     explicit HawkeyePolicy(unsigned sampled_sets = 64,
                            unsigned predictor_entries = 2048);
 
+    using ReplacementPolicy::victim;
+
     void reset(unsigned num_sets, unsigned assoc) override;
     void touch(unsigned set, unsigned way) override;
     void insert(unsigned set, unsigned way) override;
-    unsigned victim(unsigned set,
-                    const std::vector<unsigned> &candidates) override;
+    unsigned victim(unsigned set, const unsigned *cands,
+                    unsigned n) override;
     std::string name() const override { return "Hawkeye"; }
 
     /** Provide the signature of the access about to touch/insert. */

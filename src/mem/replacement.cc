@@ -31,12 +31,13 @@ LruPolicy::insert(unsigned set, unsigned way)
 }
 
 unsigned
-LruPolicy::victim(unsigned set, const std::vector<unsigned> &candidates)
+LruPolicy::victim(unsigned set, const unsigned *cands, unsigned n)
 {
-    prophet_assert(!candidates.empty());
-    unsigned best = candidates.front();
+    prophet_assert(n > 0);
+    unsigned best = cands[0];
     std::uint64_t best_stamp = std::numeric_limits<std::uint64_t>::max();
-    for (unsigned way : candidates) {
+    for (unsigned i = 0; i < n; ++i) {
+        unsigned way = cands[i];
         std::uint64_t s =
             stamps[static_cast<std::size_t>(set) * numWays + way];
         if (s < best_stamp) {
@@ -110,17 +111,16 @@ TreePlruPolicy::insert(unsigned set, unsigned way)
 }
 
 unsigned
-TreePlruPolicy::victim(unsigned set,
-                       const std::vector<unsigned> &candidates)
+TreePlruPolicy::victim(unsigned set, const unsigned *cands, unsigned n)
 {
-    prophet_assert(!candidates.empty());
+    prophet_assert(n > 0);
     unsigned preferred = followTree(set);
-    for (unsigned way : candidates)
-        if (way == preferred)
+    for (unsigned i = 0; i < n; ++i)
+        if (cands[i] == preferred)
             return preferred;
     // The tree's preference is outside the candidate restriction;
     // fall back to timestamp LRU among candidates.
-    return fallback.victim(set, candidates);
+    return fallback.victim(set, cands, n);
 }
 
 // -------------------------------------------------------------- SRRIP
@@ -152,18 +152,18 @@ SrripPolicy::insert(unsigned set, unsigned way)
 }
 
 unsigned
-SrripPolicy::victim(unsigned set, const std::vector<unsigned> &candidates)
+SrripPolicy::victim(unsigned set, const unsigned *cands, unsigned n)
 {
-    prophet_assert(!candidates.empty());
+    prophet_assert(n > 0);
     std::size_t base = static_cast<std::size_t>(set) * numWays;
     for (;;) {
-        for (unsigned way : candidates)
-            if (rrpvs[base + way] >= maxRrpv)
-                return way;
+        for (unsigned i = 0; i < n; ++i)
+            if (rrpvs[base + cands[i]] >= maxRrpv)
+                return cands[i];
         // Age all candidates and retry; bounded by maxRrpv rounds.
-        for (unsigned way : candidates)
-            if (rrpvs[base + way] < maxRrpv)
-                ++rrpvs[base + way];
+        for (unsigned i = 0; i < n; ++i)
+            if (rrpvs[base + cands[i]] < maxRrpv)
+                ++rrpvs[base + cands[i]];
     }
 }
 
@@ -201,17 +201,17 @@ BrripPolicy::insert(unsigned set, unsigned way)
 }
 
 unsigned
-BrripPolicy::victim(unsigned set, const std::vector<unsigned> &candidates)
+BrripPolicy::victim(unsigned set, const unsigned *cands, unsigned n)
 {
-    prophet_assert(!candidates.empty());
+    prophet_assert(n > 0);
     std::size_t base = static_cast<std::size_t>(set) * numWays;
     for (;;) {
-        for (unsigned way : candidates)
-            if (rrpvs[base + way] >= maxRrpv)
-                return way;
-        for (unsigned way : candidates)
-            if (rrpvs[base + way] < maxRrpv)
-                ++rrpvs[base + way];
+        for (unsigned i = 0; i < n; ++i)
+            if (rrpvs[base + cands[i]] >= maxRrpv)
+                return cands[i];
+        for (unsigned i = 0; i < n; ++i)
+            if (rrpvs[base + cands[i]] < maxRrpv)
+                ++rrpvs[base + cands[i]];
     }
 }
 
@@ -234,10 +234,10 @@ RandomPolicy::insert(unsigned, unsigned)
 {}
 
 unsigned
-RandomPolicy::victim(unsigned, const std::vector<unsigned> &candidates)
+RandomPolicy::victim(unsigned, const unsigned *cands, unsigned n)
 {
-    prophet_assert(!candidates.empty());
-    return candidates[rng.below(candidates.size())];
+    prophet_assert(n > 0);
+    return cands[rng.below(n)];
 }
 
 // ------------------------------------------------------------ factory

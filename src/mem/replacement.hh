@@ -5,19 +5,22 @@
  * and random. Hawkeye (Triage's original metadata policy) lives in
  * hawkeye.hh.
  *
- * The victim() method receives an explicit candidate list so that
+ * The victim() method receives an explicit candidate span so that
  * higher-level policies (Prophet's priority-class replacement,
  * Section 4.2 of the paper) can pre-filter candidates and delegate
  * the final choice to a base policy, exactly as Figure 4 describes
  * ("Prophet Replacement Policy first generates candidate victims for
  * the Runtime Replacement Policy, which then chooses the final
- * victim").
+ * victim"). The span form (pointer + count rather than std::vector)
+ * keeps the per-miss eviction path free of heap allocation: callers
+ * point into pre-built scratch buffers.
  */
 
 #ifndef PROPHET_MEM_REPLACEMENT_HH
 #define PROPHET_MEM_REPLACEMENT_HH
 
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
 #include <string>
 #include <vector>
@@ -46,10 +49,28 @@ class ReplacementPolicy
 
     /**
      * Choose a victim among the candidate ways of a set. The
-     * candidate list is never empty; all candidates hold valid lines.
+     * candidate span is never empty; all candidates hold valid lines.
+     * Implementations must not allocate (this sits on the per-miss
+     * eviction path).
      */
-    virtual unsigned victim(unsigned set,
-                            const std::vector<unsigned> &candidates) = 0;
+    virtual unsigned victim(unsigned set, const unsigned *cands,
+                            unsigned n) = 0;
+
+    /** Convenience overload for tests and non-hot-path callers. */
+    unsigned
+    victim(unsigned set, const std::vector<unsigned> &candidates)
+    {
+        return victim(set, candidates.data(),
+                      static_cast<unsigned>(candidates.size()));
+    }
+
+    /** Convenience overload so victim(set, {1, 3}) keeps working. */
+    unsigned
+    victim(unsigned set, std::initializer_list<unsigned> candidates)
+    {
+        return victim(set, candidates.begin(),
+                      static_cast<unsigned>(candidates.size()));
+    }
 
     /** Policy name for reports. */
     virtual std::string name() const = 0;
@@ -59,11 +80,13 @@ class ReplacementPolicy
 class LruPolicy : public ReplacementPolicy
 {
   public:
+    using ReplacementPolicy::victim;
+
     void reset(unsigned num_sets, unsigned assoc) override;
     void touch(unsigned set, unsigned way) override;
     void insert(unsigned set, unsigned way) override;
-    unsigned victim(unsigned set,
-                    const std::vector<unsigned> &candidates) override;
+    unsigned victim(unsigned set, const unsigned *cands,
+                    unsigned n) override;
     std::string name() const override { return "LRU"; }
 
   private:
@@ -81,11 +104,13 @@ class LruPolicy : public ReplacementPolicy
 class TreePlruPolicy : public ReplacementPolicy
 {
   public:
+    using ReplacementPolicy::victim;
+
     void reset(unsigned num_sets, unsigned assoc) override;
     void touch(unsigned set, unsigned way) override;
     void insert(unsigned set, unsigned way) override;
-    unsigned victim(unsigned set,
-                    const std::vector<unsigned> &candidates) override;
+    unsigned victim(unsigned set, const unsigned *cands,
+                    unsigned n) override;
     std::string name() const override { return "TreePLRU"; }
 
   private:
@@ -109,11 +134,13 @@ class SrripPolicy : public ReplacementPolicy
   public:
     explicit SrripPolicy(unsigned rrpv_bits = 2);
 
+    using ReplacementPolicy::victim;
+
     void reset(unsigned num_sets, unsigned assoc) override;
     void touch(unsigned set, unsigned way) override;
     void insert(unsigned set, unsigned way) override;
-    unsigned victim(unsigned set,
-                    const std::vector<unsigned> &candidates) override;
+    unsigned victim(unsigned set, const unsigned *cands,
+                    unsigned n) override;
     std::string name() const override { return "SRRIP"; }
 
     /** RRPV of a line, exposed for tests. */
@@ -134,11 +161,13 @@ class BrripPolicy : public ReplacementPolicy
   public:
     explicit BrripPolicy(double long_insert_prob = 1.0 / 32.0);
 
+    using ReplacementPolicy::victim;
+
     void reset(unsigned num_sets, unsigned assoc) override;
     void touch(unsigned set, unsigned way) override;
     void insert(unsigned set, unsigned way) override;
-    unsigned victim(unsigned set,
-                    const std::vector<unsigned> &candidates) override;
+    unsigned victim(unsigned set, const unsigned *cands,
+                    unsigned n) override;
     std::string name() const override { return "BRRIP"; }
 
   private:
@@ -155,11 +184,13 @@ class RandomPolicy : public ReplacementPolicy
   public:
     explicit RandomPolicy(std::uint64_t seed = 1);
 
+    using ReplacementPolicy::victim;
+
     void reset(unsigned num_sets, unsigned assoc) override;
     void touch(unsigned set, unsigned way) override;
     void insert(unsigned set, unsigned way) override;
-    unsigned victim(unsigned set,
-                    const std::vector<unsigned> &candidates) override;
+    unsigned victim(unsigned set, const unsigned *cands,
+                    unsigned n) override;
     std::string name() const override { return "Random"; }
 
   private:

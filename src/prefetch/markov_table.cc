@@ -12,6 +12,7 @@ MarkovTable::MarkovTable(unsigned num_sets, unsigned max_ways,
     : numSets(num_sets), maxWays(max_ways), curWays(max_ways),
       entries(static_cast<std::size_t>(num_sets) * max_ways
               * kEntriesPerLine),
+      candScratch(static_cast<std::size_t>(max_ways) * kEntriesPerLine),
       repl(std::move(policy))
 {
     prophet_assert(isPowerOf2(num_sets));
@@ -133,8 +134,7 @@ MarkovTable::insert(Addr key, Addr target, std::uint8_t priority)
     }
 
     if (slot < 0) {
-        std::vector<unsigned> candidates;
-        candidates.reserve(curAssoc());
+        unsigned n = 0;
         if (priorityAware) {
             // Prophet replacement: restrict candidates to the lowest
             // priority level present; the runtime policy then picks
@@ -144,12 +144,12 @@ MarkovTable::insert(Addr key, Addr target, std::uint8_t priority)
                 min_prio = std::min(min_prio, at(set, w).priority);
             for (unsigned w = 0; w < curAssoc(); ++w)
                 if (at(set, w).priority == min_prio)
-                    candidates.push_back(w);
+                    candScratch[n++] = w;
         } else {
             for (unsigned w = 0; w < curAssoc(); ++w)
-                candidates.push_back(w);
+                candScratch[n++] = w;
         }
-        unsigned victim = repl->victim(set, candidates);
+        unsigned victim = repl->victim(set, candScratch.data(), n);
         Entry &v = at(set, victim);
         ++statsData.replacements;
         if (evictionCb)

@@ -146,6 +146,13 @@ class MarkovTable
     std::uint64_t validCount = 0;
 
     std::vector<Entry> entries;
+
+    /**
+     * Scratch candidate buffer for victim selection, sized maxAssoc()
+     * at construction so the insert/evict hot path never allocates.
+     */
+    std::vector<unsigned> candScratch;
+
     std::unique_ptr<mem::ReplacementPolicy> repl;
     EvictionCallback evictionCb;
     MarkovStats statsData;

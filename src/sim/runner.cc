@@ -14,17 +14,35 @@ Runner::Runner(SystemConfig base_cfg, std::size_t records)
 void
 Runner::ensureWorkload(const std::string &workload)
 {
-    if (traces.count(workload))
-        return;
+    {
+        std::lock_guard<std::mutex> lock(cacheMu);
+        if (traces.count(workload))
+            return;
+    }
+    // Generate outside the lock: generation is deterministic per
+    // workload name, so racing workers build identical traces and
+    // the first insert wins (the loser's copy is discarded).
     auto gen = workloads::makeWorkload(workload, recordsOverride);
-    traces.emplace(workload, gen->generate());
-    generators.emplace(workload, std::move(gen));
+    auto tr = std::make_shared<const trace::Trace>(gen->generate());
+
+    std::lock_guard<std::mutex> lock(cacheMu);
+    auto [it, inserted] = traces.emplace(workload, std::move(tr));
+    (void)it;
+    if (inserted)
+        generators.emplace(workload, std::move(gen));
 }
 
 const trace::Trace &
 Runner::traceFor(const std::string &workload)
 {
+    return *traceShared(workload);
+}
+
+std::shared_ptr<const trace::Trace>
+Runner::traceShared(const std::string &workload)
+{
     ensureWorkload(workload);
+    std::lock_guard<std::mutex> lock(cacheMu);
     return traces.at(workload);
 }
 
@@ -32,27 +50,40 @@ const trace::IndirectResolver *
 Runner::resolverFor(const std::string &workload)
 {
     ensureWorkload(workload);
+    std::lock_guard<std::mutex> lock(cacheMu);
+    // The generator itself is immutable after generate(); resolver()
+    // hands out a const view safe for concurrent use.
     return generators.at(workload)->resolver();
 }
 
 RunStats
 Runner::runConfig(const std::string &workload, const SystemConfig &cfg)
 {
-    ensureWorkload(workload);
+    // Keep the trace alive independently of the cache map; each job
+    // simulates its own System over the shared immutable trace.
+    std::shared_ptr<const trace::Trace> tr = traceShared(workload);
     System system(cfg, resolverFor(workload));
-    return system.run(traces.at(workload));
+    return system.run(*tr);
 }
 
 const RunStats &
 Runner::baseline(const std::string &workload)
 {
-    auto it = baselines.find(workload);
-    if (it != baselines.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(cacheMu);
+        auto it = baselines.find(workload);
+        if (it != baselines.end())
+            return it->second;
+    }
     SystemConfig cfg = base;
     cfg.l2Pf = L2PfKind::None;
     cfg.rpg2Plan = rpg2::Rpg2Plan{};
+    // Simulate outside the lock; concurrent callers compute the same
+    // deterministic stats and the first emplace wins. std::map nodes
+    // are stable, so returned references stay valid for the Runner's
+    // lifetime.
     RunStats stats = runConfig(workload, cfg);
+    std::lock_guard<std::mutex> lock(cacheMu);
     return baselines.emplace(workload, std::move(stats)).first->second;
 }
 
@@ -75,11 +106,11 @@ Runner::runTriage(const std::string &workload, unsigned degree)
 core::ProfileSnapshot
 Runner::profileWorkload(const std::string &workload)
 {
-    ensureWorkload(workload);
+    std::shared_ptr<const trace::Trace> tr = traceShared(workload);
     SystemConfig cfg = base;
     cfg.l2Pf = L2PfKind::Simplified;
     System system(cfg, resolverFor(workload));
-    system.run(traces.at(workload));
+    system.run(*tr);
     prophet_assert(system.prophet() != nullptr);
     return system.prophet()->takeSnapshot();
 }

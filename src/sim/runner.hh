@@ -11,6 +11,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,14 @@ struct Rpg2Outcome
 /**
  * The experiment runner. One instance caches traces and baseline
  * runs across the experiments of a bench binary.
+ *
+ * Thread safety: all public methods may be called concurrently from
+ * sweep-engine workers. Traces are generated once, stored immutably
+ * behind shared_ptr<const Trace>, and shared by every System run;
+ * the generation and baseline caches are mutex-guarded. When two
+ * workers race to fill a cache slot, both compute the (deterministic)
+ * value and the first insert wins, so results never depend on
+ * scheduling.
  */
 class Runner
 {
@@ -55,6 +64,13 @@ class Runner
 
     /** The (cached) trace of a workload. */
     const trace::Trace &traceFor(const std::string &workload);
+
+    /**
+     * Shared ownership of the immutable trace, for callers that
+     * outlive or run concurrently with this Runner's cache.
+     */
+    std::shared_ptr<const trace::Trace>
+    traceShared(const std::string &workload);
 
     /** The workload's indirect resolver (may be nullptr). */
     const trace::IndirectResolver *
@@ -120,8 +136,15 @@ class Runner
     SystemConfig base;
     std::size_t recordsOverride;
 
+    /**
+     * Guards the three caches below. Held only around lookups and
+     * inserts, never across a simulation or trace generation, so
+     * workers overlap fully on the expensive parts.
+     */
+    std::mutex cacheMu;
+
     std::map<std::string, trace::GeneratorPtr> generators;
-    std::map<std::string, trace::Trace> traces;
+    std::map<std::string, std::shared_ptr<const trace::Trace>> traces;
     std::map<std::string, RunStats> baselines;
 
     void ensureWorkload(const std::string &workload);

@@ -1,0 +1,83 @@
+#include "sim/thread_pool.hh"
+
+namespace prophet::sim
+{
+
+unsigned
+ThreadPool::resolveThreads(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    unsigned n = resolveThreads(threads);
+    workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+    }
+    wakeWorker.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        jobs.push_back(std::move(job));
+        ++inFlight;
+    }
+    wakeWorker.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    allDone.wait(lock, [this] { return inFlight == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            wakeWorker.wait(lock, [this] {
+                return stopping || !jobs.empty();
+            });
+            if (jobs.empty())
+                return; // stopping with nothing left to run
+            job = std::move(jobs.front());
+            jobs.pop_front();
+        }
+        try {
+            job();
+        } catch (...) {
+            // A throwing job must not kill the worker (std::terminate)
+            // or leak inFlight and hang wait(). Callers that care
+            // about failures capture them inside the closure, as
+            // SweepEngine::forEach does.
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            if (--inFlight == 0)
+                allDone.notify_all();
+        }
+    }
+}
+
+} // namespace prophet::sim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A small fixed-size thread pool for the sweep engine. Jobs are
+ * plain closures; wait() blocks until every submitted job has
+ * finished, so a sweep can fan out a batch and then merge results
+ * deterministically.
+ */
+
+#ifndef PROPHET_SIM_THREAD_POOL_HH
+#define PROPHET_SIM_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prophet::sim
+{
+
+/**
+ * Fixed-size worker pool. Construction spawns the workers;
+ * destruction drains outstanding jobs and joins them. One pool is
+ * meant to outlive many submit/wait batches (benches reuse a single
+ * engine across figures).
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Worker count; 0 selects the hardware
+     *        concurrency (at least 1).
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue a job. Safe to call from worker threads. Exceptions
+     * escaping the job are swallowed (the pool stays healthy and
+     * wait() still returns); capture failures inside the closure if
+     * they matter, as SweepEngine::forEach does.
+     */
+    void submit(std::function<void()> job);
+
+    /** Block until all submitted jobs have completed. */
+    void wait();
+
+    /** Number of worker threads. */
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers.size());
+    }
+
+    /** Resolve a requested thread count (0 = hardware concurrency). */
+    static unsigned resolveThreads(unsigned requested);
+
+  private:
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> jobs;
+    std::mutex mu;
+    std::condition_variable wakeWorker;
+    std::condition_variable allDone;
+    std::size_t inFlight = 0;
+    bool stopping = false;
+
+    void workerLoop();
+};
+
+} // namespace prophet::sim
+
+#endif // PROPHET_SIM_THREAD_POOL_HH

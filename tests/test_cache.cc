@@ -7,7 +7,75 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "mem/cache.hh"
+
+/**
+ * Allocation counter: global operator new replacement so tests can
+ * assert that the steady-state miss path performs zero heap
+ * allocations (the eviction hot path uses pre-built candidate spans).
+ */
+namespace
+{
+std::atomic<std::uint64_t> g_heapAllocs{0};
+} // anonymous namespace
+
+void *
+operator new(std::size_t n)
+{
+    ++g_heapAllocs;
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return ::operator new(n);
+}
+
+void *
+operator new(std::size_t n, std::align_val_t align)
+{
+    ++g_heapAllocs;
+    // aligned_alloc requires the size to be a multiple of alignment.
+    std::size_t a = static_cast<std::size_t>(align);
+    std::size_t size = ((n ? n : 1) + a - 1) / a * a;
+    if (void *p = std::aligned_alloc(a, size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n, std::align_val_t align)
+{
+    return ::operator new(n, align);
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+void operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
 
 namespace prophet::mem
 {
@@ -99,6 +167,58 @@ TEST(Cache, RefillMergesDirtyState)
         c.fill(a, 0, PfClass::None, kInvalidPC, false);
     // Line 3 must have been evicted dirty.
     EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, RefillMergesEarlierReadyTime)
+{
+    Cache c(smallConfig());
+    // A prefetch lands the line at cycle 100; a second (e.g. demand)
+    // fill of the same line arrives earlier, at cycle 50. The line
+    // must take the earlier ready time, or demands between 50 and
+    // 100 would keep paying the stale later timestamp.
+    c.fill(5, 100, PfClass::L2, 0x400, false);
+    c.fill(5, 50, PfClass::None, kInvalidPC, false);
+    auto r = c.lookupDemand(5, 60);
+    EXPECT_TRUE(r.hit);
+    EXPECT_FALSE(r.wasLate);
+    EXPECT_EQ(r.readyAt, 62u); // cycle + hit latency
+}
+
+TEST(Cache, RefillNeverDelaysReadyTime)
+{
+    Cache c(smallConfig());
+    // The merge is one-directional: a refill with a *later* ready
+    // time must not push back a line already (about to be) present.
+    c.fill(5, 50, PfClass::None, kInvalidPC, false);
+    c.fill(5, 100, PfClass::L2, 0x400, false);
+    auto r = c.lookupDemand(5, 60);
+    EXPECT_TRUE(r.hit);
+    EXPECT_FALSE(r.wasLate);
+}
+
+TEST(Cache, SteadyStateMissPathDoesNotAllocate)
+{
+    for (const char *policy : {"lru", "plru", "srrip", "random"}) {
+        CacheConfig cfg = smallConfig();
+        cfg.replacement = policy;
+        Cache c(cfg);
+        // Warm every way of every set so each subsequent fill evicts.
+        for (Addr a = 0; a < 16 * 4; ++a)
+            c.fill(a, 0, PfClass::None, kInvalidPC, false);
+
+        std::uint64_t before = g_heapAllocs.load();
+        Cycle cycle = 0;
+        for (Addr a = 16 * 4; a < 16 * 4 + 512; ++a) {
+            auto miss = c.lookupDemand(a, cycle);
+            ASSERT_FALSE(miss.hit);
+            auto ev = c.fill(a, cycle + 30, PfClass::None,
+                             kInvalidPC, false);
+            ASSERT_TRUE(ev.valid); // every fill evicts a valid line
+            ++cycle;
+        }
+        EXPECT_EQ(g_heapAllocs.load(), before)
+            << "demand miss + eviction allocated under " << policy;
+    }
 }
 
 TEST(Cache, MarkDirtyAndInvalidate)

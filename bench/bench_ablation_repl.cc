@@ -13,16 +13,19 @@
 
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "sim/runner.hh"
 #include "stats/summary.hh"
 #include "stats/table.hh"
 #include "workloads/registry.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace prophet;
+    unsigned threads = bench::parseThreads(argc, argv);
     sim::Runner runner;
+    sim::SweepEngine engine(runner, threads);
     const std::vector<std::string> workloads{"mcf", "omnetpp",
                                              "soplex_pds-50"};
     const std::vector<std::string> policies{"hawkeye", "srrip", "lru",
@@ -32,30 +35,45 @@ main()
                         "Random", "Prophet(+Repla)"});
     std::vector<std::vector<double>> cols(policies.size() + 1);
 
-    core::Analyzer analyzer;
-    for (const auto &w : workloads) {
-        std::printf("running %s...\n", w.c_str());
-        std::vector<std::string> row{w};
-        for (std::size_t i = 0; i < policies.size(); ++i) {
+    // One job per (workload x policy) cell — the last column is
+    // Prophet restricted to its replacement feature (the accuracy-
+    // priority victim filter on top of the runtime policy), which
+    // profiles inside its own job. Baselines are warmed up front so
+    // speedup normalization never races.
+    engine.warmBaselines(workloads);
+    std::size_t per = policies.size() + 1;
+    std::vector<double> cells(workloads.size() * per);
+    engine.forEach(cells.size(), [&](std::size_t j) {
+        const auto &w = workloads[j / per];
+        std::size_t i = j % per;
+        sim::RunStats stats;
+        if (i < policies.size()) {
             sim::SystemConfig cfg = runner.baseConfig();
             cfg.l2Pf = sim::L2PfKind::Triage4;
             cfg.triage.metaReplacement = policies[i];
             cfg.triage.bloomResizing = false;
-            auto stats = runner.runConfig(w, cfg);
-            double s = runner.speedup(w, stats);
+            stats = runner.runConfig(w, cfg);
+        } else {
+            core::Analyzer analyzer;
+            auto binary =
+                analyzer.analyze(runner.profileWorkload(w));
+            core::ProphetConfig pcfg;
+            pcfg.features = core::ProphetFeatures{true, false, false,
+                                                  false};
+            stats = runner.runProphetWithBinary(w, binary, pcfg);
+        }
+        cells[j] = runner.speedup(w, stats);
+        std::fprintf(stderr, "  %s [%zu/%zu] done\n", w.c_str(),
+                     i + 1, per);
+    });
+
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        std::vector<std::string> row{workloads[wi]};
+        for (std::size_t i = 0; i < per; ++i) {
+            double s = cells[wi * per + i];
             row.push_back(stats::Table::fmt(s));
             cols[i].push_back(s);
         }
-        // Prophet with only the replacement feature: the accuracy-
-        // priority victim filter on top of the runtime policy.
-        auto binary = analyzer.analyze(runner.profileWorkload(w));
-        core::ProphetConfig pcfg;
-        pcfg.features = core::ProphetFeatures{true, false, false,
-                                              false};
-        auto stats = runner.runProphetWithBinary(w, binary, pcfg);
-        double s = runner.speedup(w, stats);
-        row.push_back(stats::Table::fmt(s));
-        cols.back().push_back(s);
         table.addRow(std::move(row));
     }
     std::vector<std::string> geo{"Geomean"};

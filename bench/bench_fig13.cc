@@ -18,6 +18,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "core/learner.hh"
 #include "sim/runner.hh"
 #include "stats/summary.hh"
@@ -25,10 +26,12 @@
 #include "workloads/registry.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace prophet;
+    unsigned threads = bench::parseThreads(argc, argv);
     sim::Runner runner;
+    sim::SweepEngine engine(runner, threads);
     const auto &inputs = workloads::gccInputs();
     const std::vector<std::string> learn_order{
         "gcc_166", "gcc_expr", "gcc_typeck", "gcc_expr2"};
@@ -50,19 +53,26 @@ main()
         table.addRow(std::move(row));
     };
 
+    // Baselines first (speedup normalizes to them), one job per
+    // input; each row below then fans its nine evaluations across
+    // the pool. Stages themselves stay sequential — each one's
+    // binary depends on the previous merges. Progress goes to
+    // stderr so stdout is bit-identical across thread counts.
+    engine.warmBaselines(inputs);
+
     // "Disable": Triage4 + Triangel metadata (Section 5.3's leftmost
     // bar) — the Prophet prefetcher with every feature off.
     {
-        std::vector<double> speedups;
+        std::vector<double> speedups(inputs.size());
         core::ProphetConfig bare;
         bare.features = core::ProphetFeatures{false, false, false,
                                               false};
-        for (const auto &in : inputs) {
-            std::printf("disable: %s\n", in.c_str());
+        engine.forEach(inputs.size(), [&](std::size_t i) {
+            std::fprintf(stderr, "disable: %s\n", inputs[i].c_str());
             auto s = runner.runProphetWithBinary(
-                in, core::OptimizedBinary{}, bare);
-            speedups.push_back(runner.speedup(in, s));
-        }
+                inputs[i], core::OptimizedBinary{}, bare);
+            speedups[i] = runner.speedup(inputs[i], s);
+        });
         add_row("Disable", speedups);
     }
 
@@ -70,25 +80,25 @@ main()
     core::Learner learner;
     core::Analyzer analyzer;
     for (const auto &learned : learn_order) {
-        std::printf("learning %s\n", learned.c_str());
+        std::fprintf(stderr, "learning %s\n", learned.c_str());
         learner.learn(runner.profileWorkload(learned));
         auto binary = analyzer.analyze(learner.merged());
-        std::vector<double> speedups;
-        for (const auto &in : inputs) {
-            auto s = runner.runProphetWithBinary(in, binary);
-            speedups.push_back(runner.speedup(in, s));
-        }
+        std::vector<double> speedups(inputs.size());
+        engine.forEach(inputs.size(), [&](std::size_t i) {
+            auto s = runner.runProphetWithBinary(inputs[i], binary);
+            speedups[i] = runner.speedup(inputs[i], s);
+        });
         add_row("+" + learned.substr(4), speedups);
     }
 
     // "Direct": profile each input individually.
     {
-        std::vector<double> speedups;
-        for (const auto &in : inputs) {
-            std::printf("direct: %s\n", in.c_str());
-            auto out = runner.runProphet(in);
-            speedups.push_back(runner.speedup(in, out.stats));
-        }
+        std::vector<double> speedups(inputs.size());
+        engine.forEach(inputs.size(), [&](std::size_t i) {
+            std::fprintf(stderr, "direct: %s\n", inputs[i].c_str());
+            auto out = runner.runProphet(inputs[i]);
+            speedups[i] = runner.speedup(inputs[i], out.stats);
+        });
         add_row("Direct", speedups);
     }
 

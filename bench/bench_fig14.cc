@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "core/learner.hh"
 #include "sim/runner.hh"
 #include "stats/summary.hh"
@@ -16,11 +17,13 @@ namespace
 {
 
 void
-runPair(prophet::sim::Runner &runner, const char *app,
+runPair(prophet::sim::SweepEngine &engine, const char *app,
         const std::vector<std::string> &inputs,
         const std::vector<std::string> &stage_labels)
 {
     using namespace prophet;
+    sim::Runner &runner = engine.runner();
+    engine.warmBaselines(inputs);
 
     stats::Table table([&] {
         std::vector<std::string> hdr{"stage"};
@@ -39,17 +42,18 @@ runPair(prophet::sim::Runner &runner, const char *app,
         table.addRow(std::move(row));
     };
 
-    // Disable row.
+    // Disable row (fanned across the engine's pool; stage order and
+    // stdout stay deterministic, progress goes to stderr).
     {
         core::ProphetConfig bare;
         bare.features = core::ProphetFeatures{false, false, false,
                                               false};
-        std::vector<double> speedups;
-        for (const auto &in : inputs) {
+        std::vector<double> speedups(inputs.size());
+        engine.forEach(inputs.size(), [&](std::size_t i) {
             auto s = runner.runProphetWithBinary(
-                in, core::OptimizedBinary{}, bare);
-            speedups.push_back(runner.speedup(in, s));
-        }
+                inputs[i], core::OptimizedBinary{}, bare);
+            speedups[i] = runner.speedup(inputs[i], s);
+        });
         add_row("Disable", speedups);
     }
 
@@ -57,24 +61,25 @@ runPair(prophet::sim::Runner &runner, const char *app,
     core::Learner learner;
     core::Analyzer analyzer;
     for (std::size_t stage = 0; stage < inputs.size(); ++stage) {
-        std::printf("%s: learning %s\n", app, inputs[stage].c_str());
+        std::fprintf(stderr, "%s: learning %s\n", app,
+                     inputs[stage].c_str());
         learner.learn(runner.profileWorkload(inputs[stage]));
         auto binary = analyzer.analyze(learner.merged());
-        std::vector<double> speedups;
-        for (const auto &in : inputs) {
-            auto s = runner.runProphetWithBinary(in, binary);
-            speedups.push_back(runner.speedup(in, s));
-        }
+        std::vector<double> speedups(inputs.size());
+        engine.forEach(inputs.size(), [&](std::size_t i) {
+            auto s = runner.runProphetWithBinary(inputs[i], binary);
+            speedups[i] = runner.speedup(inputs[i], s);
+        });
         add_row(stage_labels[stage], speedups);
     }
 
     // Direct row.
     {
-        std::vector<double> speedups;
-        for (const auto &in : inputs) {
-            auto out = runner.runProphet(in);
-            speedups.push_back(runner.speedup(in, out.stats));
-        }
+        std::vector<double> speedups(inputs.size());
+        engine.forEach(inputs.size(), [&](std::size_t i) {
+            auto out = runner.runProphet(inputs[i]);
+            speedups[i] = runner.speedup(inputs[i], out.stats);
+        });
         add_row("Direct", speedups);
     }
 
@@ -86,12 +91,14 @@ runPair(prophet::sim::Runner &runner, const char *app,
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned threads = prophet::bench::parseThreads(argc, argv);
     prophet::sim::Runner runner;
-    runPair(runner, "astar", {"astar_biglakes", "astar_rivers"},
+    prophet::sim::SweepEngine engine(runner, threads);
+    runPair(engine, "astar", {"astar_biglakes", "astar_rivers"},
             {"+lake", "+river"});
-    runPair(runner, "soplex", {"soplex_pds-50", "soplex_ref"},
+    runPair(engine, "soplex", {"soplex_pds-50", "soplex_ref"},
             {"+pds", "+ref"});
     return 0;
 }

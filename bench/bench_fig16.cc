@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <map>
 
+#include "bench_util.hh"
 #include "core/analyzer.hh"
 #include "sim/runner.hh"
 #include "stats/summary.hh"
@@ -28,7 +29,7 @@ using prophet::core::AnalyzerConfig;
 using prophet::core::ProphetConfig;
 
 void
-sweep(prophet::sim::Runner &runner,
+sweep(prophet::sim::SweepEngine &engine,
       const std::map<std::string, prophet::core::ProfileSnapshot>
           &profiles,
       const char *title, const std::vector<std::string> &labels,
@@ -36,6 +37,7 @@ sweep(prophet::sim::Runner &runner,
       const std::vector<ProphetConfig> &pcfgs)
 {
     using namespace prophet;
+    sim::Runner &runner = engine.runner();
     const auto &workloads = workloads::specWorkloads();
 
     stats::Table table([&] {
@@ -45,15 +47,24 @@ sweep(prophet::sim::Runner &runner,
         return hdr;
     }());
 
+    // Every (workload x parameter point) cell is an independent job;
+    // the value matrix is merged by index, so the table is identical
+    // at any thread count.
+    std::vector<double> cells(workloads.size() * labels.size());
+    engine.forEach(cells.size(), [&](std::size_t j) {
+        const auto &w = workloads[j / labels.size()];
+        std::size_t i = j % labels.size();
+        core::Analyzer analyzer(acfgs[i]);
+        auto binary = analyzer.analyze(profiles.at(w));
+        auto stats = runner.runProphetWithBinary(w, binary, pcfgs[i]);
+        cells[j] = runner.speedup(w, stats);
+    });
+
     std::vector<std::vector<double>> cols(labels.size());
-    for (const auto &w : workloads) {
-        std::vector<std::string> row{w};
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        std::vector<std::string> row{workloads[wi]};
         for (std::size_t i = 0; i < labels.size(); ++i) {
-            core::Analyzer analyzer(acfgs[i]);
-            auto binary = analyzer.analyze(profiles.at(w));
-            auto stats =
-                runner.runProphetWithBinary(w, binary, pcfgs[i]);
-            double s = runner.speedup(w, stats);
+            double s = cells[wi * labels.size() + i];
             row.push_back(stats::Table::fmt(s));
             cols[i].push_back(s);
         }
@@ -71,16 +82,26 @@ sweep(prophet::sim::Runner &runner,
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace prophet;
+    unsigned threads = bench::parseThreads(argc, argv);
     sim::Runner runner;
+    sim::SweepEngine engine(runner, threads);
+    const auto &workloads = workloads::specWorkloads();
 
+    // Baselines + one profiling job per workload up front; every
+    // parameter point below reuses the snapshots.
+    engine.warmBaselines(workloads);
     std::map<std::string, core::ProfileSnapshot> profiles;
-    for (const auto &w : workloads::specWorkloads()) {
-        std::printf("profiling %s...\n", w.c_str());
-        profiles[w] = runner.profileWorkload(w);
-    }
+    for (const auto &w : workloads)
+        profiles[w] = core::ProfileSnapshot{};
+    engine.forEach(workloads.size(), [&](std::size_t i) {
+        std::fprintf(stderr, "profiling %s...\n",
+                     workloads[i].c_str());
+        profiles[workloads[i]] =
+            runner.profileWorkload(workloads[i]);
+    });
 
     // (a) EL_ACC sweep.
     {
@@ -89,7 +110,7 @@ main()
         acfgs[1].elAcc = 0.15;
         acfgs[2].elAcc = 0.25;
         std::vector<ProphetConfig> pcfgs(3);
-        sweep(runner, profiles,
+        sweep(engine, profiles,
               "(a): EL_ACC sensitivity (insertion policy)",
               {"EL_ACC=0.05", "EL_ACC=0.15", "EL_ACC=0.25"}, acfgs,
               pcfgs);
@@ -102,7 +123,7 @@ main()
         acfgs[1].nBits = 2;
         acfgs[2].nBits = 3;
         std::vector<ProphetConfig> pcfgs(3);
-        sweep(runner, profiles,
+        sweep(engine, profiles,
               "(b): n sensitivity (replacement priority bits)",
               {"n=1", "n=2", "n=3"}, acfgs, pcfgs);
     }
@@ -114,7 +135,7 @@ main()
         pcfgs[0].mvbCandidates = 1;
         pcfgs[1].mvbCandidates = 2;
         pcfgs[2].mvbCandidates = 4;
-        sweep(runner, profiles,
+        sweep(engine, profiles,
               "(c): Multi-path Victim Buffer candidates",
               {"Candidate=1", "Candidate=2", "Candidate=4"}, acfgs,
               pcfgs);

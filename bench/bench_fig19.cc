@@ -17,16 +17,19 @@
 #include <cstdio>
 #include <map>
 
+#include "bench_util.hh"
 #include "sim/runner.hh"
 #include "stats/summary.hh"
 #include "stats/table.hh"
 #include "workloads/registry.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace prophet;
+    unsigned threads = bench::parseThreads(argc, argv);
     sim::Runner runner;
+    sim::SweepEngine engine(runner, threads);
     const auto &workloads = workloads::specWorkloads();
 
     struct Stage
@@ -42,14 +45,21 @@ main()
         {"+Resize", {true, true, true, true}},
     };
 
-    // Profile once per workload; each stage re-analyzes with the
-    // default analyzer and runs with its feature subset.
+    // Profile once per workload — one job each, baselines warmed
+    // first so the speedup divisions below never race to compute
+    // them. Each stage then re-analyzes with the default analyzer
+    // and runs with its feature subset.
+    engine.warmBaselines(workloads);
     std::map<std::string, core::OptimizedBinary> binaries;
-    core::Analyzer analyzer;
-    for (const auto &w : workloads) {
-        std::printf("profiling %s...\n", w.c_str());
-        binaries[w] = analyzer.analyze(runner.profileWorkload(w));
-    }
+    for (const auto &w : workloads)
+        binaries[w] = core::OptimizedBinary{};
+    engine.forEach(workloads.size(), [&](std::size_t i) {
+        std::fprintf(stderr, "profiling %s...\n",
+                     workloads[i].c_str());
+        core::Analyzer analyzer;
+        binaries[workloads[i]] =
+            analyzer.analyze(runner.profileWorkload(workloads[i]));
+    });
 
     auto hdr = [&] {
         std::vector<std::string> h{"workload"};
@@ -62,16 +72,27 @@ main()
     std::vector<std::vector<double>> perf_cols(stages.size());
     std::vector<std::vector<double>> traffic_cols(stages.size());
 
-    for (const auto &w : workloads) {
-        std::printf("running %s...\n", w.c_str());
-        std::vector<std::string> prow{w}, trow{w};
+    // One job per (workload x stage) cell, merged by index.
+    std::vector<double> cell_s(workloads.size() * stages.size());
+    std::vector<double> cell_t(cell_s.size());
+    engine.forEach(cell_s.size(), [&](std::size_t j) {
+        const auto &w = workloads[j / stages.size()];
+        std::size_t i = j % stages.size();
+        core::ProphetConfig cfg;
+        cfg.features = stages[i].features;
+        auto stats = runner.runProphetWithBinary(w, binaries[w], cfg);
+        cell_s[j] = runner.speedup(w, stats);
+        cell_t[j] = runner.trafficNorm(w, stats);
+        std::fprintf(stderr, "  %s %s done\n", w.c_str(),
+                     stages[i].label);
+    });
+
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        std::vector<std::string> prow{workloads[wi]};
+        std::vector<std::string> trow{workloads[wi]};
         for (std::size_t i = 0; i < stages.size(); ++i) {
-            core::ProphetConfig cfg;
-            cfg.features = stages[i].features;
-            auto stats =
-                runner.runProphetWithBinary(w, binaries[w], cfg);
-            double s = runner.speedup(w, stats);
-            double t = runner.trafficNorm(w, stats);
+            double s = cell_s[wi * stages.size() + i];
+            double t = cell_t[wi * stages.size() + i];
             prow.push_back(stats::Table::fmt(s));
             trow.push_back(stats::Table::fmt(t));
             perf_cols[i].push_back(s);

@@ -10,8 +10,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <thread>
 #include <vector>
 
+#include "common/time.hh"
 #include "mem/cache.hh"
 #include "mem/replacement.hh"
 #include "prefetch/bloom.hh"
@@ -96,6 +98,10 @@ BM_TrainingUnitSwap(benchmark::State &state)
 }
 BENCHMARK(BM_TrainingUnitSwap);
 
+/** Records driven through BM_SystemStep (also recorded in the JSON
+ *  context so per-record throughput is comparable across PRs). */
+constexpr int kSystemStepRecords = 500000;
+
 void
 BM_SystemStep(benchmark::State &state)
 {
@@ -106,7 +112,7 @@ BM_SystemStep(benchmark::State &state)
     p.seed = 11;
     workloads::ChaseStream stream(p, 50000, 0.02);
     trace::Trace t;
-    for (int i = 0; i < 500000; ++i)
+    for (int i = 0; i < kSystemStepRecords; ++i)
         stream.emit(t);
 
     sim::SystemConfig cfg = sim::SystemConfig::table1();
@@ -172,6 +178,21 @@ main(int argc, char **argv)
     benchmark::Initialize(&eff_argc, args.data());
     if (benchmark::ReportUnrecognizedArguments(eff_argc, args.data()))
         return 1;
+
+    // Run metadata in the JSON context block, so the perf trajectory
+    // stays interpretable across machines and PRs: how parallel the
+    // host is, how much work BM_SystemStep represents, and when the
+    // numbers were taken.
+    {
+        benchmark::AddCustomContext("timestamp_iso8601",
+                                    prophet::iso8601UtcNow());
+        benchmark::AddCustomContext(
+            "hardware_threads",
+            std::to_string(std::thread::hardware_concurrency()));
+        benchmark::AddCustomContext(
+            "system_step_records",
+            std::to_string(kSystemStepRecords));
+    }
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     return 0;

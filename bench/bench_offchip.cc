@@ -9,16 +9,19 @@
 
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "sim/runner.hh"
 #include "stats/summary.hh"
 #include "stats/table.hh"
 #include "workloads/registry.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace prophet;
+    unsigned threads = bench::parseThreads(argc, argv);
     sim::Runner runner;
+    sim::SweepEngine engine(runner, threads);
 
     const std::vector<std::string> workloads{"mcf", "omnetpp",
                                              "sphinx3"};
@@ -27,36 +30,60 @@ main()
     stats::Table meta({"workload", "STMS md-lines", "Domino md-lines",
                        "on-chip md-lines (all on-chip schemes)"});
 
+    // One job per (workload x system), merged by index; the STMS and
+    // Domino rows also feed the metadata-traffic table.
+    enum { kStms, kDomino, kTriage, kTriangel, kProphet, kSystems };
+    engine.warmBaselines(workloads);
+    std::vector<sim::RunStats> cells(workloads.size() * kSystems);
+    engine.forEach(cells.size(), [&](std::size_t j) {
+        const auto &w = workloads[j / kSystems];
+        switch (j % kSystems) {
+          case kStms: {
+            sim::SystemConfig cfg = runner.baseConfig();
+            cfg.l2Pf = sim::L2PfKind::Stms;
+            cells[j] = runner.runConfig(w, cfg);
+            break;
+          }
+          case kDomino: {
+            sim::SystemConfig cfg = runner.baseConfig();
+            cfg.l2Pf = sim::L2PfKind::Domino;
+            cells[j] = runner.runConfig(w, cfg);
+            break;
+          }
+          case kTriage:
+            cells[j] = runner.runTriage(w, 4);
+            break;
+          case kTriangel:
+            cells[j] = runner.runTriangel(w);
+            break;
+          default:
+            cells[j] = runner.runProphet(w).stats;
+            break;
+        }
+        std::fprintf(stderr, "  %s [%zu/%u] done\n", w.c_str(),
+                     j % kSystems + 1, unsigned{kSystems});
+    });
+
     std::vector<double> g_stms, g_dom, g_tri, g_tgl, g_pro;
-    for (const auto &w : workloads) {
-        std::printf("running %s...\n", w.c_str());
-        sim::SystemConfig stms_cfg = runner.baseConfig();
-        stms_cfg.l2Pf = sim::L2PfKind::Stms;
-        auto stms = runner.runConfig(w, stms_cfg);
-
-        sim::SystemConfig dom_cfg = runner.baseConfig();
-        dom_cfg.l2Pf = sim::L2PfKind::Domino;
-        auto dom = runner.runConfig(w, dom_cfg);
-
-        auto tri = runner.runTriage(w, 4);
-        auto tgl = runner.runTriangel(w);
-        auto pro = runner.runProphet(w).stats;
-
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        const auto &w = workloads[wi];
+        const sim::RunStats *row = &cells[wi * kSystems];
         auto s = [&](const sim::RunStats &r) {
             return runner.speedup(w, r);
         };
-        perf.addRow({w, stats::Table::fmt(s(stms)),
-                     stats::Table::fmt(s(dom)),
-                     stats::Table::fmt(s(tri)),
-                     stats::Table::fmt(s(tgl)),
-                     stats::Table::fmt(s(pro))});
-        meta.addRow({w, std::to_string(stms.offchipMeta.total()),
-                     std::to_string(dom.offchipMeta.total()), "0"});
-        g_stms.push_back(s(stms));
-        g_dom.push_back(s(dom));
-        g_tri.push_back(s(tri));
-        g_tgl.push_back(s(tgl));
-        g_pro.push_back(s(pro));
+        perf.addRow({w, stats::Table::fmt(s(row[kStms])),
+                     stats::Table::fmt(s(row[kDomino])),
+                     stats::Table::fmt(s(row[kTriage])),
+                     stats::Table::fmt(s(row[kTriangel])),
+                     stats::Table::fmt(s(row[kProphet]))});
+        meta.addRow(
+            {w, std::to_string(row[kStms].offchipMeta.total()),
+             std::to_string(row[kDomino].offchipMeta.total()), "0"});
+        g_stms.push_back(s(row[kStms]));
+        g_dom.push_back(s(row[kDomino]));
+        g_tri.push_back(s(row[kTriage]));
+        g_tgl.push_back(s(row[kTriangel]));
+        g_pro.push_back(s(row[kProphet]));
     }
     perf.addRow({"Geomean", stats::Table::fmt(stats::geomean(g_stms)),
                  stats::Table::fmt(stats::geomean(g_dom)),

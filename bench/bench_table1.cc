@@ -6,13 +6,17 @@
 
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "sim/system_config.hh"
 #include "stats/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using prophet::stats::Table;
+    // No simulation here — the flag is accepted (and ignored) so
+    // sweep scripts can pass a uniform --threads N to every bench.
+    (void)prophet::bench::parseThreads(argc, argv);
     auto cfg = prophet::sim::SystemConfig::table1();
 
     std::printf("== Table 1: System Configuration ==\n\n");

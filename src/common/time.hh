@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Shared wall-clock formatting: run metadata (JSON sinks,
+ * BENCH_micro.json) stamps results with an ISO-8601 UTC timestamp
+ * so archives from different machines line up.
+ */
+
+#ifndef PROPHET_COMMON_TIME_HH
+#define PROPHET_COMMON_TIME_HH
+
+#include <ctime>
+#include <string>
+
+namespace prophet
+{
+
+/** The current UTC time as "YYYY-MM-DDTHH:MM:SSZ". */
+inline std::string
+iso8601UtcNow()
+{
+    std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    gmtime_r(&now, &tm_utc);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    return buf;
+}
+
+} // namespace prophet
+
+#endif // PROPHET_COMMON_TIME_HH

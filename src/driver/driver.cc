@@ -1,0 +1,191 @@
+#include "driver/driver.hh"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/log.hh"
+#include "common/time.hh"
+#include "sim/sweep.hh"
+
+namespace prophet::driver
+{
+
+namespace
+{
+
+/** Does any requested output need the per-workload baseline run? */
+bool
+needsBaseline(const ExperimentSpec &spec)
+{
+    for (const auto &m : spec.metrics)
+        if (m == "speedup" || m == "traffic" || m == "coverage")
+            return true;
+    for (const auto &p : spec.pipelines)
+        if (p == "baseline" || p == "rpg2")
+            return true;
+    return false;
+}
+
+} // anonymous namespace
+
+sim::RunStats
+runPipeline(sim::Runner &runner, const std::string &pipeline,
+            const std::string &workload)
+{
+    if (pipeline == "baseline")
+        return runner.baseline(workload);
+    if (pipeline == "rpg2")
+        return runner.runRpg2(workload).stats;
+    if (pipeline == "triage")
+        return runner.runTriage(workload, 1);
+    if (pipeline == "triage4")
+        return runner.runTriage(workload, 4);
+    if (pipeline == "triangel")
+        return runner.runTriangel(workload);
+    if (pipeline == "prophet")
+        return runner.runProphet(workload).stats;
+    if (pipeline == "stms" || pipeline == "domino") {
+        sim::SystemConfig cfg = runner.baseConfig();
+        cfg.l2Pf = pipeline == "stms" ? sim::L2PfKind::Stms
+                                      : sim::L2PfKind::Domino;
+        return runner.runConfig(workload, cfg);
+    }
+    prophet_fatal("unknown pipeline name");
+}
+
+double
+computeMetric(sim::Runner &runner, const std::string &metric,
+              const std::string &workload,
+              const sim::RunStats &stats)
+{
+    if (metric == "speedup")
+        return runner.speedup(workload, stats);
+    if (metric == "traffic")
+        return runner.trafficNorm(workload, stats);
+    if (metric == "coverage")
+        return runner.coverage(workload, stats);
+    if (metric == "accuracy")
+        return stats.prefetchAccuracy();
+    if (metric == "ipc")
+        return stats.ipc;
+    prophet_fatal("unknown metric name");
+}
+
+ExperimentDriver::ExperimentDriver(ExperimentSpec spec_in,
+                                   DriverOptions opts_in)
+    : spec(std::move(spec_in)), opts(std::move(opts_in))
+{}
+
+void
+ExperimentDriver::addSink(std::unique_ptr<Sink> sink)
+{
+    extraSinks.push_back(std::move(sink));
+}
+
+unsigned
+ExperimentDriver::effectiveThreads() const
+{
+    return opts.threads == DriverOptions::kNoThreads ? spec.threads
+                                                     : opts.threads;
+}
+
+std::size_t
+ExperimentDriver::effectiveRecords() const
+{
+    return opts.records == DriverOptions::kNoRecords ? spec.records
+                                                     : opts.records;
+}
+
+bool
+ExperimentDriver::traceCacheEnabled() const
+{
+    return opts.traceCache < 0 ? spec.traceCache
+                               : opts.traceCache != 0;
+}
+
+ExperimentReport
+ExperimentDriver::run()
+{
+    auto start = std::chrono::steady_clock::now();
+
+    sim::Runner runner(spec.baseConfig(), effectiveRecords());
+    std::shared_ptr<trace::TraceCache> cache;
+    if (traceCacheEnabled()) {
+        cache =
+            std::make_shared<trace::TraceCache>(opts.traceCacheDir);
+        runner.setTraceCache(cache);
+    }
+
+    sim::SweepEngine engine(runner, effectiveThreads());
+    std::fprintf(stderr,
+                 "%s: %zu workloads x %zu pipelines on %u "
+                 "thread%s%s\n",
+                 spec.name.c_str(), spec.workloads.size(),
+                 spec.pipelines.size(), engine.threads(),
+                 engine.threads() == 1 ? "" : "s",
+                 cache ? " (trace cache on)" : "");
+
+    // Phase 1: baselines, one job per workload, when any metric or
+    // pipeline normalizes to them (keeps the fan-out phase from
+    // computing them redundantly inside racing jobs).
+    if (needsBaseline(spec))
+        engine.warmBaselines(spec.workloads);
+
+    // Phase 2: every (workload x pipeline) as an independent job,
+    // workload-major. Slots are pre-sized: jobs write disjoint
+    // indices and the merge order is the spec order by construction.
+    ExperimentReport report;
+    std::size_t per = spec.pipelines.size();
+    report.results.resize(spec.workloads.size() * per);
+    engine.forEach(report.results.size(), [&](std::size_t i) {
+        JobResult &slot = report.results[i];
+        slot.workload = spec.workloads[i / per];
+        slot.pipeline = spec.pipelines[i % per];
+        slot.stats = runPipeline(runner, slot.pipeline,
+                                 slot.workload);
+        std::fprintf(stderr, "  %s/%s done\n", slot.workload.c_str(),
+                     slot.pipeline.c_str());
+    });
+
+    // Metric derivation is sequential: baselines are cached by now
+    // and the division is trivial.
+    for (auto &r : report.results)
+        for (const auto &m : spec.metrics)
+            r.metrics.emplace_back(
+                m, computeMetric(runner, m, r.workload, r.stats));
+
+    auto elapsed = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start);
+    report.meta.specName = spec.name;
+    report.meta.specHash = spec.resultHash(effectiveRecords());
+    report.meta.records = effectiveRecords();
+    report.meta.threads = engine.threads();
+    report.meta.wallSeconds = elapsed.count();
+    report.meta.timestamp = iso8601UtcNow();
+    if (cache) {
+        auto cs = cache->stats();
+        report.meta.traceCacheHits = cs.hits;
+        report.meta.traceCacheMisses = cs.misses;
+    }
+
+    // Deliver in spec order to the spec's sinks plus any extras.
+    std::vector<std::unique_ptr<Sink>> sinks;
+    if (spec.sinks.empty()) {
+        sinks.push_back(makeSink(SinkSpec{}));
+    } else {
+        for (const auto &s : spec.sinks)
+            sinks.push_back(makeSink(s));
+    }
+    for (auto &s : extraSinks)
+        sinks.push_back(std::move(s));
+    extraSinks.clear();
+    for (const auto &s : sinks) {
+        for (const auto &r : report.results)
+            s->result(r);
+        if (!s->finish(spec, report.meta))
+            report.sinksOk = false;
+    }
+    return report;
+}
+
+} // namespace prophet::driver

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The experiment driver: expands a declarative ExperimentSpec into
+ * (workload x pipeline) SweepEngine jobs, runs them across the
+ * thread pool, derives the requested metrics, and streams the
+ * results — in spec order, so output is independent of scheduling —
+ * to the spec's sinks. This is the layer the `prophet` CLI and the
+ * end-to-end tests drive; the figure benches it supersedes each
+ * hardcoded one slice of what a spec file now describes.
+ */
+
+#ifndef PROPHET_DRIVER_DRIVER_HH
+#define PROPHET_DRIVER_DRIVER_HH
+
+#include <memory>
+#include <vector>
+
+#include "driver/sink.hh"
+#include "driver/spec.hh"
+#include "sim/runner.hh"
+#include "trace/trace_cache.hh"
+
+namespace prophet::driver
+{
+
+/** CLI-level overrides applied on top of the spec. */
+struct DriverOptions
+{
+    static constexpr unsigned kNoThreads = ~0u;
+    static constexpr std::size_t kNoRecords =
+        static_cast<std::size_t>(-1);
+
+    unsigned threads = kNoThreads;      ///< kNoThreads = spec value
+    std::size_t records = kNoRecords;   ///< kNoRecords = spec value
+    int traceCache = -1;                ///< -1 spec, 0 off, 1 on
+    std::string traceCacheDir;          ///< empty = default dir
+};
+
+/** Everything a run produced, for callers beyond the sinks. */
+struct ExperimentReport
+{
+    RunMeta meta;
+    std::vector<JobResult> results; ///< workload-major spec order
+    bool sinksOk = true; ///< every sink wrote its output successfully
+};
+
+/**
+ * Runs one spec. Construct, optionally add extra sinks on top of the
+ * spec's own, then run() once.
+ */
+class ExperimentDriver
+{
+  public:
+    explicit ExperimentDriver(ExperimentSpec spec,
+                              DriverOptions opts = {});
+
+    /** A sink in addition to the spec's sinks (tests, CLI). */
+    void addSink(std::unique_ptr<Sink> sink);
+
+    /** Thread count after overrides (as SweepEngine resolves it). */
+    unsigned effectiveThreads() const;
+
+    /** Records override after CLI overrides. */
+    std::size_t effectiveRecords() const;
+
+    /** Whether the on-disk trace cache will be consulted. */
+    bool traceCacheEnabled() const;
+
+    /**
+     * Expand, execute, and deliver to sinks. Results are
+     * deterministic for a given spec: identical across thread
+     * counts and trace-cache states.
+     */
+    ExperimentReport run();
+
+  private:
+    ExperimentSpec spec;
+    DriverOptions opts;
+    std::vector<std::unique_ptr<Sink>> extraSinks;
+};
+
+/**
+ * Run one pipeline by name on one workload ("baseline", "rpg2",
+ * "triage", "triage4", "triangel", "stms", "domino", "prophet").
+ * Shared by the driver's jobs and the equivalence tests.
+ */
+sim::RunStats runPipeline(sim::Runner &runner,
+                          const std::string &pipeline,
+                          const std::string &workload);
+
+/** Compute one metric by name for a finished run. */
+double computeMetric(sim::Runner &runner, const std::string &metric,
+                     const std::string &workload,
+                     const sim::RunStats &stats);
+
+} // namespace prophet::driver
+
+#endif // PROPHET_DRIVER_DRIVER_HH

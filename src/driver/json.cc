@@ -1,0 +1,489 @@
+#include "driver/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace prophet::driver::json
+{
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : objVal)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+namespace
+{
+
+/** Recursive-descent parser over a raw character range. */
+class Parser
+{
+  public:
+    Parser(const char *begin, const char *end)
+        : cur(begin), end(end)
+    {}
+
+    bool
+    run(Value &out, std::string *err)
+    {
+        bool ok = parseValue(out) && expectEnd();
+        if (!ok && err)
+            *err = error;
+        return ok;
+    }
+
+  private:
+    /** Recursion bound: a hostile or garbage file must produce a
+     *  parse error, not a stack overflow. Real specs nest ~3 deep. */
+    static constexpr int kMaxDepth = 256;
+
+    const char *cur;
+    const char *end;
+    std::size_t line = 1;
+    std::size_t col = 1;
+    int depth = 0;
+    std::string error;
+
+    bool
+    fail(const std::string &reason)
+    {
+        if (error.empty())
+            error = "line " + std::to_string(line) + ", column "
+                + std::to_string(col) + ": " + reason;
+        return false;
+    }
+
+    bool atEnd() const { return cur == end; }
+    char peek() const { return *cur; }
+
+    char
+    advance()
+    {
+        char c = *cur++;
+        if (c == '\n') {
+            ++line;
+            col = 1;
+        } else {
+            ++col;
+        }
+        return c;
+    }
+
+    void
+    skipWs()
+    {
+        while (!atEnd()) {
+            char c = peek();
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+                advance();
+            } else if (c == '/' && end - cur >= 2 && cur[1] == '/') {
+                while (!atEnd() && peek() != '\n')
+                    advance();
+            } else {
+                break;
+            }
+        }
+    }
+
+    bool
+    expectEnd()
+    {
+        skipWs();
+        if (!atEnd())
+            return fail("trailing characters after JSON value");
+        return true;
+    }
+
+    bool
+    consume(char want, const char *what)
+    {
+        skipWs();
+        if (atEnd() || peek() != want)
+            return fail(std::string("expected ") + what);
+        advance();
+        return true;
+    }
+
+    bool
+    literal(const char *word, std::size_t len)
+    {
+        if (static_cast<std::size_t>(end - cur) < len)
+            return false;
+        for (std::size_t i = 0; i < len; ++i)
+            if (cur[i] != word[i])
+                return false;
+        for (std::size_t i = 0; i < len; ++i)
+            advance();
+        return true;
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        skipWs();
+        if (atEnd())
+            return fail("unexpected end of input");
+        if (depth >= kMaxDepth)
+            return fail("nesting deeper than "
+                        + std::to_string(kMaxDepth) + " levels");
+        char c = peek();
+        switch (c) {
+          case '{': {
+            ++depth;
+            bool ok = parseObject(out);
+            --depth;
+            return ok;
+          }
+          case '[': {
+            ++depth;
+            bool ok = parseArray(out);
+            --depth;
+            return ok;
+          }
+          case '"':
+            return parseString(out);
+          case 't':
+            if (literal("true", 4)) {
+                out = Value(true);
+                return true;
+            }
+            return fail("invalid literal");
+          case 'f':
+            if (literal("false", 5)) {
+                out = Value(false);
+                return true;
+            }
+            return fail("invalid literal");
+          case 'n':
+            if (literal("null", 4)) {
+                out = Value();
+                return true;
+            }
+            return fail("invalid literal");
+          default:
+            if (c == '-' || (c >= '0' && c <= '9'))
+                return parseNumber(out);
+            return fail("unexpected character");
+        }
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        const char *start = cur;
+        if (!atEnd() && peek() == '-')
+            advance();
+        if (atEnd() || peek() < '0' || peek() > '9')
+            return fail("malformed number");
+        while (!atEnd()
+               && ((peek() >= '0' && peek() <= '9') || peek() == '.'
+                   || peek() == 'e' || peek() == 'E' || peek() == '+'
+                   || peek() == '-'))
+            advance();
+        std::string text(start, cur);
+        char *parsed_end = nullptr;
+        double v = std::strtod(text.c_str(), &parsed_end);
+        if (parsed_end != text.c_str() + text.size()
+            || !std::isfinite(v))
+            return fail("malformed number");
+        out = Value(v);
+        return true;
+    }
+
+    bool
+    parseString(Value &out)
+    {
+        std::string s;
+        if (!parseStringRaw(s))
+            return false;
+        out = Value(std::move(s));
+        return true;
+    }
+
+    bool
+    parseStringRaw(std::string &s)
+    {
+        skipWs();
+        if (atEnd() || peek() != '"')
+            return fail("expected string");
+        advance();
+        while (true) {
+            if (atEnd())
+                return fail("unterminated string");
+            char c = advance();
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                s.push_back(c);
+                continue;
+            }
+            if (atEnd())
+                return fail("unterminated escape");
+            char e = advance();
+            switch (e) {
+              case '"': s.push_back('"'); break;
+              case '\\': s.push_back('\\'); break;
+              case '/': s.push_back('/'); break;
+              case 'b': s.push_back('\b'); break;
+              case 'f': s.push_back('\f'); break;
+              case 'n': s.push_back('\n'); break;
+              case 'r': s.push_back('\r'); break;
+              case 't': s.push_back('\t'); break;
+              case 'u': {
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    if (atEnd())
+                        return fail("truncated \\u escape");
+                    char h = advance();
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad hex digit in \\u escape");
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs
+                // are not needed for spec files; a lone surrogate
+                // encodes as-is, matching lenient parsers).
+                if (code < 0x80) {
+                    s.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    s.push_back(static_cast<char>(0xc0 | (code >> 6)));
+                    s.push_back(
+                        static_cast<char>(0x80 | (code & 0x3f)));
+                } else {
+                    s.push_back(static_cast<char>(0xe0 | (code >> 12)));
+                    s.push_back(static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3f)));
+                    s.push_back(
+                        static_cast<char>(0x80 | (code & 0x3f)));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape character");
+            }
+        }
+    }
+
+    bool
+    parseArray(Value &out)
+    {
+        if (!consume('[', "'['"))
+            return false;
+        out = Value::makeArray();
+        skipWs();
+        if (!atEnd() && peek() == ']') {
+            advance();
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!atEnd() && peek() == ']') { // trailing comma
+                advance();
+                return true;
+            }
+            Value elem;
+            if (!parseValue(elem))
+                return false;
+            out.push(std::move(elem));
+            skipWs();
+            if (atEnd())
+                return fail("unterminated array");
+            if (peek() == ',') {
+                advance();
+                continue;
+            }
+            if (peek() == ']') {
+                advance();
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    parseObject(Value &out)
+    {
+        if (!consume('{', "'{'"))
+            return false;
+        out = Value::makeObject();
+        skipWs();
+        if (!atEnd() && peek() == '}') {
+            advance();
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!atEnd() && peek() == '}') { // trailing comma
+                advance();
+                return true;
+            }
+            std::string key;
+            if (!parseStringRaw(key))
+                return false;
+            if (out.find(key))
+                return fail("duplicate object key \"" + key + "\"");
+            if (!consume(':', "':' after object key"))
+                return false;
+            Value member;
+            if (!parseValue(member))
+                return false;
+            out.set(std::move(key), std::move(member));
+            skipWs();
+            if (atEnd())
+                return fail("unterminated object");
+            if (peek() == ',') {
+                advance();
+                continue;
+            }
+            if (peek() == '}') {
+                advance();
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+};
+
+void
+dumpString(const std::string &s, std::string &out)
+{
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+void
+dumpNumber(double v, std::string &out)
+{
+    char buf[32];
+    // Integral doubles inside the exactly-representable range print
+    // as integers (counters, record counts); others as %.17g, which
+    // round-trips any double through strtod.
+    constexpr double kExact = 9007199254740992.0; // 2^53
+    if (std::nearbyint(v) == v && std::fabs(v) < kExact) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    }
+    out += buf;
+}
+
+void
+dumpImpl(const Value &v, int indent, int depth, std::string &out)
+{
+    auto newline = [&](int d) {
+        if (indent <= 0)
+            return;
+        out.push_back('\n');
+        out.append(static_cast<std::size_t>(indent * d), ' ');
+    };
+    switch (v.kind()) {
+      case Value::Kind::Null:
+        out += "null";
+        break;
+      case Value::Kind::Bool:
+        out += v.asBool() ? "true" : "false";
+        break;
+      case Value::Kind::Number:
+        dumpNumber(v.asNumber(), out);
+        break;
+      case Value::Kind::String:
+        dumpString(v.asString(), out);
+        break;
+      case Value::Kind::Array: {
+        if (v.asArray().empty()) {
+            out += "[]";
+            break;
+        }
+        out.push_back('[');
+        bool first = true;
+        for (const auto &elem : v.asArray()) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            newline(depth + 1);
+            dumpImpl(elem, indent, depth + 1, out);
+        }
+        newline(depth);
+        out.push_back(']');
+        break;
+      }
+      case Value::Kind::Object: {
+        if (v.asObject().empty()) {
+            out += "{}";
+            break;
+        }
+        out.push_back('{');
+        bool first = true;
+        for (const auto &[key, member] : v.asObject()) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            newline(depth + 1);
+            dumpString(key, out);
+            out.push_back(':');
+            if (indent > 0)
+                out.push_back(' ');
+            dumpImpl(member, indent, depth + 1, out);
+        }
+        newline(depth);
+        out.push_back('}');
+        break;
+      }
+    }
+}
+
+} // anonymous namespace
+
+bool
+parse(const std::string &text, Value &out, std::string *err)
+{
+    Parser p(text.data(), text.data() + text.size());
+    return p.run(out, err);
+}
+
+std::string
+dump(const Value &v, int indent)
+{
+    std::string out;
+    dumpImpl(v, indent, 0, out);
+    if (indent > 0)
+        out.push_back('\n');
+    return out;
+}
+
+} // namespace prophet::driver::json

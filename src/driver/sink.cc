@@ -1,0 +1,280 @@
+#include "driver/sink.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/log.hh"
+#include "stats/summary.hh"
+#include "stats/table.hh"
+
+namespace prophet::driver
+{
+
+namespace
+{
+
+/** Metric value for a job (metrics are precomputed by the driver). */
+double
+metricValue(const JobResult &r, const std::string &metric)
+{
+    for (const auto &[name, value] : r.metrics)
+        if (name == metric)
+            return value;
+    prophet_panic("job result missing a spec metric");
+}
+
+/**
+ * stdout tables, one per metric: workloads as rows, pipelines as
+ * columns, plus the figures' Geomean row (geomean over the positive
+ * values only — the same rule bench_util applies, so a pipeline
+ * stuck at zero reports 0 instead of poisoning the mean).
+ */
+class TableSink : public Sink
+{
+  public:
+    void
+    result(const JobResult &r) override
+    {
+        results.push_back(r);
+    }
+
+    bool
+    finish(const ExperimentSpec &spec, const RunMeta &meta) override
+    {
+        std::printf("\n== %s: %zu workload%s x %zu pipeline%s "
+                    "(records=%zu, threads=%u, spec %016llx) ==\n\n",
+                    spec.name.c_str(), spec.workloads.size(),
+                    spec.workloads.size() == 1 ? "" : "s",
+                    spec.pipelines.size(),
+                    spec.pipelines.size() == 1 ? "" : "s",
+                    meta.records, meta.threads,
+                    static_cast<unsigned long long>(meta.specHash));
+        for (const auto &metric : spec.metrics)
+            printMetric(spec, metric);
+        std::printf("wall-clock: %.2f s\n", meta.wallSeconds);
+        return true;
+    }
+
+  private:
+    std::vector<JobResult> results;
+
+    const JobResult &
+    at(const std::string &w, const std::string &p) const
+    {
+        for (const auto &r : results)
+            if (r.workload == w && r.pipeline == p)
+                return r;
+        prophet_panic("table sink missing a (workload, pipeline)");
+    }
+
+    void
+    printMetric(const ExperimentSpec &spec, const std::string &metric)
+    {
+        std::vector<std::string> hdr{"workload"};
+        for (const auto &p : spec.pipelines)
+            hdr.push_back(pipelineDisplayName(p));
+        stats::Table table(std::move(hdr));
+
+        std::vector<std::vector<double>> cols(spec.pipelines.size());
+        for (const auto &w : spec.workloads) {
+            std::vector<std::string> row{w};
+            for (std::size_t i = 0; i < spec.pipelines.size(); ++i) {
+                double v = metricValue(at(w, spec.pipelines[i]),
+                                       metric);
+                row.push_back(stats::Table::fmt(v));
+                if (v > 0.0)
+                    cols[i].push_back(v);
+            }
+            table.addRow(std::move(row));
+        }
+        std::vector<std::string> geo{"Geomean"};
+        for (const auto &c : cols)
+            geo.push_back(stats::Table::fmt(stats::geomean(c)));
+        table.addRow(std::move(geo));
+        std::printf("%s\n%s\n", metricDisplayName(metric).c_str(),
+                    table.render().c_str());
+    }
+};
+
+json::Value
+statsToJson(const sim::RunStats &s)
+{
+    json::Value o = json::Value::makeObject();
+    o.set("ipc", json::Value(s.ipc));
+    o.set("cycles", json::Value(s.cycles));
+    o.set("instructions", json::Value(s.instructions));
+    o.set("records", json::Value(s.records));
+    o.set("l1_misses", json::Value(s.l1Misses));
+    o.set("l2_demand_accesses", json::Value(s.l2DemandAccesses));
+    o.set("l2_demand_misses", json::Value(s.l2DemandMisses));
+    o.set("llc_misses", json::Value(s.llcMisses));
+    o.set("l2_prefetches_issued", json::Value(s.l2PrefetchesIssued));
+    o.set("l2_prefetches_useful", json::Value(s.l2PrefetchesUseful));
+    o.set("late_prefetches", json::Value(s.latePrefetches));
+    o.set("dram_reads", json::Value(s.dramReads));
+    o.set("dram_writes", json::Value(s.dramWrites));
+    o.set("dram_prefetch_reads", json::Value(s.dramPrefetchReads));
+    o.set("final_metadata_ways",
+          json::Value(static_cast<double>(s.finalMetadataWays)));
+    return o;
+}
+
+/** The whole run as one JSON document. */
+class JsonFileSink : public Sink
+{
+  public:
+    explicit JsonFileSink(std::string path) : path(std::move(path)) {}
+
+    void
+    result(const JobResult &r) override
+    {
+        json::Value o = json::Value::makeObject();
+        o.set("workload", json::Value(r.workload));
+        o.set("pipeline", json::Value(r.pipeline));
+        json::Value metrics = json::Value::makeObject();
+        for (const auto &[name, value] : r.metrics)
+            metrics.set(name, json::Value(value));
+        o.set("metrics", std::move(metrics));
+        o.set("stats", statsToJson(r.stats));
+        rows.push(std::move(o));
+    }
+
+    bool
+    finish(const ExperimentSpec &spec, const RunMeta &meta) override
+    {
+        json::Value root = json::Value::makeObject();
+        root.set("experiment", json::Value(meta.specName));
+        char hash_buf[24];
+        std::snprintf(hash_buf, sizeof(hash_buf), "%016llx",
+                      static_cast<unsigned long long>(meta.specHash));
+        root.set("spec_hash", json::Value(hash_buf));
+        root.set("timestamp", json::Value(meta.timestamp));
+        root.set("records", json::Value(meta.records));
+        root.set("threads",
+                 json::Value(static_cast<double>(meta.threads)));
+        root.set("wall_seconds", json::Value(meta.wallSeconds));
+        json::Value cache = json::Value::makeObject();
+        cache.set("hits", json::Value(meta.traceCacheHits));
+        cache.set("misses", json::Value(meta.traceCacheMisses));
+        root.set("trace_cache", std::move(cache));
+        root.set("spec", spec.toJson());
+        root.set("results", std::move(rows));
+
+        std::ofstream out(path, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "json sink: cannot write %s\n",
+                         path.c_str());
+            return false;
+        }
+        out << json::dump(root, 2);
+        out.flush();
+        if (!out) {
+            std::fprintf(stderr, "json sink: write to %s failed\n",
+                         path.c_str());
+            return false;
+        }
+        std::fprintf(stderr, "json sink: wrote %s\n", path.c_str());
+        return true;
+    }
+
+  private:
+    std::string path;
+    json::Value rows = json::Value::makeArray();
+};
+
+/** One CSV row per (workload, pipeline). */
+class CsvFileSink : public Sink
+{
+  public:
+    explicit CsvFileSink(std::string path) : path(std::move(path)) {}
+
+    void
+    result(const JobResult &r) override
+    {
+        if (lines.empty()) {
+            std::string hdr = "workload,pipeline";
+            for (const auto &[name, value] : r.metrics) {
+                (void)value;
+                hdr += "," + name;
+            }
+            // stats_ prefix keeps these distinct from a requested
+            // "ipc" metric column.
+            hdr += ",stats_ipc,stats_cycles,stats_l2_demand_misses,"
+                   "stats_dram_reads,stats_dram_writes";
+            lines.push_back(std::move(hdr));
+        }
+        char buf[64];
+        std::string line = r.workload + "," + r.pipeline;
+        for (const auto &[name, value] : r.metrics) {
+            (void)name;
+            std::snprintf(buf, sizeof(buf), ",%.17g", value);
+            line += buf;
+        }
+        std::snprintf(buf, sizeof(buf), ",%.17g", r.stats.ipc);
+        line += buf;
+        line += "," + std::to_string(r.stats.cycles);
+        line += "," + std::to_string(r.stats.l2DemandMisses);
+        line += "," + std::to_string(r.stats.dramReads);
+        line += "," + std::to_string(r.stats.dramWrites);
+        lines.push_back(std::move(line));
+    }
+
+    bool
+    finish(const ExperimentSpec &, const RunMeta &) override
+    {
+        std::ofstream out(path, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "csv sink: cannot write %s\n",
+                         path.c_str());
+            return false;
+        }
+        for (const auto &line : lines)
+            out << line << "\n";
+        out.flush();
+        if (!out) {
+            std::fprintf(stderr, "csv sink: write to %s failed\n",
+                         path.c_str());
+            return false;
+        }
+        std::fprintf(stderr, "csv sink: wrote %s\n", path.c_str());
+        return true;
+    }
+
+  private:
+    std::string path;
+    std::vector<std::string> lines;
+};
+
+} // anonymous namespace
+
+std::string
+metricDisplayName(const std::string &metric)
+{
+    if (metric == "speedup")
+        return "Performance Speedup";
+    if (metric == "traffic")
+        return "Normalized DRAM Traffic";
+    if (metric == "coverage")
+        return "Prefetching Coverage";
+    if (metric == "accuracy")
+        return "Prefetching Accuracy";
+    if (metric == "ipc")
+        return "IPC";
+    return metric;
+}
+
+std::unique_ptr<Sink>
+makeSink(const SinkSpec &spec)
+{
+    switch (spec.kind) {
+      case SinkSpec::Kind::Table:
+        return std::make_unique<TableSink>();
+      case SinkSpec::Kind::JsonFile:
+        return std::make_unique<JsonFileSink>(spec.path);
+      case SinkSpec::Kind::CsvFile:
+        return std::make_unique<CsvFileSink>(spec.path);
+    }
+    prophet_panic("unhandled sink kind");
+}
+
+} // namespace prophet::driver

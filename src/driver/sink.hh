@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Pluggable result sinks for the experiment driver. The driver feeds
+ * every (workload x pipeline) result in deterministic spec order —
+ * never completion order — then finishes with run metadata, so a
+ * sink's output is bit-identical across thread counts.
+ *
+ *   table — the human-readable per-metric tables with a Geomean row
+ *           (the same numbers the figure benches print);
+ *   json  — one machine-readable document with full RunStats per
+ *           job plus run metadata, for perf tracking;
+ *   csv   — one row per job, for spreadsheets.
+ */
+
+#ifndef PROPHET_DRIVER_SINK_HH
+#define PROPHET_DRIVER_SINK_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "driver/spec.hh"
+#include "sim/system.hh"
+
+namespace prophet::driver
+{
+
+/** Metadata about one driver run, written by every file sink. */
+struct RunMeta
+{
+    std::string specName;
+    std::uint64_t specHash = 0;
+    std::size_t records = 0;   ///< trace-length override (0=default)
+    unsigned threads = 1;
+    double wallSeconds = 0.0;
+    std::string timestamp;     ///< ISO-8601 UTC
+    std::uint64_t traceCacheHits = 0;
+    std::uint64_t traceCacheMisses = 0;
+};
+
+/** One completed (workload, pipeline) job with derived metrics. */
+struct JobResult
+{
+    std::string workload;
+    std::string pipeline;
+    sim::RunStats stats;
+    /** (metric name, value) in the spec's metric order. */
+    std::vector<std::pair<std::string, double>> metrics;
+};
+
+/** A result consumer. result() calls arrive in spec order. */
+class Sink
+{
+  public:
+    virtual ~Sink() = default;
+
+    /** One job's result (workload-major, pipeline-minor order). */
+    virtual void result(const JobResult &r) = 0;
+
+    /**
+     * All results delivered; render/write output. Returns false on
+     * failure (e.g. an unwritable file) so the driver can surface a
+     * nonzero exit instead of silently dropping archived results.
+     */
+    virtual bool finish(const ExperimentSpec &spec,
+                        const RunMeta &meta) = 0;
+};
+
+/** Instantiate the sink a SinkSpec requests. */
+std::unique_ptr<Sink> makeSink(const SinkSpec &spec);
+
+/** Figure-style heading for a metric ("speedup" ->
+ *  "Performance Speedup"). */
+std::string metricDisplayName(const std::string &metric);
+
+} // namespace prophet::driver
+
+#endif // PROPHET_DRIVER_SINK_HH

@@ -1,0 +1,379 @@
+#include "driver/spec.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "workloads/registry.hh"
+
+namespace prophet::driver
+{
+
+namespace
+{
+
+[[noreturn]] void
+specFail(const std::string &msg)
+{
+    throw SpecError("spec: " + msg);
+}
+
+/**
+ * A non-negative integer field (JSON numbers are doubles), bounded
+ * by @p max: an out-of-range value must fail loudly, never wrap or
+ * truncate into a silently different experiment.
+ */
+std::size_t
+asCount(const json::Value &v, const char *key,
+        double max = 9007199254740992.0 /* 2^53 */)
+{
+    if (!v.isNumber())
+        specFail(std::string("\"") + key + "\" must be a number");
+    double d = v.asNumber();
+    if (d < 0 || std::nearbyint(d) != d)
+        specFail(std::string("\"") + key
+                 + "\" must be a non-negative integer");
+    if (d > max)
+        specFail(std::string("\"") + key + "\" is out of range");
+    return static_cast<std::size_t>(d);
+}
+
+std::vector<std::string>
+asStringList(const json::Value &v, const char *key)
+{
+    std::vector<std::string> out;
+    if (!v.isArray())
+        specFail(std::string("\"") + key
+                 + "\" must be an array of strings");
+    for (const auto &elem : v.asArray()) {
+        if (!elem.isString())
+            specFail(std::string("\"") + key
+                     + "\" must be an array of strings");
+        out.push_back(elem.asString());
+    }
+    return out;
+}
+
+void
+rejectUnknownKeys(const json::Value &obj,
+                  const std::vector<std::string> &known,
+                  const char *where)
+{
+    for (const auto &[key, value] : obj.asObject()) {
+        (void)value;
+        if (std::find(known.begin(), known.end(), key) == known.end())
+            specFail(std::string("unknown key \"") + key + "\" in "
+                     + where);
+    }
+}
+
+std::vector<std::string>
+expandWorkloads(const std::vector<std::string> &raw)
+{
+    // First mention wins, duplicates collapse: "[@spec, mcf]" must
+    // not simulate (and report) mcf's jobs twice.
+    std::vector<std::string> out;
+    auto add = [&out](const std::string &w) {
+        if (std::find(out.begin(), out.end(), w) == out.end())
+            out.push_back(w);
+    };
+    for (const auto &w : raw) {
+        if (w == "@spec") {
+            for (const auto &l : workloads::specWorkloads())
+                add(l);
+        } else if (w == "@graph") {
+            for (const auto &l : workloads::graphWorkloads())
+                add(l);
+        } else if (w == "@gcc") {
+            for (const auto &l : workloads::gccInputs())
+                add(l);
+        } else if (!w.empty() && w[0] == '@') {
+            specFail("unknown workload alias \"" + w
+                     + "\" (known: @spec @graph @gcc)");
+        } else if (!workloads::isKnown(w)) {
+            specFail("unknown workload \"" + w + "\"");
+        } else {
+            add(w);
+        }
+    }
+    if (out.empty())
+        specFail("\"workloads\" must name at least one workload");
+    return out;
+}
+
+SinkSpec
+parseSink(const json::Value &v)
+{
+    if (!v.isObject())
+        specFail("each sink must be an object");
+    rejectUnknownKeys(v, {"type", "path"}, "sink");
+    const json::Value *type = v.find("type");
+    if (!type || !type->isString())
+        specFail("sink needs a string \"type\"");
+    SinkSpec s;
+    const std::string &t = type->asString();
+    if (t == "table")
+        s.kind = SinkSpec::Kind::Table;
+    else if (t == "json")
+        s.kind = SinkSpec::Kind::JsonFile;
+    else if (t == "csv")
+        s.kind = SinkSpec::Kind::CsvFile;
+    else
+        specFail("unknown sink type \"" + t
+                 + "\" (known: table json csv)");
+    if (const json::Value *path = v.find("path")) {
+        if (!path->isString())
+            specFail("sink \"path\" must be a string");
+        s.path = path->asString();
+    }
+    if (s.kind != SinkSpec::Kind::Table && s.path.empty())
+        specFail("sink type \"" + t + "\" needs a \"path\"");
+    return s;
+}
+
+} // anonymous namespace
+
+const std::vector<std::string> &
+knownPipelines()
+{
+    static const std::vector<std::string> names = {
+        "baseline", "rpg2",  "triage", "triage4",
+        "triangel", "stms",  "domino", "prophet",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+knownMetrics()
+{
+    static const std::vector<std::string> names = {
+        "speedup", "traffic", "coverage", "accuracy", "ipc",
+    };
+    return names;
+}
+
+std::string
+pipelineDisplayName(const std::string &pipeline)
+{
+    if (pipeline == "baseline")
+        return "Baseline";
+    if (pipeline == "rpg2")
+        return "RPG2";
+    if (pipeline == "triage")
+        return "Triage";
+    if (pipeline == "triage4")
+        return "Triage4";
+    if (pipeline == "triangel")
+        return "Triangel";
+    if (pipeline == "stms")
+        return "STMS";
+    if (pipeline == "domino")
+        return "Domino";
+    if (pipeline == "prophet")
+        return "Prophet";
+    return pipeline;
+}
+
+ExperimentSpec
+ExperimentSpec::fromJson(const json::Value &root)
+{
+    if (!root.isObject())
+        specFail("top-level value must be an object");
+    rejectUnknownKeys(root,
+                      {"name", "workloads", "pipelines", "metrics",
+                       "records", "threads", "l1", "dram_channels",
+                       "warmup_records", "trace_cache", "sinks"},
+                      "spec");
+
+    ExperimentSpec spec;
+    if (const json::Value *v = root.find("name")) {
+        if (!v->isString())
+            specFail("\"name\" must be a string");
+        spec.name = v->asString();
+    }
+
+    const json::Value *wl = root.find("workloads");
+    if (!wl)
+        specFail("missing required key \"workloads\"");
+    spec.workloads = expandWorkloads(asStringList(*wl, "workloads"));
+
+    const json::Value *pl = root.find("pipelines");
+    if (!pl)
+        specFail("missing required key \"pipelines\"");
+    spec.pipelines = asStringList(*pl, "pipelines");
+    if (spec.pipelines.empty())
+        specFail("\"pipelines\" must name at least one pipeline");
+    for (const auto &p : spec.pipelines) {
+        const auto &known = knownPipelines();
+        if (std::find(known.begin(), known.end(), p) == known.end())
+            specFail("unknown pipeline \"" + p + "\"");
+    }
+
+    if (const json::Value *v = root.find("metrics")) {
+        spec.metrics = asStringList(*v, "metrics");
+        if (spec.metrics.empty())
+            specFail("\"metrics\" must name at least one metric");
+        for (const auto &m : spec.metrics) {
+            const auto &known = knownMetrics();
+            if (std::find(known.begin(), known.end(), m)
+                == known.end())
+                specFail("unknown metric \"" + m + "\"");
+        }
+    }
+
+    if (const json::Value *v = root.find("records"))
+        spec.records = asCount(*v, "records");
+    if (const json::Value *v = root.find("threads"))
+        spec.threads = static_cast<unsigned>(
+            asCount(*v, "threads", 65536.0));
+    if (const json::Value *v = root.find("l1")) {
+        if (!v->isString())
+            specFail("\"l1\" must be a string");
+        spec.l1 = v->asString();
+        if (spec.l1 != "stride" && spec.l1 != "ipcp"
+            && spec.l1 != "none")
+            specFail("\"l1\" must be stride, ipcp or none");
+    }
+    if (const json::Value *v = root.find("dram_channels")) {
+        spec.dramChannels = static_cast<unsigned>(
+            asCount(*v, "dram_channels", 1024.0));
+        if (spec.dramChannels == 0)
+            specFail("\"dram_channels\" must be at least 1");
+    }
+    if (const json::Value *v = root.find("warmup_records"))
+        spec.warmupRecords = asCount(*v, "warmup_records");
+    if (const json::Value *v = root.find("trace_cache")) {
+        if (!v->isBool())
+            specFail("\"trace_cache\" must be a boolean");
+        spec.traceCache = v->asBool();
+    }
+    if (const json::Value *v = root.find("sinks")) {
+        if (!v->isArray())
+            specFail("\"sinks\" must be an array");
+        for (const auto &elem : v->asArray())
+            spec.sinks.push_back(parseSink(elem));
+    }
+    return spec;
+}
+
+ExperimentSpec
+ExperimentSpec::fromFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        specFail("cannot open " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    json::Value root;
+    std::string err;
+    if (!json::parse(buf.str(), root, &err))
+        specFail(path + ": " + err);
+    try {
+        return fromJson(root);
+    } catch (const SpecError &e) {
+        throw SpecError(path + ": " + e.what());
+    }
+}
+
+json::Value
+ExperimentSpec::toJson() const
+{
+    json::Value root = json::Value::makeObject();
+    root.set("name", json::Value(name));
+    auto list = [](const std::vector<std::string> &v) {
+        json::Value arr = json::Value::makeArray();
+        for (const auto &s : v)
+            arr.push(json::Value(s));
+        return arr;
+    };
+    root.set("workloads", list(workloads));
+    root.set("pipelines", list(pipelines));
+    root.set("metrics", list(metrics));
+    root.set("records", json::Value(records));
+    root.set("threads", json::Value(static_cast<double>(threads)));
+    root.set("l1", json::Value(l1));
+    root.set("dram_channels",
+             json::Value(static_cast<double>(dramChannels)));
+    if (warmupRecords != kWarmupDefault)
+        root.set("warmup_records", json::Value(warmupRecords));
+    root.set("trace_cache", json::Value(traceCache));
+    json::Value sink_arr = json::Value::makeArray();
+    for (const auto &s : sinks) {
+        json::Value obj = json::Value::makeObject();
+        const char *t = s.kind == SinkSpec::Kind::Table ? "table"
+            : s.kind == SinkSpec::Kind::JsonFile      ? "json"
+                                                      : "csv";
+        obj.set("type", json::Value(t));
+        if (!s.path.empty())
+            obj.set("path", json::Value(s.path));
+        sink_arr.push(std::move(obj));
+    }
+    root.set("sinks", std::move(sink_arr));
+    return root;
+}
+
+namespace
+{
+
+std::uint64_t
+fnv1a64(const std::string &text)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // anonymous namespace
+
+std::uint64_t
+ExperimentSpec::hash() const
+{
+    // FNV-1a 64 over the canonical compact dump: two spec files that
+    // expand to the same experiment hash identically, regardless of
+    // aliases, comments or formatting.
+    return fnv1a64(json::dump(toJson()));
+}
+
+std::uint64_t
+ExperimentSpec::resultHash(std::size_t effective_records) const
+{
+    json::Value root = json::Value::makeObject();
+    auto list = [](const std::vector<std::string> &v) {
+        json::Value arr = json::Value::makeArray();
+        for (const auto &s : v)
+            arr.push(json::Value(s));
+        return arr;
+    };
+    root.set("workloads", list(workloads));
+    root.set("pipelines", list(pipelines));
+    root.set("metrics", list(metrics));
+    root.set("records", json::Value(effective_records));
+    root.set("l1", json::Value(l1));
+    root.set("dram_channels",
+             json::Value(static_cast<double>(dramChannels)));
+    if (warmupRecords != kWarmupDefault)
+        root.set("warmup_records", json::Value(warmupRecords));
+    return fnv1a64(json::dump(root));
+}
+
+sim::SystemConfig
+ExperimentSpec::baseConfig() const
+{
+    sim::SystemConfig cfg = sim::SystemConfig::table1();
+    if (l1 == "ipcp")
+        cfg.l1Pf = sim::L1PfKind::Ipcp;
+    else if (l1 == "none")
+        cfg.l1Pf = sim::L1PfKind::None;
+    else
+        cfg.l1Pf = sim::L1PfKind::Stride;
+    cfg.hier.dram.channels = dramChannels;
+    if (warmupRecords != kWarmupDefault)
+        cfg.warmupRecords = warmupRecords;
+    return cfg;
+}
+
+} // namespace prophet::driver

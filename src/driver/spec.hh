@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The declarative experiment spec: a JSON file names the workloads,
+ * the pipelines to compare, the system-config overrides, the metrics
+ * to report, and the output sinks. The driver expands a spec into
+ * sweep jobs; every checked-in spec under specs/ reproduces one of the
+ * paper's figures through this schema.
+ *
+ * Schema (all keys optional except "workloads" and "pipelines"):
+ *
+ *   {
+ *     "name": "fig10",               // experiment label
+ *     "workloads": ["@spec"],        // names or @spec/@graph/@gcc
+ *     "pipelines": ["rpg2", "triangel", "prophet"],
+ *     "metrics": ["speedup"],        // speedup traffic coverage
+ *                                    // accuracy ipc
+ *     "records": 0,                  // trace-length override
+ *     "threads": 1,                  // 0 = hardware concurrency
+ *     "l1": "stride",                // stride | ipcp | none
+ *     "dram_channels": 1,
+ *     "warmup_records": 200000,
+ *     "trace_cache": true,           // consult the on-disk cache
+ *     "sinks": [{"type": "table"},   // table | json | csv
+ *               {"type": "json", "path": "out.json"}]
+ *   }
+ *
+ * Unknown keys anywhere are errors — a typoed knob must not
+ * silently run the default experiment.
+ */
+
+#ifndef PROPHET_DRIVER_SPEC_HH
+#define PROPHET_DRIVER_SPEC_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "driver/json.hh"
+#include "sim/system_config.hh"
+
+namespace prophet::driver
+{
+
+/** A malformed or invalid experiment spec. */
+class SpecError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** One output sink request. */
+struct SinkSpec
+{
+    enum class Kind { Table, JsonFile, CsvFile };
+    Kind kind = Kind::Table;
+    std::string path; ///< required for JsonFile/CsvFile
+};
+
+/** The parsed, validated experiment description. */
+struct ExperimentSpec
+{
+    std::string name = "experiment";
+    std::vector<std::string> workloads; ///< aliases expanded
+    std::vector<std::string> pipelines;
+    std::vector<std::string> metrics{"speedup"};
+    std::size_t records = 0;
+    unsigned threads = 1;
+    std::string l1 = "stride";
+    unsigned dramChannels = 1;
+    std::size_t warmupRecords = kWarmupDefault;
+    bool traceCache = true;
+    std::vector<SinkSpec> sinks; ///< empty = one table sink
+
+    /** Sentinel: keep SystemConfig::table1()'s warmup. */
+    static constexpr std::size_t kWarmupDefault =
+        static_cast<std::size_t>(-1);
+
+    /** Parse and validate a JSON document. Throws SpecError. */
+    static ExperimentSpec fromJson(const json::Value &root);
+
+    /** Parse a spec file (I/O errors also throw SpecError). */
+    static ExperimentSpec fromFile(const std::string &path);
+
+    /**
+     * Canonical JSON form: every field, fully expanded and in fixed
+     * key order, so the hash identifies the experiment's content
+     * regardless of spelling, comments, or key order in the file.
+     */
+    json::Value toJson() const;
+
+    /** FNV-1a 64 over the compact dump of toJson(). */
+    std::uint64_t hash() const;
+
+    /**
+     * Identity of the experiment's *results*: hashes only the
+     * fields that can change the numbers (workloads, pipelines,
+     * metrics, records — as actually run, so CLI overrides count —
+     * l1, dram_channels, warmup_records). Thread count, sinks, the
+     * trace-cache switch and the display name are excluded: two
+     * runs with equal resultHash are comparable bit for bit.
+     */
+    std::uint64_t resultHash(std::size_t effective_records) const;
+
+    /** The base SystemConfig the overrides produce. */
+    sim::SystemConfig baseConfig() const;
+};
+
+/** The pipeline names the driver can run, in display order. */
+const std::vector<std::string> &knownPipelines();
+
+/** The metric names the driver can compute. */
+const std::vector<std::string> &knownMetrics();
+
+/** Column header for a pipeline ("rpg2" -> "RPG2"). */
+std::string pipelineDisplayName(const std::string &pipeline);
+
+} // namespace prophet::driver
+
+#endif // PROPHET_DRIVER_SPEC_HH

@@ -12,18 +12,37 @@ Runner::Runner(SystemConfig base_cfg, std::size_t records)
 {}
 
 void
+Runner::setTraceCache(std::shared_ptr<trace::TraceCache> c)
+{
+    std::lock_guard<std::mutex> lock(cacheMu);
+    cache = std::move(c);
+}
+
+void
 Runner::ensureWorkload(const std::string &workload)
 {
+    std::shared_ptr<trace::TraceCache> disk;
     {
         std::lock_guard<std::mutex> lock(cacheMu);
         if (traces.count(workload))
             return;
+        disk = cache;
     }
     // Generate outside the lock: generation is deterministic per
     // workload name, so racing workers build identical traces and
     // the first insert wins (the loser's copy is discarded).
+    // Constructing the generator is cheap and always happens — the
+    // resolver lives on the generator — but the expensive generate()
+    // is skipped when the on-disk cache has the trace.
     auto gen = workloads::makeWorkload(workload, recordsOverride);
-    auto tr = std::make_shared<const trace::Trace>(gen->generate());
+    trace::Trace generated;
+    if (!disk || !disk->load(workload, recordsOverride, generated)) {
+        generated = gen->generate();
+        if (disk)
+            disk->store(workload, recordsOverride, generated);
+    }
+    auto tr =
+        std::make_shared<const trace::Trace>(std::move(generated));
 
     std::lock_guard<std::mutex> lock(cacheMu);
     auto [it, inserted] = traces.emplace(workload, std::move(tr));

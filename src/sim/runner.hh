@@ -19,6 +19,7 @@
 #include "core/learner.hh"
 #include "rpg2/kernel_id.hh"
 #include "sim/system.hh"
+#include "trace/trace_cache.hh"
 
 namespace prophet::sim
 {
@@ -61,6 +62,18 @@ class Runner
      */
     explicit Runner(SystemConfig base = SystemConfig::table1(),
                     std::size_t records = 0);
+
+    /**
+     * Attach an on-disk trace cache: trace generation first consults
+     * the cache and stores fresh generations back. Cached loads are
+     * bit-identical to generation (the binary format round-trips
+     * every record field), so results cannot depend on cache state.
+     * Pass nullptr to detach. The cache must outlive the Runner.
+     */
+    void setTraceCache(std::shared_ptr<trace::TraceCache> cache);
+
+    /** The attached trace cache (may be null). */
+    trace::TraceCache *traceCache() const { return cache.get(); }
 
     /** The (cached) trace of a workload. */
     const trace::Trace &traceFor(const std::string &workload);
@@ -135,6 +148,7 @@ class Runner
   private:
     SystemConfig base;
     std::size_t recordsOverride;
+    std::shared_ptr<trace::TraceCache> cache; ///< optional
 
     /**
      * Guards the three caches below. Held only around lookups and

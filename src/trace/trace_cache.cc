@@ -1,0 +1,173 @@
+#include "trace/trace_cache.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+#include <unistd.h>
+
+#include "trace/trace_io.hh"
+
+namespace fs = std::filesystem;
+
+namespace prophet::trace
+{
+
+namespace
+{
+
+/**
+ * Workload labels become file names; anything outside the portable
+ * set maps to '_' ("soplex_pds-50" is fine as-is).
+ */
+std::string
+sanitize(const std::string &name)
+{
+    std::string out = name;
+    for (char &c : out) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+            || (c >= '0' && c <= '9') || c == '_' || c == '-'
+            || c == '.';
+        if (!ok)
+            c = '_';
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+TraceCache::TraceCache(std::string dir)
+    : dirPath(dir.empty() ? defaultDir() : std::move(dir))
+{}
+
+std::string
+TraceCache::defaultDir()
+{
+    if (const char *env = std::getenv("PROPHET_TRACE_CACHE"))
+        if (*env)
+            return env;
+    return ".prophet-trace-cache";
+}
+
+std::string
+TraceCache::path(const std::string &workload,
+                 std::size_t records) const
+{
+    return dirPath + "/" + sanitize(workload) + "-r"
+        + std::to_string(records) + ".g"
+        + std::to_string(kGeneratorSchemaVersion) + ".ptrc";
+}
+
+bool
+TraceCache::load(const std::string &workload, std::size_t records,
+                 Trace &out)
+{
+    std::string file = path(workload, records);
+    std::error_code ec;
+    if (!fs::exists(file, ec)) {
+        std::lock_guard<std::mutex> lock(mu);
+        ++counters.misses;
+        return false;
+    }
+    if (!loadBinary(out, file)) {
+        // Corrupt or truncated entry: treat as a miss; the caller
+        // regenerates and store() replaces the bad file.
+        std::fprintf(stderr,
+                     "trace-cache: corrupt entry %s, regenerating\n",
+                     file.c_str());
+        std::lock_guard<std::mutex> lock(mu);
+        ++counters.misses;
+        return false;
+    }
+    std::fprintf(stderr, "trace-cache: hit %s (%zu records) <- %s\n",
+                 workload.c_str(), out.size(), file.c_str());
+    std::lock_guard<std::mutex> lock(mu);
+    ++counters.hits;
+    return true;
+}
+
+bool
+TraceCache::store(const std::string &workload, std::size_t records,
+                  const Trace &t)
+{
+    std::error_code ec;
+    fs::create_directories(dirPath, ec);
+    if (ec)
+        return false;
+    std::string final_path = path(workload, records);
+    // Unique temp name per store: the pid separates processes
+    // sharing a cache directory (which the README allows) and the
+    // counter separates concurrent stores within this process, so
+    // two writers can never interleave into one temp file; rename
+    // is atomic within the directory.
+    static std::atomic<unsigned long> storeSeq{0};
+    std::string tmp = final_path + ".tmp"
+        + std::to_string(static_cast<unsigned long>(::getpid())) + "."
+        + std::to_string(storeSeq.fetch_add(1));
+    if (!saveBinary(t, tmp)) {
+        fs::remove(tmp, ec);
+        return false;
+    }
+    fs::rename(tmp, final_path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    ++counters.stores;
+    return true;
+}
+
+std::size_t
+TraceCache::clear()
+{
+    std::size_t removed = 0;
+    std::error_code ec;
+    if (!fs::is_directory(dirPath, ec))
+        return 0;
+    for (const auto &de : fs::directory_iterator(dirPath, ec)) {
+        // Also sweep ".ptrc.tmp<pid>.<tid>" leftovers from crashed
+        // writers; only completed entries count toward the total.
+        std::string name = de.path().filename().string();
+        if (name.find(".ptrc") == std::string::npos)
+            continue;
+        bool completed = de.path().extension() == ".ptrc";
+        if (fs::remove(de.path(), ec) && completed)
+            ++removed;
+    }
+    return removed;
+}
+
+std::vector<TraceCache::Entry>
+TraceCache::entries() const
+{
+    std::vector<Entry> out;
+    std::error_code ec;
+    if (!fs::is_directory(dirPath, ec))
+        return out;
+    for (const auto &de : fs::directory_iterator(dirPath, ec)) {
+        if (de.path().extension() != ".ptrc")
+            continue;
+        Entry e;
+        e.file = de.path().filename().string();
+        e.bytes = static_cast<std::uint64_t>(
+            fs::file_size(de.path(), ec));
+        out.push_back(std::move(e));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.file < b.file;
+              });
+    return out;
+}
+
+TraceCache::Stats
+TraceCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return counters;
+}
+
+} // namespace prophet::trace

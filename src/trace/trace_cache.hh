@@ -1,0 +1,108 @@
+/**
+ * @file
+ * On-disk trace cache: workload traces are deterministic per
+ * (workload, record-override), so once generated they can be stored
+ * in the trace_io binary format and reloaded by later invocations,
+ * skipping regeneration entirely. The Runner consults a cache when
+ * one is attached; the `prophet trace-cache` CLI subcommands manage
+ * the directory.
+ *
+ * Robustness: stores write to a temp file and rename into place, so
+ * a crashed writer never leaves a half-written entry under the final
+ * name; loads of corrupt or truncated files fail cleanly and the
+ * caller regenerates (and overwrites the bad entry).
+ */
+
+#ifndef PROPHET_TRACE_TRACE_CACHE_HH
+#define PROPHET_TRACE_TRACE_CACHE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace prophet::trace
+{
+
+/**
+ * Generation schema version, part of every cache key. BUMP THIS
+ * whenever any workload generator's output changes (new streams,
+ * parameter tweaks, seed changes, record-layout semantics): stale
+ * entries under the old version then miss instead of silently
+ * serving pre-change traces as if they were current.
+ */
+constexpr unsigned kGeneratorSchemaVersion = 1;
+
+/** A file-backed cache of generated traces, one .ptrc per key. */
+class TraceCache
+{
+  public:
+    /** Hit/miss/store counters (per TraceCache instance). */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t stores = 0;
+    };
+
+    /** One cached file, for `trace-cache stats`. */
+    struct Entry
+    {
+        std::string file;       ///< file name within the cache dir
+        std::uint64_t bytes = 0;
+    };
+
+    /**
+     * @param dir Cache directory; created on first store. Empty
+     *        selects defaultDir().
+     */
+    explicit TraceCache(std::string dir = "");
+
+    /** $PROPHET_TRACE_CACHE when set, else ".prophet-trace-cache". */
+    static std::string defaultDir();
+
+    /** The cache directory. */
+    const std::string &dir() const { return dirPath; }
+
+    /**
+     * Cache file for a (workload, records-override,
+     * kGeneratorSchemaVersion) key. The override is part of the key
+     * verbatim: 0 means "workload default length" and is itself a
+     * distinct, deterministic key.
+     */
+    std::string path(const std::string &workload,
+                     std::size_t records) const;
+
+    /**
+     * Load a cached trace. Returns false (and leaves @p out empty)
+     * on miss or on a corrupt/truncated file; never throws. A hit is
+     * logged to stderr so cache effectiveness is observable without
+     * changing stdout.
+     */
+    bool load(const std::string &workload, std::size_t records,
+              Trace &out);
+
+    /** Store a trace, atomically (temp file + rename). */
+    bool store(const std::string &workload, std::size_t records,
+               const Trace &t);
+
+    /** Delete every cached trace; returns the number removed. */
+    std::size_t clear();
+
+    /** The cached files, sorted by name. */
+    std::vector<Entry> entries() const;
+
+    /** Counter snapshot. */
+    Stats stats() const;
+
+  private:
+    std::string dirPath;
+    mutable std::mutex mu;
+    Stats counters;
+};
+
+} // namespace prophet::trace
+
+#endif // PROPHET_TRACE_TRACE_CACHE_HH

@@ -79,6 +79,21 @@ loadBinary(Trace &out, const std::string &path)
         return false;
     if (std::fread(&count, sizeof(count), 1, f.get()) != 1)
         return false;
+    // The count comes from an untrusted file: cap it by what the
+    // payload can actually hold before reserving, so a corrupted
+    // header fails cleanly instead of throwing std::length_error.
+    constexpr long kHeaderBytes = 16;
+    if (std::fseek(f.get(), 0, SEEK_END) != 0)
+        return false;
+    long file_size = std::ftell(f.get());
+    if (file_size < kHeaderBytes
+        || std::fseek(f.get(), kHeaderBytes, SEEK_SET) != 0)
+        return false;
+    std::uint64_t max_records =
+        static_cast<std::uint64_t>(file_size - kHeaderBytes)
+        / sizeof(PackedRecord);
+    if (count > max_records)
+        return false;
     out.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
         PackedRecord p;

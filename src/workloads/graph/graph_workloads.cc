@@ -1,7 +1,9 @@
 #include "workloads/graph/graph_workloads.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "common/log.hh"
@@ -334,6 +336,39 @@ makeGraphWorkload(const std::string &label, std::size_t records)
     return std::make_unique<GraphWorkload>(
         kernel, label, static_cast<std::uint32_t>(scaled_v), scaled_d,
         records, seed);
+}
+
+bool
+isKnownGraphLabel(const std::string &label)
+{
+    auto first = label.find('_');
+    auto second = label.find('_', first + 1);
+    if (first == std::string::npos || second == std::string::npos
+        || second + 1 >= label.size() || second == first + 1)
+        return false;
+
+    std::string kname = label.substr(0, first);
+    if (kname != "bfs" && kname != "dfs" && kname != "sssp"
+        && kname != "pagerank" && kname != "bc")
+        return false;
+
+    auto numeric = [&](std::size_t from, std::size_t to) {
+        for (std::size_t i = from; i < to; ++i)
+            if (label[i] < '0' || label[i] > '9')
+                return false;
+        return true;
+    };
+    if (!numeric(first + 1, second)
+        || !numeric(second + 1, label.size()))
+        return false;
+
+    // The graph builders assert vertices >= 2, and the factory casts
+    // through uint32 (so larger values would wrap). Degree needs no
+    // bound: the factory clamps it to [1, 5] (0 maps to 8).
+    errno = 0;
+    unsigned long long vertices = std::strtoull(
+        label.c_str() + first + 1, nullptr, 10);
+    return errno == 0 && vertices >= 2 && vertices <= 0xffffffffull;
 }
 
 } // namespace prophet::workloads::graph

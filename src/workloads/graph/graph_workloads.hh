@@ -107,6 +107,16 @@ trace::GeneratorPtr makeGraphWorkload(
     const std::string &label,
     std::size_t records = kDefaultGraphRecords);
 
+/**
+ * Non-aborting companion of makeGraphWorkload: true when @p label
+ * parses as "<kernel>_<vertices>_<degree>" with a known kernel and
+ * bounds the generators accept (vertices in [2, 2^32-1]; any
+ * numeric degree — the factory clamps it). Front ends validate with
+ * this so a bad label is a recoverable error, and the bounds live
+ * next to the factory they guard.
+ */
+bool isKnownGraphLabel(const std::string &label);
+
 } // namespace prophet::workloads::graph
 
 #endif // PROPHET_WORKLOADS_GRAPH_GRAPH_WORKLOADS_HH

@@ -35,6 +35,29 @@ makeWorkload(const std::string &name, std::size_t records)
     prophet_fatal("unknown workload name");
 }
 
+bool
+isKnown(const std::string &name)
+{
+    if (name == "mcf" || name == "omnetpp" || name == "sphinx3"
+        || name == "xalancbmk")
+        return true;
+    if (name.rfind("gcc_", 0) == 0) {
+        for (const auto &in : gccInputs())
+            if (name == in)
+                return true;
+        return false;
+    }
+    if (name.rfind("astar_", 0) == 0)
+        return name == "astar_biglakes" || name == "astar_rivers";
+    if (name.rfind("soplex_", 0) == 0)
+        return name == "soplex_pds-50" || name == "soplex_ref";
+    if (name.rfind("bfs_", 0) == 0 || name.rfind("dfs_", 0) == 0
+        || name.rfind("sssp_", 0) == 0 || name.rfind("bc_", 0) == 0
+        || name.rfind("pagerank_", 0) == 0)
+        return graph::isKnownGraphLabel(name);
+    return false;
+}
+
 const std::vector<std::string> &
 specWorkloads()
 {

@@ -26,6 +26,13 @@ namespace prophet::workloads
 trace::GeneratorPtr makeWorkload(const std::string &name,
                                  std::size_t records = 0);
 
+/**
+ * True when @p name is a label makeWorkload accepts — the
+ * non-aborting check front ends (spec validation, CLI) use to reject
+ * bad names with a recoverable error instead of a fatal().
+ */
+bool isKnown(const std::string &name);
+
 /** The seven SPEC workloads of Figures 10-12 and 16-19, in order. */
 const std::vector<std::string> &specWorkloads();
 

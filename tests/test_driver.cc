@@ -1,0 +1,261 @@
+/**
+ * @file
+ * End-to-end tests for the experiment driver: a spec run's JSON-sink
+ * output must match the equivalent direct Runner calls bit-for-bit
+ * (same doubles, same counters), results must be independent of the
+ * thread count, and the run must carry its metadata.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "driver/driver.hh"
+#include "driver/json.hh"
+#include "sim/runner.hh"
+
+namespace fs = std::filesystem;
+
+namespace prophet::driver
+{
+namespace
+{
+
+/** Short traces keep the end-to-end runs fast. */
+constexpr std::size_t kRecords = 20'000;
+
+ExperimentSpec
+smokeSpec(const std::string &json_path)
+{
+    json::Value doc;
+    std::string text =
+        "{\"name\": \"e2e\","
+        " \"workloads\": [\"mcf\", \"omnetpp\"],"
+        " \"pipelines\": [\"baseline\", \"triangel\", \"triage4\"],"
+        " \"metrics\": [\"ipc\", \"speedup\", \"traffic\"],"
+        " \"records\": " + std::to_string(kRecords) + ","
+        " \"trace_cache\": false,"
+        " \"sinks\": [{\"type\": \"json\","
+        "              \"path\": \"" + json_path + "\"}]}";
+    EXPECT_TRUE(json::parse(text, doc, nullptr));
+    return ExperimentSpec::fromJson(doc);
+}
+
+json::Value
+readJson(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    json::Value doc;
+    std::string err;
+    EXPECT_TRUE(json::parse(buf.str(), doc, &err)) << err;
+    return doc;
+}
+
+class DriverTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir = (fs::temp_directory_path()
+               / ("prophet_driver_test_"
+                  + std::to_string(::getpid())))
+                  .string();
+        fs::remove_all(dir);
+        fs::create_directories(dir);
+    }
+
+    void TearDown() override { fs::remove_all(dir); }
+
+    std::string dir;
+};
+
+TEST_F(DriverTest, JsonSinkMatchesDirectRunnerBitForBit)
+{
+    std::string out_path = dir + "/results.json";
+    ExperimentDriver drv(smokeSpec(out_path));
+    auto report = drv.run();
+    ASSERT_EQ(report.results.size(), 6u);
+
+    auto doc = readJson(out_path);
+    const json::Value *results = doc.find("results");
+    ASSERT_NE(results, nullptr);
+    ASSERT_EQ(results->asArray().size(), 6u);
+
+    // The ground truth: the same experiment spelled out directly
+    // against the Runner, no driver involved.
+    sim::Runner runner(sim::SystemConfig::table1(), kRecords);
+    const std::vector<std::string> workloads{"mcf", "omnetpp"};
+    const std::vector<std::string> pipelines{"baseline", "triangel",
+                                             "triage4"};
+    std::size_t idx = 0;
+    for (const auto &w : workloads) {
+        for (const auto &p : pipelines) {
+            sim::RunStats direct = runPipeline(runner, p, w);
+            const json::Value &row = results->asArray()[idx++];
+            EXPECT_EQ(row.find("workload")->asString(), w);
+            EXPECT_EQ(row.find("pipeline")->asString(), p);
+
+            const json::Value *stats = row.find("stats");
+            ASSERT_NE(stats, nullptr);
+            // Bit-for-bit: the JSON writer's %.17g round-trips the
+            // exact double, and counters are exact integers.
+            EXPECT_EQ(stats->find("ipc")->asNumber(), direct.ipc)
+                << w << "/" << p;
+            EXPECT_EQ(stats->find("cycles")->asNumber(),
+                      static_cast<double>(direct.cycles));
+            EXPECT_EQ(stats->find("instructions")->asNumber(),
+                      static_cast<double>(direct.instructions));
+            EXPECT_EQ(stats->find("l2_demand_misses")->asNumber(),
+                      static_cast<double>(direct.l2DemandMisses));
+            EXPECT_EQ(stats->find("dram_reads")->asNumber(),
+                      static_cast<double>(direct.dramReads));
+            EXPECT_EQ(stats->find("dram_writes")->asNumber(),
+                      static_cast<double>(direct.dramWrites));
+            EXPECT_EQ(
+                stats->find("l2_prefetches_issued")->asNumber(),
+                static_cast<double>(direct.l2PrefetchesIssued));
+
+            const json::Value *metrics = row.find("metrics");
+            ASSERT_NE(metrics, nullptr);
+            EXPECT_EQ(metrics->find("ipc")->asNumber(), direct.ipc);
+            EXPECT_EQ(metrics->find("speedup")->asNumber(),
+                      runner.speedup(w, direct));
+            EXPECT_EQ(metrics->find("traffic")->asNumber(),
+                      runner.trafficNorm(w, direct));
+        }
+    }
+
+    // Run metadata rides along.
+    EXPECT_EQ(doc.find("experiment")->asString(), "e2e");
+    EXPECT_EQ(doc.find("records")->asNumber(),
+              static_cast<double>(kRecords));
+    EXPECT_EQ(doc.find("threads")->asNumber(), 1.0);
+    EXPECT_FALSE(doc.find("timestamp")->asString().empty());
+    EXPECT_GE(doc.find("wall_seconds")->asNumber(), 0.0);
+    // The archived hash identifies the results: the effective record
+    // count is included, result-irrelevant fields (threads, sinks,
+    // trace-cache switch, name) are not.
+    char expect_hash[24];
+    std::snprintf(expect_hash, sizeof(expect_hash), "%016llx",
+                  static_cast<unsigned long long>(
+                      smokeSpec(out_path).resultHash(kRecords)));
+    EXPECT_EQ(doc.find("spec_hash")->asString(), expect_hash);
+    auto variant = smokeSpec(out_path);
+    variant.threads = 7;
+    variant.name = "renamed";
+    variant.sinks.clear();
+    EXPECT_EQ(variant.resultHash(kRecords),
+              smokeSpec(out_path).resultHash(kRecords));
+    EXPECT_NE(smokeSpec(out_path).resultHash(kRecords + 1),
+              smokeSpec(out_path).resultHash(kRecords));
+}
+
+TEST_F(DriverTest, ResultsIndependentOfThreadCount)
+{
+    std::string p1 = dir + "/t1.json", p4 = dir + "/t4.json";
+    DriverOptions o1, o4;
+    o1.threads = 1;
+    o4.threads = 4;
+    ExperimentDriver d1(smokeSpec(p1), o1);
+    ExperimentDriver d4(smokeSpec(p4), o4);
+    auto r1 = d1.run();
+    auto r4 = d4.run();
+    ASSERT_EQ(r1.results.size(), r4.results.size());
+    for (std::size_t i = 0; i < r1.results.size(); ++i) {
+        EXPECT_EQ(r1.results[i].workload, r4.results[i].workload);
+        EXPECT_EQ(r1.results[i].pipeline, r4.results[i].pipeline);
+        EXPECT_EQ(r1.results[i].stats.ipc, r4.results[i].stats.ipc);
+        EXPECT_EQ(r1.results[i].stats.cycles,
+                  r4.results[i].stats.cycles);
+        EXPECT_EQ(r1.results[i].stats.dramReads,
+                  r4.results[i].stats.dramReads);
+        ASSERT_EQ(r1.results[i].metrics.size(),
+                  r4.results[i].metrics.size());
+        for (std::size_t m = 0; m < r1.results[i].metrics.size();
+             ++m)
+            EXPECT_EQ(r1.results[i].metrics[m].second,
+                      r4.results[i].metrics[m].second);
+    }
+}
+
+TEST_F(DriverTest, TraceCacheDoesNotChangeResults)
+{
+    std::string pa = dir + "/a.json", pb = dir + "/b.json";
+    auto spec_a = smokeSpec(pa);
+    auto spec_b = smokeSpec(pb);
+    spec_b.traceCache = true;
+
+    DriverOptions opts;
+    opts.traceCacheDir = dir + "/cache";
+    ExperimentDriver plain(spec_a);
+    ExperimentDriver cold(spec_b, opts);
+    auto r_plain = plain.run();
+    auto r_cold = cold.run();
+    EXPECT_GT(r_cold.meta.traceCacheMisses, 0u);
+
+    // Second cached run: all hits, same numbers.
+    auto spec_warm = smokeSpec(pb);
+    spec_warm.traceCache = true;
+    ExperimentDriver warm(std::move(spec_warm), opts);
+    auto r_warm = warm.run();
+    EXPECT_EQ(r_warm.meta.traceCacheHits, 2u);
+    EXPECT_EQ(r_warm.meta.traceCacheMisses, 0u);
+
+    ASSERT_EQ(r_plain.results.size(), r_warm.results.size());
+    for (std::size_t i = 0; i < r_plain.results.size(); ++i) {
+        EXPECT_EQ(r_plain.results[i].stats.ipc,
+                  r_warm.results[i].stats.ipc);
+        EXPECT_EQ(r_plain.results[i].stats.cycles,
+                  r_warm.results[i].stats.cycles);
+        EXPECT_EQ(r_cold.results[i].stats.cycles,
+                  r_warm.results[i].stats.cycles);
+    }
+}
+
+TEST_F(DriverTest, UnwritableSinkIsReportedNotSilent)
+{
+    auto spec = smokeSpec(dir + "/no/such/directory/out.json");
+    ExperimentDriver drv(std::move(spec));
+    auto report = drv.run();
+    EXPECT_FALSE(report.sinksOk);
+    EXPECT_EQ(report.results.size(), 6u); // results still computed
+}
+
+TEST_F(DriverTest, CsvSinkWritesOneRowPerJob)
+{
+    std::string csv_path = dir + "/out.csv";
+    auto spec = smokeSpec(dir + "/unused.json");
+    spec.sinks.clear();
+    SinkSpec csv;
+    csv.kind = SinkSpec::Kind::CsvFile;
+    csv.path = csv_path;
+    spec.sinks.push_back(csv);
+
+    ExperimentDriver drv(std::move(spec));
+    drv.run();
+
+    std::ifstream in(csv_path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 7u); // header + 6 jobs
+    EXPECT_EQ(lines[0].rfind("workload,pipeline,ipc,speedup,traffic,"
+                             "stats_ipc",
+                             0),
+              0u);
+    EXPECT_EQ(lines[1].rfind("mcf,baseline,", 0), 0u);
+    EXPECT_EQ(lines[6].rfind("omnetpp,triage4,", 0), 0u);
+}
+
+} // anonymous namespace
+} // namespace prophet::driver

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * The `prophet` CLI: the single entry point the declarative
+ * experiment layer exposes.
+ *
+ *   prophet run <spec.json> [--threads N] [--records N]
+ *               [--no-trace-cache] [--trace-cache-dir DIR]
+ *   prophet list-workloads
+ *   prophet trace-cache warm <spec.json | workload...>
+ *               [--threads N] [--records N] [--trace-cache-dir DIR]
+ *   prophet trace-cache clear [--trace-cache-dir DIR]
+ *   prophet trace-cache stats [--trace-cache-dir DIR]
+ *
+ * `run` executes a spec and streams results to its sinks; CLI flags
+ * override the spec's thread/record counts. `trace-cache warm`
+ * pre-generates the traces a spec (or an explicit workload list)
+ * needs, so subsequent runs skip generation.
+ */
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "driver/driver.hh"
+#include "sim/sweep.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using namespace prophet;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: prophet <command> [args]\n"
+        "\n"
+        "  run <spec.json> [--threads N] [--records N]\n"
+        "      [--no-trace-cache] [--trace-cache-dir DIR]\n"
+        "  list-workloads\n"
+        "  trace-cache warm <spec.json | workload...>\n"
+        "      [--threads N] [--records N] [--trace-cache-dir DIR]\n"
+        "  trace-cache clear [--trace-cache-dir DIR]\n"
+        "  trace-cache stats [--trace-cache-dir DIR]\n");
+    return 2;
+}
+
+/** Shared flag state across subcommands. */
+struct Flags
+{
+    driver::DriverOptions opts;
+    std::vector<std::string> positional;
+};
+
+bool
+parseFlags(int argc, char **argv, int from, Flags &flags)
+{
+    auto needValue = [&](int &i, const char *flag) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "prophet: %s needs a value\n", flag);
+            return nullptr;
+        }
+        return argv[++i];
+    };
+    // Bounds match the spec parser's: an overflowing value must be
+    // an error, not a silent truncation — and never a value that
+    // collides with the kNoThreads/kNoRecords "unset" sentinels.
+    auto parseCount = [](const char *flag, const char *s,
+                         unsigned long long max,
+                         unsigned long long &out) {
+        char *end = nullptr;
+        errno = 0;
+        unsigned long long v = std::strtoull(s, &end, 10);
+        if (end == s || *end != '\0' || errno == ERANGE || v > max) {
+            std::fprintf(stderr,
+                         "prophet: %s: invalid value '%s'\n", flag,
+                         s);
+            return false;
+        }
+        out = v;
+        return true;
+    };
+    constexpr unsigned long long kMaxThreads = 65536;
+    constexpr unsigned long long kMaxRecords =
+        1ull << 53; // the spec schema's bound
+    for (int i = from; i < argc; ++i) {
+        unsigned long long v = 0;
+        if (!std::strcmp(argv[i], "--threads")) {
+            const char *s = needValue(i, "--threads");
+            if (!s || !parseCount("--threads", s, kMaxThreads, v))
+                return false;
+            flags.opts.threads = static_cast<unsigned>(v);
+        } else if (!std::strncmp(argv[i], "--threads=", 10)) {
+            if (!parseCount("--threads", argv[i] + 10, kMaxThreads,
+                            v))
+                return false;
+            flags.opts.threads = static_cast<unsigned>(v);
+        } else if (!std::strcmp(argv[i], "--records")) {
+            const char *s = needValue(i, "--records");
+            if (!s || !parseCount("--records", s, kMaxRecords, v))
+                return false;
+            flags.opts.records = static_cast<std::size_t>(v);
+        } else if (!std::strncmp(argv[i], "--records=", 10)) {
+            if (!parseCount("--records", argv[i] + 10, kMaxRecords,
+                            v))
+                return false;
+            flags.opts.records = static_cast<std::size_t>(v);
+        } else if (!std::strcmp(argv[i], "--no-trace-cache")) {
+            flags.opts.traceCache = 0;
+        } else if (!std::strcmp(argv[i], "--trace-cache-dir")) {
+            const char *s = needValue(i, "--trace-cache-dir");
+            if (!s)
+                return false;
+            flags.opts.traceCacheDir = s;
+        } else if (!std::strncmp(argv[i], "--trace-cache-dir=", 18)) {
+            flags.opts.traceCacheDir = argv[i] + 18;
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr, "prophet: unknown flag %s\n",
+                         argv[i]);
+            return false;
+        } else {
+            flags.positional.push_back(argv[i]);
+        }
+    }
+    return true;
+}
+
+int
+cmdRun(const Flags &flags)
+{
+    if (flags.positional.size() != 1) {
+        std::fprintf(stderr, "prophet run: expected one spec file\n");
+        return 2;
+    }
+    try {
+        auto spec =
+            driver::ExperimentSpec::fromFile(flags.positional[0]);
+        driver::ExperimentDriver drv(std::move(spec), flags.opts);
+        auto report = drv.run();
+        if (!report.sinksOk) {
+            std::fprintf(stderr,
+                         "prophet run: one or more sinks failed to "
+                         "write\n");
+            return 1;
+        }
+        return 0;
+    } catch (const driver::SpecError &e) {
+        std::fprintf(stderr, "prophet run: %s\n", e.what());
+        return 1;
+    }
+}
+
+int
+cmdListWorkloads()
+{
+    std::printf("SPEC (Figures 10-12, 16-19):\n");
+    for (const auto &w : workloads::specWorkloads())
+        std::printf("  %s\n", w.c_str());
+    std::printf("graph (Figure 15):\n");
+    for (const auto &w : workloads::graphWorkloads())
+        std::printf("  %s\n", w.c_str());
+    std::printf("gcc inputs (Figure 13):\n");
+    for (const auto &w : workloads::gccInputs())
+        std::printf("  %s\n", w.c_str());
+    std::printf("\nGraph labels follow <kernel>_<vertices>_<degree> "
+                "with kernels\nbfs dfs sssp bc pagerank, so labels "
+                "beyond Figure 15's are valid too.\n"
+                "Spec aliases: @spec @graph @gcc\n");
+    return 0;
+}
+
+int
+cmdTraceCacheWarm(const Flags &flags)
+{
+    if (flags.positional.empty()) {
+        std::fprintf(stderr,
+                     "prophet trace-cache warm: expected a spec file "
+                     "or workload names\n");
+        return 2;
+    }
+
+    // Cache keys are (workload, records), and each spec file may
+    // use a different record override — so warming tracks the pair
+    // per workload, never one global record count.
+    std::vector<std::pair<std::string, std::size_t>> jobs;
+    unsigned threads = 1;
+    try {
+        for (const auto &arg : flags.positional) {
+            if (arg.size() > 5
+                && arg.compare(arg.size() - 5, 5, ".json") == 0) {
+                auto spec = driver::ExperimentSpec::fromFile(arg);
+                for (const auto &w : spec.workloads)
+                    jobs.emplace_back(w, spec.records);
+                threads = spec.threads;
+            } else if (workloads::isKnown(arg)) {
+                jobs.emplace_back(arg, std::size_t{0});
+            } else {
+                std::fprintf(stderr,
+                             "prophet trace-cache warm: unknown "
+                             "workload \"%s\"\n",
+                             arg.c_str());
+                return 1;
+            }
+        }
+    } catch (const driver::SpecError &e) {
+        std::fprintf(stderr, "prophet trace-cache warm: %s\n",
+                     e.what());
+        return 1;
+    }
+    if (flags.opts.records != driver::DriverOptions::kNoRecords)
+        for (auto &[w, r] : jobs)
+            r = flags.opts.records;
+    if (flags.opts.threads != driver::DriverOptions::kNoThreads)
+        threads = flags.opts.threads;
+
+    // One Runner per distinct record override (a Runner generates at
+    // a single trace length); duplicates within a group collapse.
+    std::map<std::size_t, std::vector<std::string>> groups;
+    for (const auto &[w, r] : jobs) {
+        auto &names = groups[r];
+        if (std::find(names.begin(), names.end(), w) == names.end())
+            names.push_back(w);
+    }
+    auto cache = std::make_shared<trace::TraceCache>(
+        flags.opts.traceCacheDir);
+    std::size_t warmed = 0;
+    for (const auto &[records, names] : groups) {
+        sim::Runner runner(sim::SystemConfig::table1(), records);
+        runner.setTraceCache(cache);
+        sim::SweepEngine engine(runner, threads);
+        engine.forEach(names.size(), [&](std::size_t i) {
+            runner.traceFor(names[i]);
+        });
+        warmed += names.size();
+    }
+    auto st = cache->stats();
+    std::printf("warmed %zu workload(s) into %s "
+                "(%llu already cached, %llu generated)\n",
+                warmed, cache->dir().c_str(),
+                static_cast<unsigned long long>(st.hits),
+                static_cast<unsigned long long>(st.stores));
+    return 0;
+}
+
+int
+cmdTraceCacheClear(const Flags &flags)
+{
+    trace::TraceCache cache(flags.opts.traceCacheDir);
+    std::size_t removed = cache.clear();
+    std::printf("removed %zu cached trace(s) from %s\n", removed,
+                cache.dir().c_str());
+    return 0;
+}
+
+int
+cmdTraceCacheStats(const Flags &flags)
+{
+    trace::TraceCache cache(flags.opts.traceCacheDir);
+    auto entries = cache.entries();
+    std::uint64_t total = 0;
+    for (const auto &e : entries) {
+        std::printf("  %10llu  %s\n",
+                    static_cast<unsigned long long>(e.bytes),
+                    e.file.c_str());
+        total += e.bytes;
+    }
+    std::printf("%zu cached trace(s), %llu bytes in %s\n",
+                entries.size(),
+                static_cast<unsigned long long>(total),
+                cache.dir().c_str());
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+
+    if (cmd == "run") {
+        Flags flags;
+        if (!parseFlags(argc, argv, 2, flags))
+            return 2;
+        return cmdRun(flags);
+    }
+    if (cmd == "list-workloads")
+        return cmdListWorkloads();
+    if (cmd == "trace-cache") {
+        if (argc < 3)
+            return usage();
+        std::string sub = argv[2];
+        Flags flags;
+        if (!parseFlags(argc, argv, 3, flags))
+            return 2;
+        if (sub == "warm")
+            return cmdTraceCacheWarm(flags);
+        if (sub == "clear")
+            return cmdTraceCacheClear(flags);
+        if (sub == "stats")
+            return cmdTraceCacheStats(flags);
+        return usage();
+    }
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+        usage();
+        return 0;
+    }
+    std::fprintf(stderr, "prophet: unknown command \"%s\"\n",
+                 cmd.c_str());
+    return usage();
+}

@@ -16,9 +16,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "bench_util.hh"
 #include "prefetch/triangel.hh"
 #include "sim/runner.hh"
 #include "stats/table.hh"
@@ -28,7 +30,7 @@ namespace
 {
 
 /** Figure 1 reproduction: PatternConf vs ground truth on omnetpp. */
-void
+std::string
 figure1(const prophet::trace::Trace &t)
 {
     using namespace prophet;
@@ -97,8 +99,6 @@ figure1(const prophet::trace::Trace &t)
         prev = line;
     }
 
-    std::printf("== Figure 1: omnetpp hot-PC metadata access pattern "
-                "==\n\n");
     prophet::stats::Table table({"quantity", "value"});
     auto pct = [](std::uint64_t a, std::uint64_t b) {
         return prophet::stats::Table::fmt(
@@ -116,11 +116,13 @@ figure1(const prophet::trace::Trace &t)
                   pct(low_conf_samples, useful + useless)});
     table.addRow({"repeating accesses rejected by PatternConf",
                   pct(rejected_useful, useful)});
-    std::printf("%s\n", table.render().c_str());
+    return "== Figure 1: omnetpp hot-PC metadata access pattern "
+           "==\n\n"
+        + table.render() + "\n";
 }
 
 /** Figure 6: per-PC accuracy levels under the simplified TP. */
-void
+std::string
 figure6(prophet::sim::Runner &runner)
 {
     using namespace prophet;
@@ -132,8 +134,6 @@ figure6(prophet::sim::Runner &runner)
         return a.second.accuracy > b.second.accuracy;
     });
 
-    std::printf("== Figure 6: omnetpp per-PC prefetching accuracy "
-                "levels ==\n\n");
     stats::Table table({"PC", "issued", "accuracy", "level"});
     for (const auto &[pc, prof] : pcs) {
         if (prof.issuedPrefetches < 100)
@@ -145,16 +145,30 @@ figure6(prophet::sim::Runner &runner)
                       std::to_string(prof.issuedPrefetches),
                       stats::Table::fmt(prof.accuracy), level});
     }
-    std::printf("%s\n", table.render().c_str());
+    return "== Figure 6: omnetpp per-PC prefetching accuracy "
+           "levels ==\n\n"
+        + table.render() + "\n";
 }
 
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned threads = prophet::bench::parseThreads(argc, argv);
     prophet::sim::Runner runner;
-    figure1(runner.traceFor("omnetpp"));
-    figure6(runner);
+    prophet::sim::SweepEngine engine(runner, threads);
+
+    // The two analyses are independent jobs; rendering into strings
+    // keeps stdout in figure order at any thread count.
+    std::string reports[2];
+    engine.forEach(2, [&](std::size_t i) {
+        if (i == 0)
+            reports[0] = figure1(runner.traceFor("omnetpp"));
+        else
+            reports[1] = figure6(runner);
+    });
+    for (const auto &r : reports)
+        std::fputs(r.c_str(), stdout);
     return 0;
 }

@@ -14,25 +14,29 @@
 #include <set>
 #include <unordered_map>
 
+#include "bench_util.hh"
 #include "stats/summary.hh"
 #include "stats/table.hh"
 #include "trace/trace.hh"
 #include "workloads/registry.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace prophet;
     constexpr unsigned kMaxT = 5;
+    unsigned threads = bench::parseThreads(argc, argv);
+    sim::Runner runner;
+    sim::SweepEngine engine(runner, threads);
+    const auto &workloads = workloads::specWorkloads();
 
-    stats::Table table({"workload", "T=1", "T=2", "T=3", "T=4",
-                        "T=5+"});
-    std::vector<std::vector<double>> cols(kMaxT);
-
-    for (const auto &w : workloads::specWorkloads()) {
-        std::printf("analyzing %s...\n", w.c_str());
-        auto gen = workloads::makeWorkload(w);
-        auto t = gen->generate();
+    // One trace-analysis job per workload, merged by index; progress
+    // goes to stderr so stdout is bit-identical across thread counts.
+    std::vector<std::vector<double>> fracs(workloads.size());
+    engine.forEach(workloads.size(), [&](std::size_t wi) {
+        const auto &w = workloads[wi];
+        std::fprintf(stderr, "analyzing %s...\n", w.c_str());
+        const trace::Trace &t = runner.traceFor(w);
 
         // Per-PC successor sets per line address, as the training
         // unit observes them.
@@ -49,17 +53,25 @@ main()
         std::vector<std::uint64_t> counts(kMaxT, 0);
         std::uint64_t total = 0;
         for (const auto &[addr, succ] : successors) {
+            (void)addr;
             std::size_t n = std::min<std::size_t>(succ.size(), kMaxT);
             ++counts[n - 1];
             ++total;
         }
-
-        std::vector<std::string> row{w};
-        for (unsigned i = 0; i < kMaxT; ++i) {
-            double frac = total
-                ? static_cast<double>(counts[i])
+        fracs[wi].resize(kMaxT);
+        for (unsigned i = 0; i < kMaxT; ++i)
+            fracs[wi][i] = total ? static_cast<double>(counts[i])
                     / static_cast<double>(total)
-                : 0.0;
+                                 : 0.0;
+    });
+
+    stats::Table table({"workload", "T=1", "T=2", "T=3", "T=4",
+                        "T=5+"});
+    std::vector<std::vector<double>> cols(kMaxT);
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        std::vector<std::string> row{workloads[wi]};
+        for (unsigned i = 0; i < kMaxT; ++i) {
+            double frac = fracs[wi][i];
             row.push_back(stats::Table::fmt(frac));
             if (frac > 0.0)
                 cols[i].push_back(frac);

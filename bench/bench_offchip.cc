@@ -51,10 +51,10 @@ main(int argc, char **argv)
             break;
           }
           case kTriage:
-            cells[j] = runner.runTriage(w, 4);
+            cells[j] = runner.run("triage4", w);
             break;
           case kTriangel:
-            cells[j] = runner.runTriangel(w);
+            cells[j] = runner.run("triangel", w);
             break;
           default:
             cells[j] = runner.runProphet(w).stats;

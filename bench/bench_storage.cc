@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "sim/storage.hh"
 #include "stats/table.hh"
 
@@ -33,8 +34,11 @@ printBreakdown(const char *title,
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // No simulation here — the flag is accepted (and ignored) so
+    // sweep scripts can pass a uniform --threads N to every bench.
+    (void)prophet::bench::parseThreads(argc, argv);
     std::printf("== Section 5.10: storage overhead ==\n\n");
     printBreakdown("Prophet", prophet::sim::prophetStorage());
     printBreakdown("Triage management structures",

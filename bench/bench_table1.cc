@@ -1,59 +1,25 @@
 /**
  * @file
  * Table 1: system configuration. Prints the simulated machine's
- * parameters so runs are auditable against the paper.
+ * parameters so runs are auditable against the paper. Equivalent to
+ * `prophet run specs/table1.json` — both print the shared
+ * sim::systemConfigReport.
  */
 
 #include <cstdio>
 
 #include "bench_util.hh"
-#include "sim/system_config.hh"
-#include "stats/table.hh"
+#include "sim/config_report.hh"
 
 int
 main(int argc, char **argv)
 {
-    using prophet::stats::Table;
     // No simulation here — the flag is accepted (and ignored) so
     // sweep scripts can pass a uniform --threads N to every bench.
     (void)prophet::bench::parseThreads(argc, argv);
-    auto cfg = prophet::sim::SystemConfig::table1();
-
-    std::printf("== Table 1: System Configuration ==\n\n");
-    Table t({"Module", "Configuration"});
-    t.addRow({"Core",
-              "5-wide issue model, 288-entry ROB (analytic OoO)"});
-    auto cache_row = [&](const char *name,
-                         const prophet::mem::CacheConfig &c) {
-        char buf[160];
-        std::snprintf(buf, sizeof(buf),
-                      "%llu KB, %u-way, 64B line, %u MSHRs, %s, "
-                      "%llu cycles hit latency",
-                      static_cast<unsigned long long>(c.sizeBytes
-                                                      / 1024),
-                      c.assoc, c.mshrs, c.replacement.c_str(),
-                      static_cast<unsigned long long>(c.hitLatency));
-        t.addRow({name, buf});
-    };
-    cache_row("Private L1D cache", cfg.hier.l1d);
-    t.addRow({"L1D prefetcher", "degree-8 stride prefetcher"});
-    cache_row("Private L2 cache", cfg.hier.l2);
-    cache_row("Shared L3 cache", cfg.hier.llc);
-    {
-        char buf[160];
-        std::snprintf(buf, sizeof(buf),
-                      "LPDDR5-class: %llu-cycle access, %llu cycles/"
-                      "64B transfer, %u channel(s)",
-                      static_cast<unsigned long long>(
-                          cfg.hier.dram.accessLatency),
-                      static_cast<unsigned long long>(
-                          cfg.hier.dram.cyclesPerTransfer),
-                      cfg.hier.dram.channels);
-        t.addRow({"Memory", buf});
-    }
-    t.addRow({"Metadata table",
-              "up to 8 LLC ways = 1 MB = 196,608 compressed entries "
-              "(12 x 41-bit per 64B line)"});
-    std::printf("%s\n", t.render().c_str());
+    std::fputs(prophet::sim::systemConfigReport(
+                   prophet::sim::SystemConfig::table1())
+                   .c_str(),
+               stdout);
     return 0;
 }

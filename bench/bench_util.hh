@@ -73,7 +73,7 @@ runTrio(sim::Runner &runner, const std::string &workload)
 {
     TrioResult r;
     r.rpg2 = runner.runRpg2(workload).stats;
-    r.triangel = runner.runTriangel(workload);
+    r.triangel = runner.run("triangel", workload);
     r.prophet = runner.runProphet(workload).stats;
     return r;
 }

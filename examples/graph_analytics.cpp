@@ -38,7 +38,7 @@ main(int argc, char **argv)
                     100.0 * k.missShare);
 
     std::printf("\nTriangel and Prophet...\n\n");
-    auto tri = runner.runTriangel(workload);
+    auto tri = runner.run("triangel", workload);
     auto pro = runner.runProphet(workload);
 
     stats::Table t({"system", "speedup", "coverage", "accuracy",

@@ -6,8 +6,8 @@
  * this library reaches for.
  *
  * Usage:
- *   prophet_cli <workload> [--system baseline|triage|triage4|
- *                triangel|prophet|stms|domino|rpg2]
+ *   prophet_cli <workload> [--system NAME]  (any registered
+ *                pipeline — see `prophet list-pipelines`)
  *               [--l1 stride|ipcp|none] [--channels N]
  *               [--records N] [--dump-trace FILE] [--load-trace FILE]
  */
@@ -17,6 +17,7 @@
 #include <cstring>
 #include <string>
 
+#include "sim/pipelines.hh"
 #include "sim/runner.hh"
 #include "stats/table.hh"
 #include "trace/trace_io.hh"
@@ -32,9 +33,8 @@ usage(const char *argv0)
         "usage: %s <workload> [--system NAME] [--l1 NAME]\n"
         "          [--channels N] [--records N]\n"
         "          [--dump-trace FILE] [--load-trace FILE]\n"
-        "systems: baseline triage triage4 triangel prophet stms "
-        "domino rpg2\n",
-        argv0);
+        "systems: %s\n",
+        argv0, prophet::sim::registeredPipelineList().c_str());
     std::exit(1);
 }
 
@@ -117,24 +117,13 @@ main(int argc, char **argv)
         cfg.l2Pf = sim::L2PfKind::Triangel;
         sim::System sys(cfg);
         stats = sys.run(t);
-    } else if (system == "baseline") {
-        stats = runner.baseline(workload);
-    } else if (system == "triage") {
-        stats = runner.runTriage(workload, 1);
-    } else if (system == "triage4") {
-        stats = runner.runTriage(workload, 4);
-    } else if (system == "triangel") {
-        stats = runner.runTriangel(workload);
-    } else if (system == "prophet") {
-        stats = runner.runProphet(workload).stats;
-    } else if (system == "rpg2") {
-        stats = runner.runRpg2(workload).stats;
-    } else if (system == "stms" || system == "domino") {
-        sim::SystemConfig cfg = base;
-        cfg.l2Pf = system == "stms" ? sim::L2PfKind::Stms
-                                    : sim::L2PfKind::Domino;
-        stats = runner.runConfig(workload, cfg);
+    } else if (sim::findPipeline(system)) {
+        // One registry lookup replaces the old per-system chain:
+        // every registered pipeline is runnable from here.
+        stats = runner.run(system, workload);
     } else {
+        std::fprintf(stderr, "unknown system \"%s\"\n",
+                     system.c_str());
         usage(argv[0]);
     }
 

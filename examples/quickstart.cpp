@@ -23,7 +23,7 @@ main(int argc, char **argv)
                 workload.c_str());
 
     const auto &base = runner.baseline(workload);
-    auto triangel = runner.runTriangel(workload);
+    auto triangel = runner.run("triangel", workload);
     auto prophet_out = runner.runProphet(workload);
 
     prophet::stats::Table table(

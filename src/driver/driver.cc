@@ -5,6 +5,8 @@
 
 #include "common/log.hh"
 #include "common/time.hh"
+#include "sim/config_report.hh"
+#include "sim/pipelines.hh"
 #include "sim/sweep.hh"
 
 namespace prophet::driver
@@ -20,38 +22,15 @@ needsBaseline(const ExperimentSpec &spec)
     for (const auto &m : spec.metrics)
         if (m == "speedup" || m == "traffic" || m == "coverage")
             return true;
-    for (const auto &p : spec.pipelines)
-        if (p == "baseline" || p == "rpg2")
+    for (const auto &p : spec.pipelines) {
+        const sim::PipelineDef *def = sim::findPipeline(p.name);
+        if (def && def->needsBaseline)
             return true;
+    }
     return false;
 }
 
 } // anonymous namespace
-
-sim::RunStats
-runPipeline(sim::Runner &runner, const std::string &pipeline,
-            const std::string &workload)
-{
-    if (pipeline == "baseline")
-        return runner.baseline(workload);
-    if (pipeline == "rpg2")
-        return runner.runRpg2(workload).stats;
-    if (pipeline == "triage")
-        return runner.runTriage(workload, 1);
-    if (pipeline == "triage4")
-        return runner.runTriage(workload, 4);
-    if (pipeline == "triangel")
-        return runner.runTriangel(workload);
-    if (pipeline == "prophet")
-        return runner.runProphet(workload).stats;
-    if (pipeline == "stms" || pipeline == "domino") {
-        sim::SystemConfig cfg = runner.baseConfig();
-        cfg.l2Pf = pipeline == "stms" ? sim::L2PfKind::Stms
-                                      : sim::L2PfKind::Domino;
-        return runner.runConfig(workload, cfg);
-    }
-    prophet_fatal("unknown pipeline name");
-}
 
 double
 computeMetric(sim::Runner &runner, const std::string &metric,
@@ -68,6 +47,8 @@ computeMetric(sim::Runner &runner, const std::string &metric,
         return stats.prefetchAccuracy();
     if (metric == "ipc")
         return stats.ipc;
+    if (metric == "meta_lines")
+        return static_cast<double>(stats.offchipMeta.total());
     prophet_fatal("unknown metric name");
 }
 
@@ -108,6 +89,16 @@ ExperimentDriver::run()
 {
     auto start = std::chrono::steady_clock::now();
 
+    // Static reports short-circuit the job matrix entirely.
+    if (spec.report == ExperimentSpec::Report::SystemConfig) {
+        std::fputs(sim::systemConfigReport(spec.baseConfig()).c_str(),
+                   stdout);
+        ExperimentReport report;
+        report.meta.specName = spec.name;
+        report.meta.timestamp = iso8601UtcNow();
+        return report;
+    }
+
     sim::Runner runner(spec.baseConfig(), effectiveRecords());
     std::shared_ptr<trace::TraceCache> cache;
     if (traceCacheEnabled()) {
@@ -139,10 +130,10 @@ ExperimentDriver::run()
     report.results.resize(spec.workloads.size() * per);
     engine.forEach(report.results.size(), [&](std::size_t i) {
         JobResult &slot = report.results[i];
+        const sim::PipelineInstance &inst = spec.pipelines[i % per];
         slot.workload = spec.workloads[i / per];
-        slot.pipeline = spec.pipelines[i % per];
-        slot.stats = runPipeline(runner, slot.pipeline,
-                                 slot.workload);
+        slot.pipeline = inst.resultName();
+        slot.stats = runner.run(inst, slot.workload);
         std::fprintf(stderr, "  %s/%s done\n", slot.workload.c_str(),
                      slot.pipeline.c_str());
     });

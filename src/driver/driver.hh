@@ -79,15 +79,6 @@ class ExperimentDriver
     std::vector<std::unique_ptr<Sink>> extraSinks;
 };
 
-/**
- * Run one pipeline by name on one workload ("baseline", "rpg2",
- * "triage", "triage4", "triangel", "stms", "domino", "prophet").
- * Shared by the driver's jobs and the equivalence tests.
- */
-sim::RunStats runPipeline(sim::Runner &runner,
-                          const std::string &pipeline,
-                          const std::string &workload);
-
 /** Compute one metric by name for a finished run. */
 double computeMetric(sim::Runner &runner, const std::string &metric,
                      const std::string &workload,

@@ -70,17 +70,19 @@ class TableSink : public Sink
     void
     printMetric(const ExperimentSpec &spec, const std::string &metric)
     {
+        // Column titles and order come straight from the registry-
+        // validated pipeline instances (label, else display name).
         std::vector<std::string> hdr{"workload"};
         for (const auto &p : spec.pipelines)
-            hdr.push_back(pipelineDisplayName(p));
+            hdr.push_back(sim::pipelineColumnTitle(p));
         stats::Table table(std::move(hdr));
 
         std::vector<std::vector<double>> cols(spec.pipelines.size());
         for (const auto &w : spec.workloads) {
             std::vector<std::string> row{w};
             for (std::size_t i = 0; i < spec.pipelines.size(); ++i) {
-                double v = metricValue(at(w, spec.pipelines[i]),
-                                       metric);
+                double v = metricValue(
+                    at(w, spec.pipelines[i].resultName()), metric);
                 row.push_back(stats::Table::fmt(v));
                 if (v > 0.0)
                     cols[i].push_back(v);
@@ -260,6 +262,8 @@ metricDisplayName(const std::string &metric)
         return "Prefetching Accuracy";
     if (metric == "ipc")
         return "IPC";
+    if (metric == "meta_lines")
+        return "Off-chip Metadata Lines";
     return metric;
 }
 

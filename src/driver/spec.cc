@@ -102,6 +102,172 @@ expandWorkloads(const std::vector<std::string> &raw)
     return out;
 }
 
+sim::ParamValue
+paramFromJson(const json::Value &v, const std::string &key,
+              const std::string &pipeline)
+{
+    if (v.isNumber())
+        return sim::ParamValue::makeNumber(v.asNumber());
+    if (v.isBool())
+        return sim::ParamValue::makeBool(v.asBool());
+    if (v.isString())
+        return sim::ParamValue::makeString(v.asString());
+    if (v.isArray()) {
+        std::vector<std::string> list;
+        for (const auto &elem : v.asArray()) {
+            if (!elem.isString())
+                specFail("parameter \"" + key + "\" of pipeline \""
+                         + pipeline
+                         + "\" must be an array of strings");
+            list.push_back(elem.asString());
+        }
+        return sim::ParamValue::makeList(std::move(list));
+    }
+    specFail("parameter \"" + key + "\" of pipeline \"" + pipeline
+             + "\" must be a number, boolean, string, or array of "
+               "strings");
+}
+
+/**
+ * A pipeline element: either a registered name, or an object with
+ * parameter overrides and an optional display label. Every name,
+ * parameter key, parameter type, and parameter value is checked
+ * against the pipeline registry here, at parse time.
+ */
+sim::PipelineInstance
+parsePipeline(const json::Value &v)
+{
+    sim::PipelineInstance inst;
+    if (v.isString()) {
+        inst.name = v.asString();
+    } else if (v.isObject()) {
+        const json::Value *name = v.find("name");
+        if (!name || !name->isString())
+            specFail("each pipeline object needs a string \"name\"");
+        inst.name = name->asString();
+        for (const auto &[key, value] : v.asObject()) {
+            if (key == "name")
+                continue;
+            if (key == "label") {
+                if (!value.isString() || value.asString().empty())
+                    specFail("pipeline \"label\" must be a "
+                             "non-empty string");
+                inst.label = value.asString();
+                continue;
+            }
+            inst.params.emplace(key,
+                                paramFromJson(value, key, inst.name));
+        }
+    } else {
+        specFail("each pipeline must be a name or an object with a "
+                 "\"name\"");
+    }
+    try {
+        sim::validatePipeline(inst);
+    } catch (const sim::PipelineError &e) {
+        specFail(e.what());
+    }
+    return inst;
+}
+
+/**
+ * The "sweep" axis: cross-product every pipeline with every value of
+ * one parameter. Each product gets a derived label so columns stay
+ * distinguishable.
+ */
+std::vector<sim::PipelineInstance>
+expandSweep(const json::Value &v,
+            const std::vector<sim::PipelineInstance> &pipelines)
+{
+    if (!v.isObject())
+        specFail("\"sweep\" must be an object");
+    rejectUnknownKeys(v, {"param", "values"}, "sweep");
+    const json::Value *param = v.find("param");
+    if (!param || !param->isString())
+        specFail("\"sweep\" needs a string \"param\"");
+    const json::Value *values = v.find("values");
+    if (!values || !values->isArray() || values->asArray().empty())
+        specFail("\"sweep\" needs a non-empty \"values\" array");
+
+    const std::string &key = param->asString();
+    std::vector<sim::PipelineInstance> expanded;
+    for (const auto &inst : pipelines) {
+        // The registry entry exists — parsePipeline validated it.
+        const sim::PipelineDef *def = sim::findPipeline(inst.name);
+        if (!def->findParam(key))
+            specFail("sweep parameter \"" + key
+                     + "\" is not accepted by pipeline \""
+                     + inst.name + "\"");
+        if (inst.params.count(key))
+            specFail("sweep parameter \"" + key
+                     + "\" is already set on pipeline \"" + inst.name
+                     + "\"");
+        for (const auto &value : values->asArray()) {
+            sim::PipelineInstance point = inst;
+            sim::ParamValue pv = paramFromJson(value, key, inst.name);
+            point.label = inst.resultName() + " " + key + "="
+                + pv.display();
+            point.params[key] = std::move(pv);
+            try {
+                sim::validatePipeline(point);
+            } catch (const sim::PipelineError &e) {
+                specFail(e.what());
+            }
+            expanded.push_back(std::move(point));
+        }
+    }
+    return expanded;
+}
+
+/**
+ * Canonical JSON of one pipeline instance. Plain instances stay the
+ * bare name (so pre-registry spec hashes are unchanged); everything
+ * else becomes the object form with parameters in sorted key order.
+ * The result hash excludes the label — it names a column, it cannot
+ * change a number.
+ */
+json::Value
+pipelineToJson(const sim::PipelineInstance &p, bool with_label)
+{
+    if (p.params.empty() && (p.label.empty() || !with_label))
+        return json::Value(p.name);
+    json::Value obj = json::Value::makeObject();
+    obj.set("name", json::Value(p.name));
+    if (with_label && !p.label.empty())
+        obj.set("label", json::Value(p.label));
+    for (const auto &[key, v] : p.params) {
+        switch (v.type) {
+          case sim::ParamValue::Type::Number:
+            obj.set(key, json::Value(v.num));
+            break;
+          case sim::ParamValue::Type::Bool:
+            obj.set(key, json::Value(v.flag));
+            break;
+          case sim::ParamValue::Type::String:
+            obj.set(key, json::Value(v.str));
+            break;
+          case sim::ParamValue::Type::StringList: {
+            json::Value arr = json::Value::makeArray();
+            for (const auto &s : v.list)
+                arr.push(json::Value(s));
+            obj.set(key, std::move(arr));
+            break;
+          }
+        }
+    }
+    return obj;
+}
+
+json::Value
+pipelinesToJson(const std::vector<sim::PipelineInstance> &pipelines,
+                bool with_labels)
+{
+    json::Value arr = json::Value::makeArray();
+    for (const auto &p : pipelines)
+        arr.push(pipelineToJson(p, with_labels));
+    return arr;
+}
+
 SinkSpec
 parseSink(const json::Value &v)
 {
@@ -135,44 +301,13 @@ parseSink(const json::Value &v)
 } // anonymous namespace
 
 const std::vector<std::string> &
-knownPipelines()
-{
-    static const std::vector<std::string> names = {
-        "baseline", "rpg2",  "triage", "triage4",
-        "triangel", "stms",  "domino", "prophet",
-    };
-    return names;
-}
-
-const std::vector<std::string> &
 knownMetrics()
 {
     static const std::vector<std::string> names = {
         "speedup", "traffic", "coverage", "accuracy", "ipc",
+        "meta_lines",
     };
     return names;
-}
-
-std::string
-pipelineDisplayName(const std::string &pipeline)
-{
-    if (pipeline == "baseline")
-        return "Baseline";
-    if (pipeline == "rpg2")
-        return "RPG2";
-    if (pipeline == "triage")
-        return "Triage";
-    if (pipeline == "triage4")
-        return "Triage4";
-    if (pipeline == "triangel")
-        return "Triangel";
-    if (pipeline == "stms")
-        return "STMS";
-    if (pipeline == "domino")
-        return "Domino";
-    if (pipeline == "prophet")
-        return "Prophet";
-    return pipeline;
 }
 
 ExperimentSpec
@@ -181,9 +316,10 @@ ExperimentSpec::fromJson(const json::Value &root)
     if (!root.isObject())
         specFail("top-level value must be an object");
     rejectUnknownKeys(root,
-                      {"name", "workloads", "pipelines", "metrics",
-                       "records", "threads", "l1", "dram_channels",
-                       "warmup_records", "trace_cache", "sinks"},
+                      {"name", "report", "workloads", "pipelines",
+                       "sweep", "metrics", "records", "threads", "l1",
+                       "dram_channels", "warmup_records",
+                       "trace_cache", "sinks"},
                       "spec");
 
     ExperimentSpec spec;
@@ -193,22 +329,58 @@ ExperimentSpec::fromJson(const json::Value &root)
         spec.name = v->asString();
     }
 
+    if (const json::Value *v = root.find("report")) {
+        if (!v->isString() || v->asString() != "system-config")
+            specFail("\"report\" must be \"system-config\"");
+        spec.report = Report::SystemConfig;
+        // A report runs no jobs: job-matrix keys would be silently
+        // ignored, so they are errors. Config keys (l1,
+        // dram_channels, warmup_records) stay legal — they change
+        // the reported configuration.
+        for (const char *key :
+             {"workloads", "pipelines", "sweep", "metrics", "sinks",
+              "records", "threads", "trace_cache"})
+            if (root.find(key))
+                specFail(std::string("\"") + key
+                         + "\" has no effect in a \"report\" spec");
+    }
+
     const json::Value *wl = root.find("workloads");
-    if (!wl)
+    if (wl)
+        spec.workloads =
+            expandWorkloads(asStringList(*wl, "workloads"));
+    else if (spec.report == Report::None)
         specFail("missing required key \"workloads\"");
-    spec.workloads = expandWorkloads(asStringList(*wl, "workloads"));
 
     const json::Value *pl = root.find("pipelines");
-    if (!pl)
+    if (pl) {
+        if (!pl->isArray())
+            specFail("\"pipelines\" must be an array");
+        for (const auto &elem : pl->asArray())
+            spec.pipelines.push_back(parsePipeline(elem));
+        if (spec.pipelines.empty())
+            specFail("\"pipelines\" must name at least one pipeline");
+    } else if (spec.report == Report::None) {
         specFail("missing required key \"pipelines\"");
-    spec.pipelines = asStringList(*pl, "pipelines");
-    if (spec.pipelines.empty())
-        specFail("\"pipelines\" must name at least one pipeline");
-    for (const auto &p : spec.pipelines) {
-        const auto &known = knownPipelines();
-        if (std::find(known.begin(), known.end(), p) == known.end())
-            specFail("unknown pipeline \"" + p + "\"");
     }
+
+    if (const json::Value *v = root.find("sweep")) {
+        if (!pl)
+            specFail("\"sweep\" needs a \"pipelines\" list to "
+                     "expand");
+        spec.pipelines = expandSweep(*v, spec.pipelines);
+    }
+
+    // Results are keyed by (workload, pipeline label): two instances
+    // reporting under one key would be indistinguishable downstream.
+    for (std::size_t i = 0; i < spec.pipelines.size(); ++i)
+        for (std::size_t j = i + 1; j < spec.pipelines.size(); ++j)
+            if (spec.pipelines[i].resultName()
+                == spec.pipelines[j].resultName())
+                specFail("duplicate pipeline \""
+                         + spec.pipelines[i].resultName()
+                         + "\" (give each instance a distinct "
+                           "\"label\")");
 
     if (const json::Value *v = root.find("metrics")) {
         spec.metrics = asStringList(*v, "metrics");
@@ -281,6 +453,8 @@ ExperimentSpec::toJson() const
 {
     json::Value root = json::Value::makeObject();
     root.set("name", json::Value(name));
+    if (report == Report::SystemConfig)
+        root.set("report", json::Value(std::string("system-config")));
     auto list = [](const std::vector<std::string> &v) {
         json::Value arr = json::Value::makeArray();
         for (const auto &s : v)
@@ -288,7 +462,7 @@ ExperimentSpec::toJson() const
         return arr;
     };
     root.set("workloads", list(workloads));
-    root.set("pipelines", list(pipelines));
+    root.set("pipelines", pipelinesToJson(pipelines, true));
     root.set("metrics", list(metrics));
     root.set("records", json::Value(records));
     root.set("threads", json::Value(static_cast<double>(threads)));
@@ -348,8 +522,10 @@ ExperimentSpec::resultHash(std::size_t effective_records) const
             arr.push(json::Value(s));
         return arr;
     };
+    if (report == Report::SystemConfig)
+        root.set("report", json::Value(std::string("system-config")));
     root.set("workloads", list(workloads));
-    root.set("pipelines", list(pipelines));
+    root.set("pipelines", pipelinesToJson(pipelines, false));
     root.set("metrics", list(metrics));
     root.set("records", json::Value(effective_records));
     root.set("l1", json::Value(l1));

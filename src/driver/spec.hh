@@ -11,9 +11,19 @@
  *   {
  *     "name": "fig10",               // experiment label
  *     "workloads": ["@spec"],        // names or @spec/@graph/@gcc
- *     "pipelines": ["rpg2", "triangel", "prophet"],
+ *     "pipelines": ["rpg2", "triangel",
+ *       // an element may also be an object with parameter
+ *       // overrides and a display label; names, parameters and
+ *       // their types come from the pipeline registry
+ *       // (sim/pipelines.hh, `prophet list-pipelines`)
+ *       {"name": "triage", "degree": 4, "label": "triage-d4"},
+ *       {"name": "prophet", "features": ["replacement"]}],
+ *     "sweep": {                     // optional knob axis: every
+ *       "param": "el_acc",           // pipeline is instantiated
+ *       "values": [0.05, 0.15, 0.25] // once per value
+ *     },
  *     "metrics": ["speedup"],        // speedup traffic coverage
- *                                    // accuracy ipc
+ *                                    // accuracy ipc meta_lines
  *     "records": 0,                  // trace-length override
  *     "threads": 1,                  // 0 = hardware concurrency
  *     "l1": "stride",                // stride | ipcp | none
@@ -24,8 +34,13 @@
  *               {"type": "json", "path": "out.json"}]
  *   }
  *
- * Unknown keys anywhere are errors — a typoed knob must not
- * silently run the default experiment.
+ * A spec may instead request a static report —
+ * {"name": "table1", "report": "system-config"} — which prints the
+ * Table 1 configuration without running jobs.
+ *
+ * Unknown keys anywhere are errors — a typoed knob, pipeline name,
+ * or pipeline parameter must not silently run the default
+ * experiment.
  */
 
 #ifndef PROPHET_DRIVER_SPEC_HH
@@ -37,6 +52,7 @@
 #include <vector>
 
 #include "driver/json.hh"
+#include "sim/pipelines.hh"
 #include "sim/system_config.hh"
 
 namespace prophet::driver
@@ -60,9 +76,14 @@ struct SinkSpec
 /** The parsed, validated experiment description. */
 struct ExperimentSpec
 {
+    /** A static report instead of a job matrix. */
+    enum class Report { None, SystemConfig };
+
     std::string name = "experiment";
+    Report report = Report::None;
     std::vector<std::string> workloads; ///< aliases expanded
-    std::vector<std::string> pipelines;
+    /** Validated against the registry; the sweep axis expanded. */
+    std::vector<sim::PipelineInstance> pipelines;
     std::vector<std::string> metrics{"speedup"};
     std::size_t records = 0;
     unsigned threads = 1;
@@ -106,14 +127,8 @@ struct ExperimentSpec
     sim::SystemConfig baseConfig() const;
 };
 
-/** The pipeline names the driver can run, in display order. */
-const std::vector<std::string> &knownPipelines();
-
 /** The metric names the driver can compute. */
 const std::vector<std::string> &knownMetrics();
-
-/** Column header for a pipeline ("rpg2" -> "RPG2"). */
-std::string pipelineDisplayName(const std::string &pipeline);
 
 } // namespace prophet::driver
 

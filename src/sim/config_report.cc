@@ -1,0 +1,54 @@
+#include "sim/config_report.hh"
+
+#include <cstdio>
+
+#include "stats/table.hh"
+
+namespace prophet::sim
+{
+
+std::string
+systemConfigReport(const SystemConfig &cfg)
+{
+    using prophet::stats::Table;
+
+    Table t({"Module", "Configuration"});
+    t.addRow({"Core",
+              "5-wide issue model, 288-entry ROB (analytic OoO)"});
+    auto cache_row = [&](const char *name,
+                         const prophet::mem::CacheConfig &c) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "%llu KB, %u-way, 64B line, %u MSHRs, %s, "
+                      "%llu cycles hit latency",
+                      static_cast<unsigned long long>(c.sizeBytes
+                                                      / 1024),
+                      c.assoc, c.mshrs, c.replacement.c_str(),
+                      static_cast<unsigned long long>(c.hitLatency));
+        t.addRow({name, buf});
+    };
+    cache_row("Private L1D cache", cfg.hier.l1d);
+    t.addRow({"L1D prefetcher", "degree-8 stride prefetcher"});
+    cache_row("Private L2 cache", cfg.hier.l2);
+    cache_row("Shared L3 cache", cfg.hier.llc);
+    {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "LPDDR5-class: %llu-cycle access, %llu cycles/"
+                      "64B transfer, %u channel(s)",
+                      static_cast<unsigned long long>(
+                          cfg.hier.dram.accessLatency),
+                      static_cast<unsigned long long>(
+                          cfg.hier.dram.cyclesPerTransfer),
+                      cfg.hier.dram.channels);
+        t.addRow({"Memory", buf});
+    }
+    t.addRow({"Metadata table",
+              "up to 8 LLC ways = 1 MB = 196,608 compressed entries "
+              "(12 x 41-bit per 64B line)"});
+
+    return "== Table 1: System Configuration ==\n\n" + t.render()
+        + "\n";
+}
+
+} // namespace prophet::sim

@@ -107,31 +107,37 @@ Runner::baseline(const std::string &workload)
 }
 
 RunStats
-Runner::runTriangel(const std::string &workload)
+Runner::run(const PipelineInstance &pipeline,
+            const std::string &workload)
 {
-    SystemConfig cfg = base;
-    cfg.l2Pf = L2PfKind::Triangel;
-    return runConfig(workload, cfg);
-}
-
-RunStats
-Runner::runTriage(const std::string &workload, unsigned degree)
-{
-    SystemConfig cfg = base;
-    cfg.l2Pf = degree >= 4 ? L2PfKind::Triage4 : L2PfKind::Triage;
-    return runConfig(workload, cfg);
+    // Full validation on every entry — programmatic callers get the
+    // same parameter checking as parsed specs, so an out-of-range
+    // knob can never silently run a different configuration.
+    validatePipeline(pipeline);
+    return findPipeline(pipeline.name)
+        ->run(*this, pipeline, workload);
 }
 
 core::ProfileSnapshot
 Runner::profileWorkload(const std::string &workload)
 {
+    {
+        std::lock_guard<std::mutex> lock(cacheMu);
+        auto it = profiles.find(workload);
+        if (it != profiles.end())
+            return it->second;
+    }
     std::shared_ptr<const trace::Trace> tr = traceShared(workload);
     SystemConfig cfg = base;
     cfg.l2Pf = L2PfKind::Simplified;
     System system(cfg, resolverFor(workload));
     system.run(*tr);
     prophet_assert(system.prophet() != nullptr);
-    return system.prophet()->takeSnapshot();
+    core::ProfileSnapshot snap = system.prophet()->takeSnapshot();
+    // Concurrent profilers compute the same deterministic snapshot;
+    // the first emplace wins and the caller gets a copy either way.
+    std::lock_guard<std::mutex> lock(cacheMu);
+    return profiles.emplace(workload, std::move(snap)).first->second;
 }
 
 ProphetOutcome

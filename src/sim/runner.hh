@@ -18,6 +18,7 @@
 #include "core/analyzer.hh"
 #include "core/learner.hh"
 #include "rpg2/kernel_id.hh"
+#include "sim/pipelines.hh"
 #include "sim/system.hh"
 #include "trace/trace_cache.hh"
 
@@ -93,18 +94,25 @@ class Runner
     RunStats runConfig(const std::string &workload,
                        const SystemConfig &cfg);
 
+    /**
+     * Run one registered pipeline on one workload — the uniform
+     * entry every experiment goes through. The instance's name is
+     * looked up in the pipeline registry (sim/pipelines.hh) and its
+     * parameter bag configures the run; an unknown name throws
+     * PipelineError naming the registered pipelines. Thread-safe
+     * like every other public method.
+     */
+    RunStats run(const PipelineInstance &pipeline,
+                 const std::string &workload);
+
     /** Cached baseline (no temporal prefetcher). */
     const RunStats &baseline(const std::string &workload);
 
-    /** Triangel run. */
-    RunStats runTriangel(const std::string &workload);
-
-    /** Triage run at the given degree (1 or 4). */
-    RunStats runTriage(const std::string &workload, unsigned degree);
-
     /**
      * Profile a workload with the simplified temporal prefetcher
-     * (Step 1) and return the counter snapshot.
+     * (Step 1) and return the counter snapshot. Snapshots are
+     * deterministic per workload and cached, so the learning
+     * pipelines re-profile for free.
      */
     core::ProfileSnapshot profileWorkload(const std::string &workload);
 
@@ -151,7 +159,7 @@ class Runner
     std::shared_ptr<trace::TraceCache> cache; ///< optional
 
     /**
-     * Guards the three caches below. Held only around lookups and
+     * Guards the caches below. Held only around lookups and
      * inserts, never across a simulation or trace generation, so
      * workers overlap fully on the expensive parts.
      */
@@ -160,6 +168,7 @@ class Runner
     std::map<std::string, trace::GeneratorPtr> generators;
     std::map<std::string, std::shared_ptr<const trace::Trace>> traces;
     std::map<std::string, RunStats> baselines;
+    std::map<std::string, core::ProfileSnapshot> profiles;
 
     void ensureWorkload(const std::string &workload);
 };

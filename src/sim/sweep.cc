@@ -102,7 +102,7 @@ SweepEngine::runTrios(const std::vector<std::string> &workloads)
             slot.rpg2 = runnerRef.runRpg2(w);
             break;
           case 1:
-            slot.triangel = runnerRef.runTriangel(w);
+            slot.triangel = runnerRef.run("triangel", w);
             break;
           default:
             slot.prophet = runnerRef.runProphet(w);

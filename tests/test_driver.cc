@@ -98,7 +98,7 @@ TEST_F(DriverTest, JsonSinkMatchesDirectRunnerBitForBit)
     std::size_t idx = 0;
     for (const auto &w : workloads) {
         for (const auto &p : pipelines) {
-            sim::RunStats direct = runPipeline(runner, p, w);
+            sim::RunStats direct = runner.run(p, w);
             const json::Value &row = results->asArray()[idx++];
             EXPECT_EQ(row.find("workload")->asString(), w);
             EXPECT_EQ(row.find("pipeline")->asString(), p);

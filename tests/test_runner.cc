@@ -45,7 +45,7 @@ TEST(Runner, SpeedupOfBaselineIsOne)
 TEST(Runner, TriangelBeatsBaselineOnTemporalWorkload)
 {
     Runner r(SystemConfig::table1(), kRecords);
-    auto tri = r.runTriangel("mcf");
+    auto tri = r.run("triangel", "mcf");
     EXPECT_GT(r.speedup("mcf", tri), 1.05);
     EXPECT_GT(r.coverage("mcf", tri), 0.05);
 }
@@ -58,7 +58,7 @@ TEST(Runner, ProphetPipelineProducesHintsAndWins)
     EXPECT_TRUE(out.binary.csr.prophetEnabled);
     EXPECT_GT(r.speedup("mcf", out.stats), 1.1);
 
-    auto tri = r.runTriangel("mcf");
+    auto tri = r.run("triangel", "mcf");
     // The paper's headline: Prophet outperforms Triangel.
     EXPECT_GT(out.stats.ipc, tri.ipc);
 }
@@ -137,7 +137,7 @@ TEST(Runner, AblationFeatureOrderingOnMcf)
 TEST(Runner, TrafficNormAboveOneWithPrefetching)
 {
     Runner r(SystemConfig::table1(), kRecords);
-    auto tri = r.runTriangel("omnetpp");
+    auto tri = r.run("triangel", "omnetpp");
     // Prefetching trades DRAM traffic for latency (Figure 11).
     EXPECT_GE(r.trafficNorm("omnetpp", tri), 0.99);
 }

@@ -178,7 +178,7 @@ TEST_F(TraceCacheTest, RunnerResultsIdenticalColdWarmAndPoisoned)
 {
     // Reference: no cache at all.
     sim::Runner plain(sim::SystemConfig::table1(), kRecords);
-    sim::RunStats ref = plain.runTriangel("mcf");
+    sim::RunStats ref = plain.run("triangel", "mcf");
 
     auto cache = std::make_shared<TraceCache>(dir);
 
@@ -186,7 +186,7 @@ TEST_F(TraceCacheTest, RunnerResultsIdenticalColdWarmAndPoisoned)
     {
         sim::Runner r(sim::SystemConfig::table1(), kRecords);
         r.setTraceCache(cache);
-        sim::RunStats s = r.runTriangel("mcf");
+        sim::RunStats s = r.run("triangel", "mcf");
         EXPECT_EQ(s.ipc, ref.ipc);
         EXPECT_EQ(s.cycles, ref.cycles);
         EXPECT_EQ(s.l2DemandMisses, ref.l2DemandMisses);
@@ -197,7 +197,7 @@ TEST_F(TraceCacheTest, RunnerResultsIdenticalColdWarmAndPoisoned)
     {
         sim::Runner r(sim::SystemConfig::table1(), kRecords);
         r.setTraceCache(cache);
-        sim::RunStats s = r.runTriangel("mcf");
+        sim::RunStats s = r.run("triangel", "mcf");
         EXPECT_EQ(s.ipc, ref.ipc);
         EXPECT_EQ(s.cycles, ref.cycles);
         EXPECT_EQ(s.l2DemandMisses, ref.l2DemandMisses);
@@ -211,7 +211,7 @@ TEST_F(TraceCacheTest, RunnerResultsIdenticalColdWarmAndPoisoned)
     {
         sim::Runner r(sim::SystemConfig::table1(), kRecords);
         r.setTraceCache(cache);
-        sim::RunStats s = r.runTriangel("mcf");
+        sim::RunStats s = r.run("triangel", "mcf");
         EXPECT_EQ(s.ipc, ref.ipc);
         EXPECT_EQ(s.cycles, ref.cycles);
     }

@@ -6,6 +6,7 @@
  *   prophet run <spec.json> [--threads N] [--records N]
  *               [--no-trace-cache] [--trace-cache-dir DIR]
  *   prophet list-workloads
+ *   prophet list-pipelines
  *   prophet trace-cache warm <spec.json | workload...>
  *               [--threads N] [--records N] [--trace-cache-dir DIR]
  *   prophet trace-cache clear [--trace-cache-dir DIR]
@@ -28,6 +29,7 @@
 #include <vector>
 
 #include "driver/driver.hh"
+#include "sim/pipelines.hh"
 #include "sim/sweep.hh"
 #include "workloads/registry.hh"
 
@@ -46,6 +48,7 @@ usage()
         "  run <spec.json> [--threads N] [--records N]\n"
         "      [--no-trace-cache] [--trace-cache-dir DIR]\n"
         "  list-workloads\n"
+        "  list-pipelines\n"
         "  trace-cache warm <spec.json | workload...>\n"
         "      [--threads N] [--records N] [--trace-cache-dir DIR]\n"
         "  trace-cache clear [--trace-cache-dir DIR]\n"
@@ -155,6 +158,9 @@ cmdRun(const Flags &flags)
     } catch (const driver::SpecError &e) {
         std::fprintf(stderr, "prophet run: %s\n", e.what());
         return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "prophet run: %s\n", e.what());
+        return 1;
     }
 }
 
@@ -174,6 +180,36 @@ cmdListWorkloads()
                 "with kernels\nbfs dfs sssp bc pagerank, so labels "
                 "beyond Figure 15's are valid too.\n"
                 "Spec aliases: @spec @graph @gcc\n");
+    return 0;
+}
+
+int
+cmdListPipelines()
+{
+    // Everything printed here comes from the pipeline registry —
+    // names, display names, and the accepted parameters. Adding a
+    // registry entry updates this listing (and the spec schema)
+    // automatically.
+    for (const auto &def : sim::pipelineRegistry()) {
+        std::printf("%-10s %s\n", def.name.c_str(),
+                    def.displayName.c_str());
+        if (def.params.empty()) {
+            std::printf("  (no parameters)\n");
+            continue;
+        }
+        for (const auto &p : def.params)
+            std::printf("  %-16s %-16s %s\n", p.key.c_str(),
+                        sim::paramTypeName(p.type).c_str(),
+                        p.doc.c_str());
+    }
+    std::printf(
+        "\nSpec usage: a \"pipelines\" element is a name or an "
+        "object, e.g.\n"
+        "  {\"name\": \"triage\", \"degree\": 4, \"label\": "
+        "\"triage-d4\"}\n"
+        "and a top-level \"sweep\": {\"param\": ..., \"values\": "
+        "[...]} cross-products\n"
+        "every pipeline with every value.\n");
     return 0;
 }
 
@@ -296,6 +332,8 @@ main(int argc, char **argv)
     }
     if (cmd == "list-workloads")
         return cmdListWorkloads();
+    if (cmd == "list-pipelines")
+        return cmdListPipelines();
     if (cmd == "trace-cache") {
         if (argc < 3)
             return usage();

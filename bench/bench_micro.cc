@@ -102,21 +102,37 @@ BENCHMARK(BM_TrainingUnitSwap);
  *  context so per-record throughput is comparable across PRs). */
 constexpr int kSystemStepRecords = 500000;
 
-void
-BM_SystemStep(benchmark::State &state)
+/** The shared BM_SystemStep workload: a mutating pointer chase, the
+ *  access idiom the temporal-prefetcher pipelines are built for. */
+const trace::Trace &
+systemStepTrace()
 {
-    // Cost of one simulated record, end to end, with Triangel.
-    workloads::StreamParams p;
-    p.pc = 0x400000;
-    p.regionBase = 1ull << 33;
-    p.seed = 11;
-    workloads::ChaseStream stream(p, 50000, 0.02);
-    trace::Trace t;
-    for (int i = 0; i < kSystemStepRecords; ++i)
-        stream.emit(t);
+    static const trace::Trace t = [] {
+        workloads::StreamParams p;
+        p.pc = 0x400000;
+        p.regionBase = 1ull << 33;
+        p.seed = 11;
+        workloads::ChaseStream stream(p, 50000, 0.02);
+        trace::Trace trace;
+        for (int i = 0; i < kSystemStepRecords; ++i)
+            stream.emit(trace);
+        return trace;
+    }();
+    return t;
+}
+
+/**
+ * End-to-end records/sec of the per-record system step, one bench per
+ * pipeline. items_per_second in BENCH_micro.json is the regression
+ * gate: it must not drift down across PRs.
+ */
+void
+BM_SystemStep(benchmark::State &state, sim::L2PfKind l2_kind)
+{
+    const trace::Trace &t = systemStepTrace();
 
     sim::SystemConfig cfg = sim::SystemConfig::table1();
-    cfg.l2Pf = sim::L2PfKind::Triangel;
+    cfg.l2Pf = l2_kind;
     cfg.warmupRecords = 0;
 
     for (auto _ : state) {
@@ -128,8 +144,17 @@ BM_SystemStep(benchmark::State &state)
                                 + static_cast<std::int64_t>(t.size()));
     }
 }
-BENCHMARK(BM_SystemStep)->Unit(benchmark::kMillisecond)
-    ->Iterations(3);
+// "prophet" runs with a default (hint-free) binary: the hint-buffer,
+// MVB and CSR machinery is exercised, which is what the throughput
+// gate cares about.
+BENCHMARK_CAPTURE(BM_SystemStep, none, sim::L2PfKind::None)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK_CAPTURE(BM_SystemStep, triage, sim::L2PfKind::Triage)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK_CAPTURE(BM_SystemStep, triangel, sim::L2PfKind::Triangel)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK_CAPTURE(BM_SystemStep, prophet, sim::L2PfKind::Prophet)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
 
 } // anonymous namespace
 

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Open-addressing hash map for integer keys, built for the simulator's
+ * per-record hot path. `std::unordered_map` puts every entry in its own
+ * heap node, so the record loop's PC/address-keyed lookups each chase a
+ * pointer into cold memory; FlatMap keeps entries in one contiguous
+ * insertion-order array and resolves keys through a power-of-two
+ * index table with linear probing:
+ *
+ *  - lookups touch the index table plus one dense array slot (no node
+ *    chasing, no bucket lists);
+ *  - iteration walks the dense array in insertion order, so every
+ *    consumer (snapshots, reports, merges) is deterministic across
+ *    runs, platforms, and standard libraries;
+ *  - `reserve(n)` pre-sizes both arrays, after which up to n entries
+ *    insert without any heap allocation (the record loop's requirement,
+ *    enforced by tests/test_flat_map.cc with a counting allocator);
+ *  - `clear()` keeps capacity, so warmup-boundary resets stay free.
+ *
+ * Deliberate non-goals, fine for the structures it replaces: erase()
+ * is O(n) (it rebuilds the index to preserve insertion order), and
+ * iterators/references into the dense array are invalidated by
+ * mutation, like a std::vector's.
+ */
+
+#ifndef PROPHET_COMMON_FLAT_MAP_HH
+#define PROPHET_COMMON_FLAT_MAP_HH
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/intmath.hh"
+#include "common/log.hh"
+
+namespace prophet
+{
+
+/**
+ * Map from an integer key to an arbitrary value.
+ *
+ * @tparam Key Integral key type (converted to uint64 for hashing).
+ * @tparam Value Mapped type.
+ * @tparam Allocator Allocator for the entry array (rebound for the
+ *         index table); defaults to the heap, swapped out by tests.
+ */
+template <typename Key, typename Value,
+          typename Allocator = std::allocator<std::pair<Key, Value>>>
+class FlatMap
+{
+  public:
+    using value_type = std::pair<Key, Value>;
+    using EntryVector = std::vector<value_type, Allocator>;
+    using iterator = typename EntryVector::iterator;
+    using const_iterator = typename EntryVector::const_iterator;
+
+    FlatMap() = default;
+
+    explicit FlatMap(const Allocator &alloc)
+        : entries(alloc), slots(SlotAllocator(alloc))
+    {}
+
+    /** Iteration, in insertion order. */
+    iterator begin() { return entries.begin(); }
+    iterator end() { return entries.end(); }
+    const_iterator begin() const { return entries.begin(); }
+    const_iterator end() const { return entries.end(); }
+
+    std::size_t size() const { return entries.size(); }
+    bool empty() const { return entries.empty(); }
+
+    /**
+     * Pre-size for @p n entries: the next n insertions perform no
+     * heap allocation.
+     */
+    void
+    reserve(std::size_t n)
+    {
+        entries.reserve(n);
+        std::size_t want = slotCountFor(n);
+        if (want > slots.size())
+            rebuildIndex(want);
+    }
+
+    /** Drop all entries; capacity (and the no-alloc guarantee) stays. */
+    void
+    clear()
+    {
+        entries.clear();
+        std::fill(slots.begin(), slots.end(), kEmptySlot);
+    }
+
+    iterator
+    find(Key key)
+    {
+        std::size_t pos = findPos(key);
+        return pos == kNoEntry ? entries.end() : entries.begin() + pos;
+    }
+
+    const_iterator
+    find(Key key) const
+    {
+        std::size_t pos = findPos(key);
+        return pos == kNoEntry ? entries.end() : entries.begin() + pos;
+    }
+
+    std::size_t count(Key key) const { return findPos(key) == kNoEntry ? 0 : 1; }
+    bool contains(Key key) const { return findPos(key) != kNoEntry; }
+
+    /** Reference to the value of a present key (asserts presence). */
+    Value &
+    at(Key key)
+    {
+        std::size_t pos = findPos(key);
+        prophet_assert(pos != kNoEntry);
+        return entries[pos].second;
+    }
+
+    const Value &
+    at(Key key) const
+    {
+        std::size_t pos = findPos(key);
+        prophet_assert(pos != kNoEntry);
+        return entries[pos].second;
+    }
+
+    /** Value of @p key, value-initialized and inserted if absent. */
+    Value &
+    operator[](Key key)
+    {
+        return emplace(key).first->second;
+    }
+
+    /**
+     * Insert (key, value-constructed-from-args) if the key is absent
+     * (with no args, the value is value-initialized). The probe that
+     * rules the key out also yields the insertion slot, so a miss
+     * costs one chain walk, not two.
+     *
+     * @return (iterator to the entry, whether it was inserted).
+     */
+    template <typename... Args>
+    std::pair<iterator, bool>
+    emplace(Key key, Args &&...args)
+    {
+        std::size_t slot = kNoEntry;
+        if (!slots.empty()) {
+            std::size_t mask = slots.size() - 1;
+            for (std::size_t i = mix(key) & mask;;
+                 i = (i + 1) & mask) {
+                std::uint32_t s = slots[i];
+                if (s == kEmptySlot) {
+                    slot = i;
+                    break;
+                }
+                if (entries[s].first == key)
+                    return {entries.begin() + s, false};
+            }
+        }
+
+        if (needsGrowth()) {
+            rebuildIndex(slotCountFor(entries.size() + 1));
+            slot = probeFor(key);
+        }
+
+        prophet_assert(entries.size() < kEmptySlot);
+        entries.emplace_back(std::piecewise_construct,
+                             std::forward_as_tuple(key),
+                             std::forward_as_tuple(
+                                 std::forward<Args>(args)...));
+        slots[slot] = static_cast<std::uint32_t>(entries.size() - 1);
+        return {entries.end() - 1, true};
+    }
+
+    std::pair<iterator, bool>
+    insert(const value_type &v)
+    {
+        return emplace(v.first, v.second);
+    }
+
+    /**
+     * Remove @p key if present; O(n) — later entries shift down one
+     * position (insertion order is preserved) and the index table is
+     * rebuilt. Cold-path only.
+     *
+     * @return Number of entries removed (0 or 1).
+     */
+    std::size_t
+    erase(Key key)
+    {
+        std::size_t pos = findPos(key);
+        if (pos == kNoEntry)
+            return 0;
+        entries.erase(entries.begin() + pos);
+        rebuildIndex(slots.size());
+        return 1;
+    }
+
+    /** Order-independent content equality (unordered_map semantics). */
+    bool
+    operator==(const FlatMap &other) const
+    {
+        if (entries.size() != other.entries.size())
+            return false;
+        for (const auto &e : entries) {
+            std::size_t pos = other.findPos(e.first);
+            if (pos == kNoEntry
+                || !(other.entries[pos].second == e.second))
+                return false;
+        }
+        return true;
+    }
+
+    bool operator!=(const FlatMap &other) const { return !(*this == other); }
+
+  private:
+    using SlotAllocator = typename std::allocator_traits<
+        Allocator>::template rebind_alloc<std::uint32_t>;
+
+    /** Sentinel for an unoccupied index slot. */
+    static constexpr std::uint32_t kEmptySlot = ~std::uint32_t{0};
+
+    /** findPos() result for an absent key. */
+    static constexpr std::size_t kNoEntry = ~std::size_t{0};
+
+    /** Index capacity for n entries at a max load factor of 3/4. */
+    static std::size_t
+    slotCountFor(std::size_t n)
+    {
+        std::size_t min_slots = divCeil(n * 4, 3);
+        return nextPowerOf2(min_slots < 8 ? 8 : min_slots);
+    }
+
+    bool
+    needsGrowth() const
+    {
+        return slots.empty()
+            || (entries.size() + 1) * 4 > slots.size() * 3;
+    }
+
+    /** Finalizer-strength integer mix (splitmix64). */
+    static std::size_t
+    mix(Key key)
+    {
+        auto x = static_cast<std::uint64_t>(key);
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ULL;
+        x ^= x >> 27;
+        x *= 0x94d049bb133111ebULL;
+        x ^= x >> 31;
+        return static_cast<std::size_t>(x);
+    }
+
+    /** Entry position of @p key, or kNoEntry. */
+    std::size_t
+    findPos(Key key) const
+    {
+        if (slots.empty())
+            return kNoEntry;
+        std::size_t mask = slots.size() - 1;
+        for (std::size_t i = mix(key) & mask;; i = (i + 1) & mask) {
+            std::uint32_t s = slots[i];
+            if (s == kEmptySlot)
+                return kNoEntry;
+            if (entries[s].first == key)
+                return s;
+        }
+    }
+
+    /** First free index slot on @p key's probe chain (key absent). */
+    std::size_t
+    probeFor(Key key) const
+    {
+        std::size_t mask = slots.size() - 1;
+        std::size_t i = mix(key) & mask;
+        while (slots[i] != kEmptySlot)
+            i = (i + 1) & mask;
+        return i;
+    }
+
+    /** Re-key every entry into an index of @p slot_count slots. */
+    void
+    rebuildIndex(std::size_t slot_count)
+    {
+        slots.assign(slot_count, kEmptySlot);
+        for (std::size_t pos = 0; pos < entries.size(); ++pos)
+            slots[probeFor(entries[pos].first)] =
+                static_cast<std::uint32_t>(pos);
+    }
+
+    EntryVector entries;
+    std::vector<std::uint32_t, SlotAllocator> slots;
+};
+
+} // namespace prophet
+
+#endif // PROPHET_COMMON_FLAT_MAP_HH

@@ -15,9 +15,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 
 namespace prophet::core
@@ -65,13 +65,13 @@ class HintBuffer
     /** Storage cost in bits: per entry a PC tag (16 b) + 3 b hint. */
     std::uint64_t storageBits() const;
 
-    /** Iteration (analysis reports, tests). */
+    /** Iteration in installation order (analysis reports, tests). */
     auto begin() const { return hints.begin(); }
     auto end() const { return hints.end(); }
 
   private:
     unsigned cap;
-    std::unordered_map<PC, Hint> hints;
+    FlatMap<PC, Hint> hints;
 };
 
 } // namespace prophet::core

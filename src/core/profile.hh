@@ -16,8 +16,8 @@
 #define PROPHET_CORE_PROFILE_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 
 namespace prophet::core
@@ -57,7 +57,7 @@ struct PcProfile
 /** The mergeable profile of one (or several merged) runs. */
 struct ProfileSnapshot
 {
-    std::unordered_map<PC, PcProfile> perPc;
+    FlatMap<PC, PcProfile> perPc;
 
     /** Allocated Entries = Insertions - Replacements (Section 4.1). */
     std::uint64_t allocatedEntries = 0;
@@ -118,7 +118,7 @@ class ProfileCollector
     void reset();
 
   private:
-    std::unordered_map<PC, PcCounters> counters;
+    FlatMap<PC, PcCounters> counters;
     std::uint64_t tableInsertions = 0;
     std::uint64_t tableReplacements = 0;
 };

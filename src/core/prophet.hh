@@ -103,6 +103,13 @@ class ProphetPrefetcher : public pf::TemporalPrefetcher
 
     unsigned metadataWays() const override;
 
+    void
+    collectStats(pf::MarkovStats &markov, pf::OffchipMetadataStats &)
+        const override
+    {
+        markov = table.stats();
+    }
+
     std::string name() const override
     {
         return cfg.profilingMode ? "prophet-simplified" : "prophet";

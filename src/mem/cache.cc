@@ -11,7 +11,10 @@ Cache::Cache(const CacheConfig &config)
       sets(config.numSets()),
       waysTotal(config.assoc),
       latency(config.hitLatency),
-      lines(static_cast<std::size_t>(config.numSets()) * config.assoc),
+      tags(static_cast<std::size_t>(config.numSets()) * config.assoc,
+           kInvalidTag),
+      flags(tags.size(), 0),
+      cold(tags.size()),
       wayIds(config.assoc),
       repl(makePolicy(config.replacement))
 {
@@ -28,24 +31,20 @@ Cache::setIndex(Addr line_addr) const
     return static_cast<unsigned>(line_addr & (sets - 1));
 }
 
-Cache::Line &
-Cache::lineAt(unsigned set, unsigned way)
+std::size_t
+Cache::lineIndex(unsigned set, unsigned way) const
 {
-    return lines[static_cast<std::size_t>(set) * waysTotal + way];
-}
-
-const Cache::Line &
-Cache::lineAt(unsigned set, unsigned way) const
-{
-    return lines[static_cast<std::size_t>(set) * waysTotal + way];
+    return static_cast<std::size_t>(set) * waysTotal + way;
 }
 
 int
 Cache::findWay(unsigned set, Addr line_addr) const
 {
+    // Only the dense tag array is touched: invalid ways hold
+    // kInvalidTag, which never equals a real line address.
+    const Addr *t = tags.data() + lineIndex(set, 0);
     for (unsigned w = reserved; w < waysTotal; ++w) {
-        const Line &l = lineAt(set, w);
-        if (l.valid && l.tag == line_addr)
+        if (t[w] == line_addr)
             return static_cast<int>(w);
     }
     return -1;
@@ -62,19 +61,21 @@ Cache::lookupDemand(Addr line_addr, Cycle cycle)
         return res;
     }
 
-    Line &l = lineAt(set, static_cast<unsigned>(way));
+    std::size_t idx = lineIndex(set, static_cast<unsigned>(way));
+    std::uint8_t f = flags[idx];
+    const ColdLine &c = cold[idx];
     res.hit = true;
     res.readyAt = cycle + latency;
-    if (l.readyAt > cycle) {
+    if (c.readyAt > cycle) {
         // In-flight fill: pay the residual latency on top.
-        res.readyAt = l.readyAt + latency;
+        res.readyAt = c.readyAt + latency;
         res.wasLate = true;
     }
-    if (l.prefetched && !l.demandTouched) {
+    if ((f & kFlagPrefetched) && !(f & kFlagDemandTouched)) {
         res.wasPrefetched = true;
-        res.prefetchClass = l.pfClass;
-        res.prefetchPc = l.prefetchPc;
-        l.demandTouched = true;
+        res.prefetchClass = pfClassOf(f);
+        res.prefetchPc = c.prefetchPc;
+        flags[idx] = f | kFlagDemandTouched;
         ++statsData.prefetchHits;
         if (res.wasLate)
             ++statsData.latePrefetchHits;
@@ -98,9 +99,12 @@ Cache::lookupPrefetch(Addr line_addr, Cycle cycle)
     LookupResult res;
     if (way < 0)
         return res;
-    const Line &l = lineAt(set, static_cast<unsigned>(way));
     res.hit = true;
-    res.readyAt = std::max(cycle, l.readyAt) + latency;
+    res.readyAt =
+        std::max(cycle,
+                 cold[lineIndex(set, static_cast<unsigned>(way))]
+                     .readyAt)
+        + latency;
     repl->touch(set, static_cast<unsigned>(way));
     return res;
 }
@@ -116,10 +120,12 @@ Cache::fill(Addr line_addr, Cycle ready_at, PfClass pf_class, PC pf_pc,
         // refilled with an earlier ready time takes that earlier
         // time, otherwise late-prefetch hits would keep paying the
         // stale later timestamp.
-        Line &l = lineAt(set, static_cast<unsigned>(existing));
-        l.dirty = l.dirty || dirty;
-        if (ready_at < l.readyAt)
-            l.readyAt = ready_at;
+        std::size_t idx =
+            lineIndex(set, static_cast<unsigned>(existing));
+        if (dirty)
+            flags[idx] |= kFlagDirty;
+        if (ready_at < cold[idx].readyAt)
+            cold[idx].readyAt = ready_at;
         repl->touch(set, static_cast<unsigned>(existing));
         return Eviction{};
     }
@@ -128,10 +134,13 @@ Cache::fill(Addr line_addr, Cycle ready_at, PfClass pf_class, PC pf_pc,
 
     // Prefer an invalid way in the demand partition.
     int target = -1;
-    for (unsigned w = reserved; w < waysTotal; ++w) {
-        if (!lineAt(set, w).valid) {
-            target = static_cast<int>(w);
-            break;
+    {
+        const Addr *t = tags.data() + lineIndex(set, 0);
+        for (unsigned w = reserved; w < waysTotal; ++w) {
+            if (t[w] == kInvalidTag) {
+                target = static_cast<int>(w);
+                break;
+            }
         }
     }
 
@@ -143,11 +152,13 @@ Cache::fill(Addr line_addr, Cycle ready_at, PfClass pf_class, PC pf_pc,
         prophet_assert(reserved < waysTotal);
         unsigned victim = repl->victim(set, wayIds.data() + reserved,
                                        waysTotal - reserved);
-        Line &vl = lineAt(set, victim);
+        std::size_t vidx = lineIndex(set, victim);
+        std::uint8_t vf = flags[vidx];
         ev.valid = true;
-        ev.lineAddr = vl.tag;
-        ev.dirty = vl.dirty;
-        ev.unusedPrefetch = vl.prefetched && !vl.demandTouched;
+        ev.lineAddr = tags[vidx];
+        ev.dirty = (vf & kFlagDirty) != 0;
+        ev.unusedPrefetch = (vf & kFlagPrefetched)
+            && !(vf & kFlagDemandTouched);
         if (ev.dirty)
             ++statsData.writebacks;
         if (ev.unusedPrefetch)
@@ -155,15 +166,18 @@ Cache::fill(Addr line_addr, Cycle ready_at, PfClass pf_class, PC pf_pc,
         target = static_cast<int>(victim);
     }
 
-    Line &l = lineAt(set, static_cast<unsigned>(target));
-    l.tag = line_addr;
-    l.valid = true;
-    l.dirty = dirty;
-    l.prefetched = pf_class != PfClass::None;
-    l.pfClass = pf_class;
-    l.demandTouched = false;
-    l.prefetchPc = pf_pc;
-    l.readyAt = ready_at;
+    std::size_t idx = lineIndex(set, static_cast<unsigned>(target));
+    tags[idx] = line_addr;
+    std::uint8_t f = 0;
+    if (dirty)
+        f |= kFlagDirty;
+    if (pf_class != PfClass::None)
+        f |= kFlagPrefetched;
+    f |= static_cast<std::uint8_t>(static_cast<unsigned>(pf_class)
+                                   << kPfClassShift);
+    flags[idx] = f;
+    cold[idx].prefetchPc = pf_pc;
+    cold[idx].readyAt = ready_at;
     repl->insert(set, static_cast<unsigned>(target));
     return ev;
 }
@@ -174,7 +188,7 @@ Cache::markDirty(Addr line_addr)
     unsigned set = setIndex(line_addr);
     int way = findWay(set, line_addr);
     if (way >= 0)
-        lineAt(set, static_cast<unsigned>(way)).dirty = true;
+        flags[lineIndex(set, static_cast<unsigned>(way))] |= kFlagDirty;
 }
 
 Eviction
@@ -185,13 +199,15 @@ Cache::invalidate(Addr line_addr)
     Eviction ev;
     if (way < 0)
         return ev;
-    Line &l = lineAt(set, static_cast<unsigned>(way));
+    std::size_t idx = lineIndex(set, static_cast<unsigned>(way));
+    std::uint8_t f = flags[idx];
     ev.valid = true;
-    ev.lineAddr = l.tag;
-    ev.dirty = l.dirty;
-    ev.unusedPrefetch = l.prefetched && !l.demandTouched;
-    l.valid = false;
-    l.dirty = false;
+    ev.lineAddr = tags[idx];
+    ev.dirty = (f & kFlagDirty) != 0;
+    ev.unusedPrefetch = (f & kFlagPrefetched)
+        && !(f & kFlagDemandTouched);
+    tags[idx] = kInvalidTag;
+    flags[idx] = 0;
     return ev;
 }
 
@@ -204,9 +220,9 @@ Cache::setReservedWays(unsigned ways)
         // reserved ways.
         for (unsigned set = 0; set < sets; ++set) {
             for (unsigned w = reserved; w < ways; ++w) {
-                Line &l = lineAt(set, w);
-                l.valid = false;
-                l.dirty = false;
+                std::size_t idx = lineIndex(set, w);
+                tags[idx] = kInvalidTag;
+                flags[idx] = 0;
             }
         }
     }

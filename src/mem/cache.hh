@@ -146,16 +146,44 @@ class Cache
     std::uint64_t effectiveBytes() const;
 
   private:
-    struct Line
+    /**
+     * Line state is split structure-of-arrays style so the tag probe
+     * — the operation every lookup, fill, and invalidate performs —
+     * streams through nothing but tags:
+     *
+     *  - `tags`: one Addr per line, contiguous per set, so findWay
+     *    scans at most assoc adjacent words (an 8-way set is a single
+     *    64 B cache line of tags). Invalid lines hold kInvalidTag,
+     *    which doubles as the invalid-way marker: no flags byte is
+     *    consulted until after a tag matches.
+     *  - `flags`: packed dirty/prefetched/demandTouched bits plus
+     *    the 2-bit PfClass, one byte per line (validity has a single
+     *    source of truth: the tag sentinel).
+     *  - `cold`: readyAt + prefetchPc, touched only on the hit/fill
+     *    paths that need timing or credit information.
+     */
+    enum LineFlag : std::uint8_t
     {
-        Addr tag = 0;
-        bool valid = false;
-        bool dirty = false;
-        bool prefetched = false;
-        PfClass pfClass = PfClass::None;
-        bool demandTouched = false;
-        PC prefetchPc = kInvalidPC;
+        kFlagDirty = 1u << 0,
+        kFlagPrefetched = 1u << 1,
+        kFlagDemandTouched = 1u << 2,
+        // bits 4-5: PfClass
+    };
+
+    /**
+     * Tag sentinel for an invalid way. Callers index lines by *line*
+     * address (byte address >> 6), so no reachable line can collide
+     * with an all-ones tag.
+     */
+    static constexpr Addr kInvalidTag = ~static_cast<Addr>(0);
+
+    static constexpr unsigned kPfClassShift = 4;
+
+    /** Timing/credit state off the tag-probe path. */
+    struct ColdLine
+    {
         Cycle readyAt = 0;
+        PC prefetchPc = kInvalidPC;
     };
 
     std::string label;
@@ -163,7 +191,9 @@ class Cache
     unsigned waysTotal;
     Cycle latency;
     unsigned reserved = 0;
-    std::vector<Line> lines;
+    std::vector<Addr> tags;
+    std::vector<std::uint8_t> flags;
+    std::vector<ColdLine> cold;
 
     /**
      * The way indices 0..assoc-1, built once at construction. The
@@ -178,9 +208,14 @@ class Cache
     CacheStats statsData;
 
     unsigned setIndex(Addr line_addr) const;
-    Line &lineAt(unsigned set, unsigned way);
-    const Line &lineAt(unsigned set, unsigned way) const;
+    std::size_t lineIndex(unsigned set, unsigned way) const;
     int findWay(unsigned set, Addr line_addr) const;
+
+    static PfClass
+    pfClassOf(std::uint8_t f)
+    {
+        return static_cast<PfClass>((f >> kPfClassShift) & 0x3u);
+    }
 };
 
 } // namespace prophet::mem

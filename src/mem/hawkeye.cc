@@ -21,6 +21,14 @@ HawkeyePolicy::reset(unsigned num_sets, unsigned assoc)
     numWays = assoc;
     if (sampledSets > num_sets)
         sampledSets = num_sets;
+    // Sample sets spread uniformly: every (numSets / sampledSets)-th.
+    // The stride (and, when it is a power of two, its mask) is
+    // computed once here: isSampled runs on every touch/insert, and
+    // a divide per access was a measurable slice of Triage runs.
+    sampleStride = numSets / sampledSets;
+    sampleMask =
+        sampleStride != 0 && isPowerOf2(sampleStride)
+        ? sampleStride - 1 : 0;
     predictor.assign(predictorSize, 4); // weakly friendly
     rrip.assign(static_cast<std::size_t>(num_sets) * assoc, maxRrip);
     lineSig.assign(static_cast<std::size_t>(num_sets) * assoc, 0);
@@ -30,9 +38,11 @@ HawkeyePolicy::reset(unsigned num_sets, unsigned assoc)
 bool
 HawkeyePolicy::isSampled(unsigned set) const
 {
-    // Sample sets spread uniformly: every (numSets / sampledSets)-th.
-    unsigned stride = numSets / sampledSets;
-    return stride == 0 || set % stride == 0;
+    if (sampleStride == 0)
+        return true;
+    if (sampleMask != 0 || sampleStride == 1)
+        return (set & sampleMask) == 0;
+    return set % sampleStride == 0;
 }
 
 std::size_t
@@ -86,11 +96,15 @@ HawkeyePolicy::samplerAccess(unsigned set)
     ++ss.clock;
 
     // Look for the previous access to the same address in the
-    // history window (most recent first).
+    // history window (most recent first). Index arithmetic wraps by
+    // compare-and-reset, not `%`: the ring length (ways x 8) is not
+    // a power of two, and a modulo per scanned entry dominated this
+    // function's cost.
     std::size_t n = ss.history.size();
     std::size_t found = n;
+    std::size_t idx = ss.headIdx;
     for (std::size_t back = 1; back <= n; ++back) {
-        std::size_t idx = (ss.headIdx + n - back) % n;
+        idx = idx == 0 ? n - 1 : idx - 1;
         const auto &e = ss.history[idx];
         if (e.valid && e.addr == currentAddr) {
             found = idx;
@@ -102,16 +116,16 @@ HawkeyePolicy::samplerAccess(unsigned set)
         // OPTgen: the interval [found, head) can hold the line iff
         // every occupancy slot in it is below associativity.
         bool fits = true;
-        for (std::size_t idx = found; idx != ss.headIdx;
-             idx = (idx + 1) % n) {
+        for (idx = found; idx != ss.headIdx;
+             idx = idx + 1 == n ? 0 : idx + 1) {
             if (ss.occupancy[idx] >= numWays) {
                 fits = false;
                 break;
             }
         }
         if (fits) {
-            for (std::size_t idx = found; idx != ss.headIdx;
-                 idx = (idx + 1) % n)
+            for (idx = found; idx != ss.headIdx;
+                 idx = idx + 1 == n ? 0 : idx + 1)
                 ++ss.occupancy[idx];
             trainPositive(ss.history[found].sig);
         } else {
@@ -122,7 +136,7 @@ HawkeyePolicy::samplerAccess(unsigned set)
     // Record this access at the head.
     ss.history[ss.headIdx] = {currentAddr, currentSig, ss.clock, true};
     ss.occupancy[ss.headIdx] = 0;
-    ss.headIdx = (ss.headIdx + 1) % n;
+    ss.headIdx = ss.headIdx + 1 == n ? 0 : ss.headIdx + 1;
 }
 
 void

@@ -16,9 +16,9 @@
 #define PROPHET_MEM_HAWKEYE_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "mem/replacement.hh"
 
 namespace prophet::mem
@@ -88,6 +88,11 @@ class HawkeyePolicy : public ReplacementPolicy
     unsigned sampledSets;
     unsigned predictorSize;
 
+    /** numSets / sampledSets, fixed at reset(). */
+    unsigned sampleStride = 0;
+    /** sampleStride - 1 when the stride is a power of two, else 0. */
+    unsigned sampleMask = 0;
+
     /** 3-bit saturating counters; >= 4 means cache-friendly. */
     std::vector<std::uint8_t> predictor;
 
@@ -96,7 +101,7 @@ class HawkeyePolicy : public ReplacementPolicy
     /** Signature that inserted each line (for eviction training). */
     std::vector<std::uint64_t> lineSig;
 
-    std::unordered_map<unsigned, SamplerSet> sampler;
+    FlatMap<unsigned, SamplerSet> sampler;
 
     std::uint64_t currentSig = 0;
     std::uint64_t currentAddr = 0;

@@ -16,9 +16,9 @@
 #define PROPHET_PREFETCH_DOMINO_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "prefetch/prefetcher.hh"
 #include "prefetch/stms.hh"
 
@@ -54,6 +54,13 @@ class DominoPrefetcher : public TemporalPrefetcher
 
     unsigned metadataWays() const override { return 0; }
 
+    void
+    collectStats(MarkovStats &, OffchipMetadataStats &offchip)
+        const override
+    {
+        offchip = mdStats;
+    }
+
     std::string name() const override { return "domino"; }
 
     const OffchipMetadataStats &metadataStats() const
@@ -65,9 +72,9 @@ class DominoPrefetcher : public TemporalPrefetcher
     DominoConfig cfg;
     std::vector<Addr> history;
     /** (prev, cur) pair -> history position of cur. */
-    std::unordered_map<std::uint64_t, std::size_t> pairIndex;
+    FlatMap<std::uint64_t, std::size_t> pairIndex;
     /** Single-address fallback index (Domino's first-miss path). */
-    std::unordered_map<Addr, std::size_t> singleIndex;
+    FlatMap<Addr, std::size_t> singleIndex;
     Addr lastAddr = kInvalidAddr;
     std::size_t head = 0;
     bool full = false;

@@ -1,5 +1,7 @@
 #include "prefetch/markov_table.hh"
 
+#include <algorithm>
+
 #include "common/intmath.hh"
 #include "common/log.hh"
 #include "mem/hawkeye.hh"
@@ -10,14 +12,21 @@ namespace prophet::pf
 MarkovTable::MarkovTable(unsigned num_sets, unsigned max_ways,
                          std::unique_ptr<mem::ReplacementPolicy> policy)
     : numSets(num_sets), maxWays(max_ways), curWays(max_ways),
-      entries(static_cast<std::size_t>(num_sets) * max_ways
-              * kEntriesPerLine),
+      fps(static_cast<std::size_t>(num_sets) * max_ways
+              * kEntriesPerLine,
+          fingerprint(kInvalidAddr)),
+      keys(fps.size(), kInvalidAddr),
+      targets(keys.size(), kInvalidAddr),
+      priorities(keys.size(), 0),
+      setValid(num_sets, 0),
       candScratch(static_cast<std::size_t>(max_ways) * kEntriesPerLine),
-      repl(std::move(policy))
+      repl(std::move(policy)),
+      curA(max_ways * kEntriesPerLine)
 {
     prophet_assert(isPowerOf2(num_sets));
     prophet_assert(max_ways >= 1);
     prophet_assert(repl != nullptr);
+    hawkeye = dynamic_cast<mem::HawkeyePolicy *>(repl.get());
     repl->reset(numSets, maxAssoc());
 }
 
@@ -33,24 +42,19 @@ MarkovTable::setIndex(Addr key) const
     return static_cast<unsigned>(h & (numSets - 1));
 }
 
-MarkovTable::Entry &
-MarkovTable::at(unsigned set, unsigned way)
-{
-    return entries[static_cast<std::size_t>(set) * maxAssoc() + way];
-}
-
-const MarkovTable::Entry &
-MarkovTable::at(unsigned set, unsigned way) const
-{
-    return entries[static_cast<std::size_t>(set) * maxAssoc() + way];
-}
-
 int
 MarkovTable::findWay(unsigned set, Addr key) const
 {
-    for (unsigned w = 0; w < curAssoc(); ++w) {
-        const Entry &e = at(set, w);
-        if (e.valid && e.key == key)
+    // Scan fingerprints; verify a hit against the full key (keys are
+    // unique within a set, so the first verified match is the only
+    // one). Invalid slots hold kInvalidAddr in the key array and can
+    // never verify against a real key.
+    const std::uint32_t fp = fingerprint(key);
+    const std::size_t base = slotIndex(set, 0);
+    const std::uint32_t *f = fps.data() + base;
+    const Addr *k = keys.data() + base;
+    for (unsigned w = 0; w < curA; ++w) {
+        if (f[w] == fp && k[w] == key)
             return static_cast<int>(w);
     }
     return -1;
@@ -61,9 +65,9 @@ MarkovTable::hawkeyeHints(Addr key)
 {
     // Hawkeye needs the access signature/address to run its OPTgen
     // sampler; for metadata, the key address plays both roles.
-    if (auto *hk = dynamic_cast<mem::HawkeyePolicy *>(repl.get())) {
-        hk->setSignature(key >> 4);
-        hk->setAddress(key);
+    if (hawkeye) {
+        hawkeye->setSignature(key >> 4);
+        hawkeye->setAddress(key);
     }
 }
 
@@ -86,7 +90,7 @@ MarkovTable::lookup(Addr key)
     ++statsData.hits;
     hawkeyeHints(key);
     repl->touch(set, static_cast<unsigned>(way));
-    return at(set, static_cast<unsigned>(way)).target;
+    return targets[slotIndex(set, static_cast<unsigned>(way))];
 }
 
 std::optional<Addr>
@@ -98,7 +102,7 @@ MarkovTable::peek(Addr key) const
     int way = findWay(set, key);
     if (way < 0)
         return std::nullopt;
-    return at(set, static_cast<unsigned>(way)).target;
+    return targets[slotIndex(set, static_cast<unsigned>(way))];
 }
 
 void
@@ -109,27 +113,34 @@ MarkovTable::insert(Addr key, Addr target, std::uint8_t priority)
     unsigned set = setIndex(key);
     int existing = findWay(set, key);
     if (existing >= 0) {
-        Entry &e = at(set, static_cast<unsigned>(existing));
-        if (e.target != target) {
+        std::size_t idx =
+            slotIndex(set, static_cast<unsigned>(existing));
+        if (targets[idx] != target) {
             // Target overwrite: the old target is displaced; the
             // Multi-path Victim Buffer captures it.
             ++statsData.updates;
             if (evictionCb)
-                evictionCb(e);
-            e.target = target;
+                evictionCb(
+                    Entry{keys[idx], targets[idx], priorities[idx],
+                          true});
+            targets[idx] = target;
         }
-        e.priority = priority;
+        priorities[idx] = priority;
         hawkeyeHints(key);
         repl->touch(set, static_cast<unsigned>(existing));
         return;
     }
 
     // Allocate: prefer an invalid slot within the current partition.
+    // A full set (the trained steady state) skips the scan.
     int slot = -1;
-    for (unsigned w = 0; w < curAssoc(); ++w) {
-        if (!at(set, w).valid) {
-            slot = static_cast<int>(w);
-            break;
+    if (setValid[set] < curA) {
+        const Addr *k = keys.data() + slotIndex(set, 0);
+        for (unsigned w = 0; w < curA; ++w) {
+            if (k[w] == kInvalidAddr) {
+                slot = static_cast<int>(w);
+                break;
+            }
         }
     }
 
@@ -139,32 +150,38 @@ MarkovTable::insert(Addr key, Addr target, std::uint8_t priority)
             // Prophet replacement: restrict candidates to the lowest
             // priority level present; the runtime policy then picks
             // the final victim among them (Figure 4).
+            const std::uint8_t *p =
+                priorities.data() + slotIndex(set, 0);
             std::uint8_t min_prio = 255;
-            for (unsigned w = 0; w < curAssoc(); ++w)
-                min_prio = std::min(min_prio, at(set, w).priority);
-            for (unsigned w = 0; w < curAssoc(); ++w)
-                if (at(set, w).priority == min_prio)
+            for (unsigned w = 0; w < curA; ++w)
+                min_prio = std::min(min_prio, p[w]);
+            for (unsigned w = 0; w < curA; ++w)
+                if (p[w] == min_prio)
                     candScratch[n++] = w;
         } else {
-            for (unsigned w = 0; w < curAssoc(); ++w)
+            for (unsigned w = 0; w < curA; ++w)
                 candScratch[n++] = w;
         }
         unsigned victim = repl->victim(set, candScratch.data(), n);
-        Entry &v = at(set, victim);
+        std::size_t vidx = slotIndex(set, victim);
         ++statsData.replacements;
         if (evictionCb)
-            evictionCb(v);
-        v.valid = false;
+            evictionCb(Entry{keys[vidx], targets[vidx],
+                             priorities[vidx], true});
+        keys[vidx] = kInvalidAddr;
+        fps[vidx] = fingerprint(kInvalidAddr);
         --validCount;
+        --setValid[set];
         slot = static_cast<int>(victim);
     }
 
-    Entry &e = at(set, static_cast<unsigned>(slot));
-    e.key = key;
-    e.target = target;
-    e.priority = priority;
-    e.valid = true;
+    std::size_t idx = slotIndex(set, static_cast<unsigned>(slot));
+    keys[idx] = key;
+    fps[idx] = fingerprint(key);
+    targets[idx] = target;
+    priorities[idx] = priority;
     ++validCount;
+    ++setValid[set];
     ++statsData.inserts;
     hawkeyeHints(key);
     repl->insert(set, static_cast<unsigned>(slot));
@@ -178,23 +195,27 @@ MarkovTable::setAllocatedWays(unsigned ways)
         unsigned new_assoc = ways * kEntriesPerLine;
         for (unsigned set = 0; set < numSets; ++set) {
             for (unsigned w = new_assoc; w < curAssoc(); ++w) {
-                Entry &e = at(set, w);
-                if (e.valid) {
-                    e.valid = false;
+                std::size_t idx = slotIndex(set, w);
+                if (keys[idx] != kInvalidAddr) {
+                    keys[idx] = kInvalidAddr;
+                    fps[idx] = fingerprint(kInvalidAddr);
                     --validCount;
+                    --setValid[set];
                     ++statsData.resizeDrops;
                 }
             }
         }
     }
     curWays = ways;
+    curA = ways * kEntriesPerLine;
 }
 
 void
 MarkovTable::clear()
 {
-    for (auto &e : entries)
-        e.valid = false;
+    std::fill(keys.begin(), keys.end(), kInvalidAddr);
+    std::fill(fps.begin(), fps.end(), fingerprint(kInvalidAddr));
+    std::fill(setValid.begin(), setValid.end(), 0);
     validCount = 0;
     repl->reset(numSets, maxAssoc());
 }
@@ -206,7 +227,7 @@ MarkovTable::priorityOf(Addr key) const
     int way = findWay(set, key);
     if (way < 0)
         return std::nullopt;
-    return at(set, static_cast<unsigned>(way)).priority;
+    return priorities[slotIndex(set, static_cast<unsigned>(way))];
 }
 
 } // namespace prophet::pf

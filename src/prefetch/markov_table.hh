@@ -31,6 +31,11 @@
 #include "mem/replacement.hh"
 #include "prefetch/metadata_format.hh"
 
+namespace prophet::mem
+{
+class HawkeyePolicy;
+} // namespace prophet::mem
+
 namespace prophet::pf
 {
 
@@ -145,7 +150,37 @@ class MarkovTable
     bool priorityAware = false;
     std::uint64_t validCount = 0;
 
-    std::vector<Entry> entries;
+    /**
+     * Entry state, structure-of-arrays: the per-access findWay scan
+     * reads a dense array of 32-bit key fingerprints (one 64 B line
+     * covers 16 candidate ways); only a fingerprint hit is verified
+     * against the full key array, so the common all-miss scan of a
+     * 96-way set touches 6 lines instead of the 24 the old
+     * array-of-structs layout dragged through the cache. Targets and
+     * priorities sit in side arrays touched only after a verified
+     * match. kInvalidAddr in the full-key array marks an invalid
+     * slot (keys are line addresses, which never collide with the
+     * all-ones sentinel); its fingerprint may collide with a real
+     * key's, which the full-key verification rejects.
+     */
+    std::vector<std::uint32_t> fps;
+    std::vector<Addr> keys;
+    std::vector<Addr> targets;
+    std::vector<std::uint8_t> priorities;
+
+    /**
+     * Valid entries per set. When a set is full (the steady state of
+     * a trained table), the insert path skips its invalid-slot scan
+     * outright instead of re-reading every key.
+     */
+    std::vector<std::uint16_t> setValid;
+
+    /** 32-bit fold of a key for the scan array. */
+    static std::uint32_t
+    fingerprint(Addr key)
+    {
+        return static_cast<std::uint32_t>(key ^ (key >> 32));
+    }
 
     /**
      * Scratch candidate buffer for victim selection, sized maxAssoc()
@@ -154,14 +189,26 @@ class MarkovTable
     std::vector<unsigned> candScratch;
 
     std::unique_ptr<mem::ReplacementPolicy> repl;
+
+    /**
+     * repl downcast to Hawkeye when it is one (resolved once at
+     * construction; the old per-access dynamic_cast was a measurable
+     * slice of every lookup and insert).
+     */
+    mem::HawkeyePolicy *hawkeye = nullptr;
+
     EvictionCallback evictionCb;
     MarkovStats statsData;
 
     unsigned maxAssoc() const { return maxWays * kEntriesPerLine; }
-    unsigned curAssoc() const { return curWays * kEntriesPerLine; }
+    unsigned curAssoc() const { return curA; }
+    /** curWays * kEntriesPerLine, cached off the scan path. */
+    unsigned curA;
     unsigned setIndex(Addr key) const;
-    Entry &at(unsigned set, unsigned way);
-    const Entry &at(unsigned set, unsigned way) const;
+    std::size_t slotIndex(unsigned set, unsigned way) const
+    {
+        return static_cast<std::size_t>(set) * maxAssoc() + way;
+    }
     int findWay(unsigned set, Addr key) const;
     void hawkeyeHints(Addr key);
 };

@@ -64,10 +64,8 @@ SetDueller::observeMetadataAccess(Addr key)
 }
 
 std::optional<unsigned>
-SetDueller::poll()
+SetDueller::recommend()
 {
-    if (accessCount < window)
-        return std::nullopt;
     accessCount = 0;
 
     // Cumulative hit counts by available depth.

@@ -22,9 +22,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 #include "prefetch/metadata_format.hh"
 
@@ -56,9 +56,17 @@ class SetDueller
 
     /**
      * After each observation, poll: returns the recommended metadata
-     * way count once per window, std::nullopt otherwise.
+     * way count once per window, std::nullopt otherwise. The
+     * every-access not-yet path is inline; the once-per-window
+     * scoring runs out of line.
      */
-    std::optional<unsigned> poll();
+    std::optional<unsigned>
+    poll()
+    {
+        if (accessCount < window)
+            return std::nullopt;
+        return recommend();
+    }
 
     /** Storage cost of the dueller state in bits (~2 KB, §2.1.3). */
     std::uint64_t storageBits() const;
@@ -72,8 +80,8 @@ class SetDueller
     std::uint64_t accessCount = 0;
 
     /** Per sampled set: LRU stack (most recent front). */
-    std::unordered_map<unsigned, std::vector<Addr>> llcStacks;
-    std::unordered_map<unsigned, std::vector<Addr>> mdStacks;
+    FlatMap<unsigned, std::vector<Addr>> llcStacks;
+    FlatMap<unsigned, std::vector<Addr>> mdStacks;
 
     std::vector<std::uint64_t> llcDepthHist;
     std::vector<std::uint64_t> mdDepthHist;
@@ -84,6 +92,7 @@ class SetDueller
     void stackAccess(std::vector<Addr> &stack, Addr addr,
                      std::vector<std::uint64_t> &hist,
                      std::size_t max_depth);
+    std::optional<unsigned> recommend();
 };
 
 } // namespace prophet::pf

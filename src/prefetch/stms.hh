@@ -19,9 +19,9 @@
 #define PROPHET_PREFETCH_STMS_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "prefetch/prefetcher.hh"
 
 namespace prophet::pf
@@ -46,15 +46,6 @@ struct StmsConfig
     bool trainOnMissesOnly = true;
 };
 
-/** Metadata DRAM traffic generated by an off-chip prefetcher. */
-struct OffchipMetadataStats
-{
-    std::uint64_t metadataReads = 0;  ///< DRAM lines read
-    std::uint64_t metadataWrites = 0; ///< DRAM lines written
-
-    std::uint64_t total() const { return metadataReads + metadataWrites; }
-};
-
 /**
  * The STMS prefetcher.
  */
@@ -68,6 +59,13 @@ class StmsPrefetcher : public TemporalPrefetcher
 
     /** Off-chip metadata occupies no LLC ways. */
     unsigned metadataWays() const override { return 0; }
+
+    void
+    collectStats(MarkovStats &, OffchipMetadataStats &offchip)
+        const override
+    {
+        offchip = mdStats;
+    }
 
     std::string name() const override { return "stms"; }
 
@@ -86,7 +84,7 @@ class StmsPrefetcher : public TemporalPrefetcher
   private:
     StmsConfig cfg;
     std::vector<Addr> history;
-    std::unordered_map<Addr, std::size_t> indexTable;
+    FlatMap<Addr, std::size_t> indexTable;
     std::size_t head = 0;
     bool full = false;
     OffchipMetadataStats mdStats;

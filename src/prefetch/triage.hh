@@ -64,6 +64,13 @@ class TriagePrefetcher : public TemporalPrefetcher
         return table.allocatedWays();
     }
 
+    void
+    collectStats(MarkovStats &markov, OffchipMetadataStats &)
+        const override
+    {
+        markov = table.stats();
+    }
+
     std::string name() const override { return "triage"; }
 
     /** Direct access for tests and the storage model. */

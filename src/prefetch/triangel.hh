@@ -85,6 +85,13 @@ class TriangelPrefetcher : public TemporalPrefetcher
         return table.allocatedWays();
     }
 
+    void
+    collectStats(MarkovStats &markov, OffchipMetadataStats &)
+        const override
+    {
+        markov = table.stats();
+    }
+
     std::string name() const override { return "triangel"; }
 
     MarkovTable &markovTable() { return table; }

@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_map>
 
 namespace prophet::rpg2
 {
 
 std::vector<Kernel>
 identifyKernels(const trace::Trace &t,
-                const std::unordered_map<PC, std::uint64_t> &pc_misses,
+                const FlatMap<PC, std::uint64_t> &pc_misses,
                 const trace::IndirectResolver *resolver,
                 const KernelIdConfig &cfg)
 {

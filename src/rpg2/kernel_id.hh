@@ -14,9 +14,9 @@
 #define PROPHET_RPG2_KERNEL_ID_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "trace/generator.hh"
 #include "trace/trace.hh"
 
@@ -62,7 +62,7 @@ struct KernelIdConfig
  */
 std::vector<Kernel> identifyKernels(
     const trace::Trace &t,
-    const std::unordered_map<PC, std::uint64_t> &pc_misses,
+    const FlatMap<PC, std::uint64_t> &pc_misses,
     const trace::IndirectResolver *resolver,
     const KernelIdConfig &cfg = {});
 

@@ -15,9 +15,19 @@ Rpg2Plan::prefetchAddrs(PC pc, Addr addr,
                         const trace::IndirectResolver *resolver) const
 {
     std::vector<Addr> out;
+    prefetchAddrs(pc, addr, resolver, out);
+    return out;
+}
+
+void
+Rpg2Plan::prefetchAddrs(PC pc, Addr addr,
+                        const trace::IndirectResolver *resolver,
+                        std::vector<Addr> &out) const
+{
+    out.clear();
     auto it = kernels.find(pc);
     if (it == kernels.end())
-        return out;
+        return;
     const ArmedKernel &k = it->second;
 
     // The kernel line `distance` iterations ahead (b[i + d]) ...
@@ -31,7 +41,6 @@ Rpg2Plan::prefetchAddrs(PC pc, Addr addr,
         if (auto t = resolver->resolve(pc, addr, k.distance))
             out.push_back(*t);
     }
-    return out;
 }
 
 Rpg2Plan

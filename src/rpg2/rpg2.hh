@@ -13,9 +13,9 @@
 #define PROPHET_RPG2_RPG2_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "rpg2/kernel_id.hh"
 #include "trace/generator.hh"
 
@@ -63,8 +63,16 @@ class Rpg2Plan
     std::vector<Addr> prefetchAddrs(
         PC pc, Addr addr, const trace::IndirectResolver *resolver) const;
 
+    /**
+     * Allocation-free variant for the record loop: appends into a
+     * caller-owned scratch buffer (cleared first).
+     */
+    void prefetchAddrs(PC pc, Addr addr,
+                       const trace::IndirectResolver *resolver,
+                       std::vector<Addr> &out) const;
+
   private:
-    std::unordered_map<PC, ArmedKernel> kernels;
+    FlatMap<PC, ArmedKernel> kernels;
 };
 
 /** Build an (untuned) plan from identified kernels. */

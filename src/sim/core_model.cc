@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/intmath.hh"
 #include "common/log.hh"
 
 namespace prophet::sim
@@ -12,6 +13,10 @@ CoreModel::CoreModel(const CoreParams &params)
 {
     prophet_assert(prm.issueWidth > 0.0);
     prophet_assert(prm.robSize >= 1);
+    // One slot per possibly-outstanding load, rounded up so the ring
+    // indices wrap with a mask.
+    outstanding.resize(nextPowerOf2(prm.robSize + 1));
+    outMask = outstanding.size() - 1;
 }
 
 Cycle
@@ -23,14 +28,14 @@ CoreModel::beginAccess(unsigned inst_gap, bool depends_on_prev)
 
     // ROB constraint: issue may not run more than robSize
     // instructions ahead of the oldest unretired load.
-    while (!outstanding.empty()) {
-        const auto &[idx, retire_at] = outstanding.front();
+    while (outHead != outTail) {
+        const auto &[idx, retire_at] = outstanding[outHead & outMask];
         if (idx + prm.robSize <= instCount) {
             // That load must retire before this instruction can
             // even occupy the ROB.
             if (issueClock < retire_at)
                 issueClock = retire_at;
-            outstanding.pop_front();
+            ++outHead;
         } else {
             break;
         }
@@ -53,7 +58,9 @@ CoreModel::completeAccess(Cycle ready_at)
     // In-order retirement: this load retires no earlier than every
     // prior instruction.
     retireClock = std::max(retireClock, ready);
-    outstanding.emplace_back(instCount, retireClock);
+    prophet_assert(outTail - outHead <= outMask);
+    outstanding[outTail & outMask] = {instCount, retireClock};
+    ++outTail;
 }
 
 Cycle

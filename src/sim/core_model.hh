@@ -19,7 +19,8 @@
 #define PROPHET_SIM_CORE_MODEL_HH
 
 #include <cstdint>
-#include <deque>
+#include <utility>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -92,8 +93,18 @@ class CoreModel
     /** In-order retirement frontier. */
     double retireClock = 0.0;
 
-    /** Outstanding loads: (instruction index, retire time). */
-    std::deque<std::pair<std::uint64_t, double>> outstanding;
+    /**
+     * Outstanding loads: (instruction index, retire time), a ring
+     * buffer sized at construction. At most robSize loads can be
+     * outstanding (older ones are force-retired by the ROB check in
+     * beginAccess), so the record loop never allocates — unlike the
+     * deque this replaces, which allocated a chunk every ~32
+     * push/pop cycles.
+     */
+    std::vector<std::pair<std::uint64_t, double>> outstanding;
+    std::size_t outHead = 0;
+    std::size_t outTail = 0;
+    std::size_t outMask = 0;
 
     /** Warmup mark. */
     double markCycles = 0.0;

@@ -51,6 +51,12 @@ System::System(const SystemConfig &config,
     : cfg(config), resolver(resolver), coreModel(config.core),
       hier(config.hier), l1Pf(makeL1Pf(config.l1Pf))
 {
+    // The sync check is a mask test, which silently misfires on a
+    // non-power-of-two interval; round up front instead.
+    cfg.partitionSyncInterval =
+        normalizePartitionSyncInterval(cfg.partitionSyncInterval);
+    syncMask = cfg.partitionSyncInterval - 1;
+
     switch (cfg.l2Pf) {
       case L2PfKind::None:
         break;
@@ -106,107 +112,113 @@ System::syncPartition()
         hier.llc().setReservedWays(ways);
 }
 
-RunStats
-System::run(const trace::Trace &t)
+void
+System::beginRun(std::size_t expected_records)
 {
-    std::vector<Addr> l1_candidates;
-    std::vector<pf::PrefetchRequest> l2_requests;
+    warmBoundary = std::min<std::size_t>(cfg.warmupRecords,
+                                         expected_records / 2);
+    warmed = false;
+    recordIndex = 0;
+    usefulCount = 0;
+    lateCount = 0;
+    issuedBeforeMark = 0;
+    pcMissCounts.reserve(1024);
 
-    std::uint64_t useful = 0, late = 0;
-    std::uint64_t issued_after_warmup = 0;
-    std::unordered_map<PC, std::uint64_t> pc_misses;
+    // Hoist the loop-invariant indirections once per run.
+    l1Raw = l1Pf.get();
+    l2Raw = l2Pf.get();
+    rpg2Active = !cfg.rpg2Plan.empty();
+}
 
-    std::size_t warm = std::min<std::size_t>(cfg.warmupRecords,
-                                             t.size() / 2);
-    bool warmed = false;
-
-    std::uint64_t issued_before_mark = 0;
-
-    for (std::size_t i = 0; i < t.size(); ++i) {
-        const trace::TraceRecord &rec = t[i];
-
-        if (!warmed && i >= warm) {
-            // Warmup boundary: reset the statistics windows.
-            hier.resetStats();
-            coreModel.mark();
-            useful = 0;
-            late = 0;
-            pc_misses.clear();
-            issued_before_mark = hier.l2PrefetchesIssued();
-            warmed = true;
-        }
-
-        Cycle cycle = coreModel.beginAccess(rec.instGap,
-                                            rec.dependsOnPrev);
-        mem::AccessOutcome out =
-            hier.access(rec.pc, rec.addr, rec.isWrite, cycle);
-        coreModel.completeAccess(out.readyAt);
-
-        if (out.prefetchUseful
-            && out.prefetchClass == mem::PfClass::L2) {
-            ++useful;
-            if (out.prefetchLate)
-                ++late;
-            if (l2Pf)
-                l2Pf->notifyUseful(out.prefetchPc);
-        }
-
-        if (out.l2Accessed && !out.l2Hit)
-            ++pc_misses[rec.pc];
-
-        // Temporal prefetcher observes the demand L2 access stream.
-        if (out.l2Accessed && l2Pf) {
-            l2_requests.clear();
-            l2Pf->observe(rec.pc, out.lineAddr, out.l2Hit, cycle,
-                          l2_requests);
-            for (const auto &req : l2_requests)
-                if (hier.prefetchL2(req.creditPc, req.lineAddr, cycle))
-                    l2Pf->notifyIssued(req.creditPc);
-        }
-
-        // RPG2 software prefetch: armed kernel PCs issue the
-        // addresses the inserted code would compute.
-        if (!cfg.rpg2Plan.empty()) {
-            for (Addr a :
-                 cfg.rpg2Plan.prefetchAddrs(rec.pc, rec.addr,
-                                            resolver))
-                hier.prefetchL2(rec.pc, lineAddr(a), cycle);
-        }
-
-        // L1 prefetcher observes every demand L1 access; its
-        // requests that reach the L2 also train the temporal
-        // prefetcher (Section 5.1).
-        if (l1Pf) {
-            l1_candidates.clear();
-            l1Pf->observe(rec.pc, out.lineAddr,
-                          out.level == mem::HitLevel::L1,
-                          l1_candidates);
-            for (Addr cand : l1_candidates) {
-                auto pf_out = hier.prefetchL1(rec.pc, cand, cycle);
-                if (pf_out.l2Accessed && l2Pf) {
-                    l2_requests.clear();
-                    l2Pf->observe(rec.pc, cand, pf_out.l2Hit, cycle,
-                                  l2_requests);
-                    for (const auto &req : l2_requests)
-                        if (hier.prefetchL2(req.creditPc,
-                                            req.lineAddr, cycle))
-                            l2Pf->notifyIssued(req.creditPc);
-                }
-            }
-        }
-
-        if ((i & (cfg.partitionSyncInterval - 1)) == 0)
-            syncPartition();
+void
+System::step(const trace::TraceRecord &rec)
+{
+    if (!warmed && recordIndex >= warmBoundary) {
+        // Warmup boundary: reset the statistics windows.
+        hier.resetStats();
+        coreModel.mark();
+        usefulCount = 0;
+        lateCount = 0;
+        pcMissCounts.clear();
+        issuedBeforeMark = hier.l2PrefetchesIssued();
+        warmed = true;
     }
 
-    issued_after_warmup =
-        hier.l2PrefetchesIssued() - issued_before_mark;
+    Cycle cycle = coreModel.beginAccess(rec.instGap,
+                                        rec.dependsOnPrev);
+    mem::AccessOutcome out =
+        hier.access(rec.pc, rec.addr, rec.isWrite, cycle);
+    coreModel.completeAccess(out.readyAt);
+
+    if (out.prefetchUseful
+        && out.prefetchClass == mem::PfClass::L2) {
+        ++usefulCount;
+        if (out.prefetchLate)
+            ++lateCount;
+        if (l2Raw)
+            l2Raw->notifyUseful(out.prefetchPc);
+    }
+
+    if (out.l2Accessed && !out.l2Hit)
+        ++pcMissCounts[rec.pc];
+
+    // Temporal prefetcher observes the demand L2 access stream.
+    if (out.l2Accessed && l2Raw) {
+        l2Requests.clear();
+        l2Raw->observe(rec.pc, out.lineAddr, out.l2Hit, cycle,
+                       l2Requests);
+        for (const auto &req : l2Requests)
+            if (hier.prefetchL2(req.creditPc, req.lineAddr, cycle))
+                l2Raw->notifyIssued(req.creditPc);
+    }
+
+    // RPG2 software prefetch: armed kernel PCs issue the
+    // addresses the inserted code would compute.
+    if (rpg2Active) {
+        cfg.rpg2Plan.prefetchAddrs(rec.pc, rec.addr, resolver,
+                                   rpg2Addrs);
+        for (Addr a : rpg2Addrs)
+            hier.prefetchL2(rec.pc, lineAddr(a), cycle);
+    }
+
+    // L1 prefetcher observes every demand L1 access; its
+    // requests that reach the L2 also train the temporal
+    // prefetcher (Section 5.1).
+    if (l1Raw) {
+        l1Candidates.clear();
+        l1Raw->observe(rec.pc, out.lineAddr,
+                       out.level == mem::HitLevel::L1,
+                       l1Candidates);
+        for (Addr cand : l1Candidates) {
+            auto pf_out = hier.prefetchL1(rec.pc, cand, cycle);
+            if (pf_out.l2Accessed && l2Raw) {
+                l2Requests.clear();
+                l2Raw->observe(rec.pc, cand, pf_out.l2Hit, cycle,
+                               l2Requests);
+                for (const auto &req : l2Requests)
+                    if (hier.prefetchL2(req.creditPc,
+                                        req.lineAddr, cycle))
+                        l2Raw->notifyIssued(req.creditPc);
+            }
+        }
+    }
+
+    if ((recordIndex & syncMask) == 0)
+        syncPartition();
+    ++recordIndex;
+}
+
+RunStats
+System::finish()
+{
+    std::uint64_t issued_after_warmup =
+        hier.l2PrefetchesIssued() - issuedBeforeMark;
 
     RunStats s;
     s.ipc = coreModel.ipcSinceMark();
     s.cycles = coreModel.finalCycles();
     s.instructions = coreModel.retiredInstructions();
-    s.records = t.size();
+    s.records = recordIndex;
 
     const auto &l1s = hier.l1().stats();
     const auto &l2s = hier.l2().stats();
@@ -220,30 +232,29 @@ System::run(const trace::Trace &t)
     s.llcAccesses = llcs.demandHits + llcs.demandMisses;
 
     s.l2PrefetchesIssued = issued_after_warmup;
-    s.l2PrefetchesUseful = useful;
-    s.latePrefetches = late;
+    s.l2PrefetchesUseful = usefulCount;
+    s.latePrefetches = lateCount;
 
     const auto &ds = hier.dram().stats();
     s.dramReads = ds.reads;
     s.dramWrites = ds.writes;
     s.dramPrefetchReads = ds.prefetchReads;
 
-    if (auto *tri = dynamic_cast<pf::TriagePrefetcher *>(l2Pf.get()))
-        s.markov = tri->markovTable().stats();
-    else if (auto *tg =
-                 dynamic_cast<pf::TriangelPrefetcher *>(l2Pf.get()))
-        s.markov = tg->markovTable().stats();
-    else if (auto *st = dynamic_cast<pf::StmsPrefetcher *>(l2Pf.get()))
-        s.offchipMeta = st->metadataStats();
-    else if (auto *dm =
-                 dynamic_cast<pf::DominoPrefetcher *>(l2Pf.get()))
-        s.offchipMeta = dm->metadataStats();
-    else if (prophetPf)
-        s.markov = prophetPf->markovTable().stats();
+    if (l2Pf)
+        l2Pf->collectStats(s.markov, s.offchipMeta);
     s.finalMetadataWays = l2Pf ? l2Pf->metadataWays() : 0;
 
-    s.pcMisses = std::move(pc_misses);
+    s.pcMisses = std::move(pcMissCounts);
     return s;
+}
+
+RunStats
+System::run(const trace::Trace &t)
+{
+    beginRun(t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        step(t[i]);
+    return finish();
 }
 
 } // namespace prophet::sim

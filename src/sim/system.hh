@@ -11,10 +11,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
+#include "common/flat_map.hh"
 #include "core/prophet.hh"
 #include "mem/hierarchy.hh"
+#include "prefetch/markov_table.hh"
 #include "prefetch/prefetcher.hh"
 #include "prefetch/stms.hh"
 #include "sim/core_model.hh"
@@ -63,7 +65,7 @@ struct RunStats
 
     // Per-PC L2 demand misses (RPG2 kernel identification, hint-PC
     // selection checks).
-    std::unordered_map<PC, std::uint64_t> pcMisses;
+    FlatMap<PC, std::uint64_t> pcMisses;
 
     /** Prefetch accuracy = useful / issued (0 when none issued). */
     double
@@ -80,7 +82,10 @@ struct RunStats
 };
 
 /**
- * One simulated machine. Construct per run; run() may be called once.
+ * One simulated machine. Construct per run; drive it either with
+ * run() over a whole trace, or record by record with
+ * beginRun()/step()/finish() (microbenchmarks, allocation tests).
+ * Either way, one simulation per System instance.
  */
 class System
 {
@@ -97,6 +102,19 @@ class System
 
     /** Simulate the trace and return the statistics. */
     RunStats run(const trace::Trace &t);
+
+    /**
+     * Start a record-by-record run. @p expected_records plays the
+     * role of the trace length in run(): it positions the warmup
+     * boundary at min(cfg.warmupRecords, expected_records / 2).
+     */
+    void beginRun(std::size_t expected_records);
+
+    /** Simulate one record (between beginRun() and finish()). */
+    void step(const trace::TraceRecord &rec);
+
+    /** Close the run started by beginRun() and return its stats. */
+    RunStats finish();
 
     /**
      * The Prophet prefetcher instance when l2Pf is Prophet or
@@ -116,6 +134,32 @@ class System
     std::unique_ptr<pf::L1Prefetcher> l1Pf;
     std::unique_ptr<pf::TemporalPrefetcher> l2Pf;
     core::ProphetPrefetcher *prophetPf = nullptr;
+
+    // ---- per-run state (beginRun() .. finish()) ----
+    //
+    // Loop-invariant conditions hoisted out of the record loop: raw
+    // prefetcher pointers (skips the unique_ptr indirection per
+    // record) and the RPG2-enabled flag.
+    pf::L1Prefetcher *l1Raw = nullptr;
+    pf::TemporalPrefetcher *l2Raw = nullptr;
+    bool rpg2Active = false;
+
+    /** (interval - 1) for the power-of-two partition-sync check. */
+    std::size_t syncMask = 0;
+
+    std::size_t recordIndex = 0;
+    std::size_t warmBoundary = 0;
+    bool warmed = false;
+
+    std::uint64_t usefulCount = 0;
+    std::uint64_t lateCount = 0;
+    std::uint64_t issuedBeforeMark = 0;
+    FlatMap<PC, std::uint64_t> pcMissCounts;
+
+    /** Scratch buffers reused across records (no per-record allocs). */
+    std::vector<Addr> l1Candidates;
+    std::vector<pf::PrefetchRequest> l2Requests;
+    std::vector<Addr> rpg2Addrs;
 
     void syncPartition();
 };

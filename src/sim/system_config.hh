@@ -7,8 +7,10 @@
 #ifndef PROPHET_SIM_SYSTEM_CONFIG_HH
 #define PROPHET_SIM_SYSTEM_CONFIG_HH
 
+#include <cstddef>
 #include <string>
 
+#include "common/intmath.hh"
 #include "core/analyzer.hh"
 #include "core/prophet.hh"
 #include "mem/hierarchy.hh"
@@ -38,6 +40,19 @@ enum class L2PfKind
     Domino,     ///< off-chip-metadata Domino (historical baseline)
 };
 
+/**
+ * Round a partition-sync interval up to the power of two the record
+ * loop's mask test requires. System applies this to
+ * SystemConfig::partitionSyncInterval at construction, so a
+ * non-power-of-two request syncs at the next power of two instead of
+ * silently misfiring.
+ */
+constexpr std::size_t
+normalizePartitionSyncInterval(std::size_t interval)
+{
+    return interval <= 1 ? 1 : nextPowerOf2(interval);
+}
+
 /** The full system configuration. */
 struct SystemConfig
 {
@@ -62,7 +77,11 @@ struct SystemConfig
     /** Records before the statistics warmup boundary. */
     std::size_t warmupRecords = 200'000;
 
-    /** Resync LLC way partition every this many records. */
+    /**
+     * Resync LLC way partition every this many records. Rounded up
+     * to a power of two (normalizePartitionSyncInterval) when the
+     * System is built.
+     */
     std::size_t partitionSyncInterval = 4096;
 
     /** Default Table 1 configuration. */

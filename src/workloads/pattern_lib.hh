@@ -36,9 +36,9 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/rng.hh"
 #include "trace/generator.hh"
 
@@ -262,7 +262,7 @@ class PcResolver : public trace::IndirectResolver
     std::size_t size() const { return kernels.size(); }
 
   private:
-    std::unordered_map<PC, ResolveFn> kernels;
+    FlatMap<PC, ResolveFn> kernels;
 };
 
 /**

@@ -37,7 +37,7 @@ struct KernelFixture
     IndirectStream stream;
     trace::Trace t;
     PcResolver resolver;
-    std::unordered_map<PC, std::uint64_t> misses;
+    FlatMap<PC, std::uint64_t> misses;
 
     explicit KernelFixture(bool stride)
         : stream(params(), 512, 4096, stride)

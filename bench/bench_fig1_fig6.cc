@@ -35,10 +35,16 @@ figure1(const prophet::trace::Trace &t)
 {
     using namespace prophet;
 
+    // This pass only needs PCs and line addresses: stream the
+    // trace's SoA arrays directly.
+    const std::size_t n = t.size();
+    const PC *pcs = t.pcData();
+    const Addr *lines = t.lineAddrData();
+
     // Identify the hottest PC (the event-queue walk).
     std::unordered_map<PC, std::uint64_t> counts;
-    for (const auto &rec : t)
-        ++counts[rec.pc];
+    for (std::size_t i = 0; i < n; ++i)
+        ++counts[pcs[i]];
     PC hot = 0;
     std::uint64_t best = 0;
     for (const auto &[pc, c] : counts) {
@@ -52,10 +58,10 @@ figure1(const prophet::trace::Trace &t)
     // ever repeat later? (Blue vs red dots.)
     std::vector<std::pair<Addr, Addr>> stream;
     Addr last = kInvalidAddr;
-    for (const auto &rec : t) {
-        if (rec.pc != hot)
+    for (std::size_t i = 0; i < n; ++i) {
+        if (pcs[i] != hot)
             continue;
-        Addr line = lineAddr(rec.addr);
+        Addr line = lines[i];
         if (last != kInvalidAddr)
             stream.emplace_back(last, line);
         last = line;
@@ -76,10 +82,10 @@ figure1(const prophet::trace::Trace &t)
     std::uint64_t rejected_useful = 0, low_conf_samples = 0;
     Addr prev = kInvalidAddr;
     std::size_t idx = 0;
-    for (const auto &rec : t) {
-        if (rec.pc != hot)
+    for (std::size_t i = 0; i < n; ++i) {
+        if (pcs[i] != hot)
             continue;
-        Addr line = lineAddr(rec.addr);
+        Addr line = lines[i];
         if (prev != kInvalidAddr && idx < stream.size()) {
             bool repeats = pair_counts[stream[idx]] > 1;
             if (repeats)

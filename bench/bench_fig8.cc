@@ -39,15 +39,19 @@ main(int argc, char **argv)
         const trace::Trace &t = runner.traceFor(w);
 
         // Per-PC successor sets per line address, as the training
-        // unit observes them.
+        // unit observes them. Only PCs and line addresses are
+        // needed, so the pass streams the trace's SoA arrays.
+        const std::size_t n = t.size();
+        const PC *pcs = t.pcData();
+        const Addr *lines = t.lineAddrData();
         std::unordered_map<PC, Addr> last;
         std::unordered_map<Addr, std::set<Addr>> successors;
-        for (const auto &rec : t) {
-            Addr line = lineAddr(rec.addr);
-            auto it = last.find(rec.pc);
+        for (std::size_t i = 0; i < n; ++i) {
+            Addr line = lines[i];
+            auto it = last.find(pcs[i]);
             if (it != last.end() && it->second != line)
                 successors[it->second].insert(line);
-            last[rec.pc] = line;
+            last[pcs[i]] = line;
         }
 
         std::vector<std::uint64_t> counts(kMaxT, 0);

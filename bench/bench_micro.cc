@@ -10,8 +10,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <filesystem>
 #include <thread>
 #include <vector>
+#include <unistd.h>
 
 #include "common/time.hh"
 #include "mem/cache.hh"
@@ -20,6 +22,7 @@
 #include "prefetch/markov_table.hh"
 #include "prefetch/training_unit.hh"
 #include "sim/system.hh"
+#include "trace/trace_cache.hh"
 #include "workloads/pattern_lib.hh"
 
 namespace
@@ -155,6 +158,65 @@ BENCHMARK_CAPTURE(BM_SystemStep, triangel, sim::L2PfKind::Triangel)
     ->Unit(benchmark::kMillisecond)->Iterations(3);
 BENCHMARK_CAPTURE(BM_SystemStep, prophet, sim::L2PfKind::Prophet)
     ->Unit(benchmark::kMillisecond)->Iterations(3);
+
+/** Scratch trace-cache directory, removed at process scope end. */
+struct ScratchCacheDir
+{
+    ScratchCacheDir()
+        : path(std::filesystem::temp_directory_path()
+               / ("prophet_bench_cache_"
+                  + std::to_string(static_cast<unsigned long>(
+                      ::getpid()))))
+    {
+        std::filesystem::remove_all(path);
+    }
+
+    ~ScratchCacheDir() { std::filesystem::remove_all(path); }
+
+    std::filesystem::path path;
+};
+
+/**
+ * Trace-cache I/O throughput (records/sec under items_per_second),
+ * so the warm-load speed the on-disk cache exists for is tracked in
+ * BENCH_micro.json alongside the system-step numbers.
+ */
+void
+BM_TraceCacheStore(benchmark::State &state)
+{
+    const trace::Trace &t = systemStepTrace();
+    ScratchCacheDir scratch;
+    trace::TraceCache cache(scratch.path.string());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.store("bench", t.size(), t));
+        state.SetItemsProcessed(state.items_processed()
+                                + static_cast<std::int64_t>(t.size()));
+    }
+}
+BENCHMARK(BM_TraceCacheStore)
+    ->Unit(benchmark::kMillisecond)->Iterations(5);
+
+void
+BM_TraceCacheLoad(benchmark::State &state)
+{
+    const trace::Trace &t = systemStepTrace();
+    ScratchCacheDir scratch;
+    trace::TraceCache cache(scratch.path.string());
+    if (!cache.store("bench", t.size(), t)) {
+        state.SkipWithError("store failed");
+        return;
+    }
+    trace::Trace out;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.load("bench", t.size(), out));
+        state.SetItemsProcessed(state.items_processed()
+                                + static_cast<std::int64_t>(t.size()));
+    }
+    if (out.size() != t.size())
+        state.SkipWithError("load mismatch");
+}
+BENCHMARK(BM_TraceCacheLoad)
+    ->Unit(benchmark::kMillisecond)->Iterations(5);
 
 } // anonymous namespace
 

@@ -70,6 +70,9 @@ class FlatMap
     std::size_t size() const { return entries.size(); }
     bool empty() const { return entries.empty(); }
 
+    /** Entries insertable before the dense array reallocates. */
+    std::size_t capacity() const { return entries.capacity(); }
+
     /**
      * Pre-size for @p n entries: the next n insertions perform no
      * heap allocation.

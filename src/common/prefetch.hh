@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Portable software-prefetch wrapper. The record loop hides the
+ * latency of its dependent tag/key probes by prefetching the scan
+ * arrays a few records ahead; on toolchains without
+ * __builtin_prefetch the hint degrades to a no-op (results never
+ * depend on it — a prefetch has no architectural effect).
+ */
+
+#ifndef PROPHET_COMMON_PREFETCH_HH
+#define PROPHET_COMMON_PREFETCH_HH
+
+namespace prophet
+{
+
+/** Hint that @p p will be read soon (no-op where unsupported). */
+inline void
+prefetchRead(const void *p)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(p, 0 /* read */, 3 /* high locality */);
+#else
+    (void)p;
+#endif
+}
+
+} // namespace prophet
+
+#endif // PROPHET_COMMON_PREFETCH_HH

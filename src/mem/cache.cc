@@ -1,5 +1,9 @@
 #include "mem/cache.hh"
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 #include "common/intmath.hh"
 #include "common/log.hh"
 
@@ -13,6 +17,7 @@ Cache::Cache(const CacheConfig &config)
       latency(config.hitLatency),
       tags(static_cast<std::size_t>(config.numSets()) * config.assoc,
            kInvalidTag),
+      tagLo(tags.size(), kInvalidTagLo),
       flags(tags.size(), 0),
       cold(tags.size()),
       wayIds(config.assoc),
@@ -25,28 +30,92 @@ Cache::Cache(const CacheConfig &config)
     repl->reset(sets, waysTotal);
 }
 
-unsigned
-Cache::setIndex(Addr line_addr) const
-{
-    return static_cast<unsigned>(line_addr & (sets - 1));
-}
-
-std::size_t
-Cache::lineIndex(unsigned set, unsigned way) const
-{
-    return static_cast<std::size_t>(set) * waysTotal + way;
-}
-
 int
 Cache::findWay(unsigned set, Addr line_addr) const
 {
-    // Only the dense tag array is touched: invalid ways hold
-    // kInvalidTag, which never equals a real line address.
-    const Addr *t = tags.data() + lineIndex(set, 0);
+    // Invalid ways hold kInvalidTag, which never equals a real line
+    // address, and ways below `reserved` are never filled, so a
+    // whole-set scan can only match in the demand partition.
+    const std::size_t base = lineIndex(set, 0);
+    const Addr *t = tags.data() + base;
+#if defined(__SSE2__)
+    // Vector scan of the 32-bit tag array, four ways per compare;
+    // the rare low-word match is verified against the full tag.
+    // Candidate ways resolve in ascending order, so the result is
+    // the same lowest matching way the scalar loop returns.
+    const std::uint32_t *tl = tagLo.data() + base;
+    const __m128i vlo = _mm_set1_epi32(
+        static_cast<int>(static_cast<std::uint32_t>(line_addr)));
+    const unsigned vec_end = waysTotal & ~3u;
+    unsigned w = 0;
+    for (; w < vec_end; w += 4) {
+        const __m128i hit = _mm_cmpeq_epi32(
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(tl + w)),
+            vlo);
+        int m = _mm_movemask_ps(_mm_castsi128_ps(hit));
+        while (m) {
+            const unsigned way =
+                w + static_cast<unsigned>(__builtin_ctz(
+                    static_cast<unsigned>(m)));
+            if (way >= reserved && t[way] == line_addr)
+                return static_cast<int>(way);
+            m &= m - 1;
+        }
+    }
+    for (; w < waysTotal; ++w) {
+        if (w >= reserved && t[w] == line_addr)
+            return static_cast<int>(w);
+    }
+#else
     for (unsigned w = reserved; w < waysTotal; ++w) {
         if (t[w] == line_addr)
             return static_cast<int>(w);
     }
+#endif
+    return -1;
+}
+
+int
+Cache::findInvalidWay(unsigned set) const
+{
+    // First invalid way of the demand partition, or -1 when the set
+    // is full — the fill path's pre-eviction scan, vectorized the
+    // same way as findWay (the sentinel's low word never verifies
+    // against a filled way's full tag).
+    const std::size_t base = lineIndex(set, 0);
+    const Addr *t = tags.data() + base;
+#if defined(__SSE2__)
+    const std::uint32_t *tl = tagLo.data() + base;
+    const __m128i vlo = _mm_set1_epi32(
+        static_cast<int>(kInvalidTagLo));
+    const unsigned vec_end = waysTotal & ~3u;
+    unsigned w = 0;
+    for (; w < vec_end; w += 4) {
+        const __m128i hit = _mm_cmpeq_epi32(
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(tl + w)),
+            vlo);
+        int m = _mm_movemask_ps(_mm_castsi128_ps(hit));
+        while (m) {
+            const unsigned way =
+                w + static_cast<unsigned>(__builtin_ctz(
+                    static_cast<unsigned>(m)));
+            if (way >= reserved && t[way] == kInvalidTag)
+                return static_cast<int>(way);
+            m &= m - 1;
+        }
+    }
+    for (; w < waysTotal; ++w) {
+        if (w >= reserved && t[w] == kInvalidTag)
+            return static_cast<int>(w);
+    }
+#else
+    for (unsigned w = reserved; w < waysTotal; ++w) {
+        if (t[w] == kInvalidTag)
+            return static_cast<int>(w);
+    }
+#endif
     return -1;
 }
 
@@ -133,16 +202,7 @@ Cache::fill(Addr line_addr, Cycle ready_at, PfClass pf_class, PC pf_pc,
     ++statsData.fills;
 
     // Prefer an invalid way in the demand partition.
-    int target = -1;
-    {
-        const Addr *t = tags.data() + lineIndex(set, 0);
-        for (unsigned w = reserved; w < waysTotal; ++w) {
-            if (t[w] == kInvalidTag) {
-                target = static_cast<int>(w);
-                break;
-            }
-        }
-    }
+    int target = findInvalidWay(set);
 
     Eviction ev;
     if (target < 0) {
@@ -167,7 +227,7 @@ Cache::fill(Addr line_addr, Cycle ready_at, PfClass pf_class, PC pf_pc,
     }
 
     std::size_t idx = lineIndex(set, static_cast<unsigned>(target));
-    tags[idx] = line_addr;
+    setTag(idx, line_addr);
     std::uint8_t f = 0;
     if (dirty)
         f |= kFlagDirty;
@@ -206,7 +266,7 @@ Cache::invalidate(Addr line_addr)
     ev.dirty = (f & kFlagDirty) != 0;
     ev.unusedPrefetch = (f & kFlagPrefetched)
         && !(f & kFlagDemandTouched);
-    tags[idx] = kInvalidTag;
+    setTag(idx, kInvalidTag);
     flags[idx] = 0;
     return ev;
 }
@@ -221,7 +281,7 @@ Cache::setReservedWays(unsigned ways)
         for (unsigned set = 0; set < sets; ++set) {
             for (unsigned w = reserved; w < ways; ++w) {
                 std::size_t idx = lineIndex(set, w);
-                tags[idx] = kInvalidTag;
+                setTag(idx, kInvalidTag);
                 flags[idx] = 0;
             }
         }

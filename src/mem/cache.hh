@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/prefetch.hh"
 #include "common/types.hh"
 #include "mem/cache_config.hh"
 #include "mem/replacement.hh"
@@ -145,6 +146,27 @@ class Cache
     /** Demand-visible capacity in bytes under the current partition. */
     std::uint64_t effectiveBytes() const;
 
+    /**
+     * Warm the tag scan array of @p line_addr's set ahead of an
+     * upcoming lookup/fill (the record loop's lookahead). Pure
+     * software prefetch: no state, statistics, or replacement
+     * update — results are bit-identical with or without it.
+     */
+    void
+    prefetchSets(Addr line_addr) const
+    {
+        const std::size_t base = lineIndex(setIndex(line_addr), 0);
+        // The 32-bit scan array: 16 per 64 B line covers any set in
+        // one prefetch.
+        prefetchRead(tagLo.data() + base);
+        // The full tags, read on a match and written on a fill (8
+        // per line; the 16-way LLC spans two).
+        constexpr unsigned kTagsPerLine = kLineSize / sizeof(Addr);
+        const Addr *t = tags.data() + base;
+        for (unsigned w = 0; w < waysTotal; w += kTagsPerLine)
+            prefetchRead(t + w);
+    }
+
   private:
     /**
      * Line state is split structure-of-arrays style so the tag probe
@@ -156,6 +178,12 @@ class Cache
      *    64 B cache line of tags). Invalid lines hold kInvalidTag,
      *    which doubles as the invalid-way marker: no flags byte is
      *    consulted until after a tag matches.
+     *  - `tagLo`: the low 32 bits of each tag, kept in lockstep with
+     *    `tags`. This is the scan array: on x86-64 findWay compares
+     *    four ways per SSE2 instruction against it and verifies the
+     *    rare low-word match against the full tag, so a whole 16-way
+     *    set scans in four vector compares and half the memory
+     *    traffic of the 64-bit array.
      *  - `flags`: packed dirty/prefetched/demandTouched bits plus
      *    the 2-bit PfClass, one byte per line (validity has a single
      *    source of truth: the tag sentinel).
@@ -179,6 +207,9 @@ class Cache
 
     static constexpr unsigned kPfClassShift = 4;
 
+    /** Low-32 image of kInvalidTag in the scan array. */
+    static constexpr std::uint32_t kInvalidTagLo = 0xffffffffu;
+
     /** Timing/credit state off the tag-probe path. */
     struct ColdLine
     {
@@ -192,6 +223,7 @@ class Cache
     Cycle latency;
     unsigned reserved = 0;
     std::vector<Addr> tags;
+    std::vector<std::uint32_t> tagLo;
     std::vector<std::uint8_t> flags;
     std::vector<ColdLine> cold;
 
@@ -207,9 +239,28 @@ class Cache
     std::unique_ptr<ReplacementPolicy> repl;
     CacheStats statsData;
 
-    unsigned setIndex(Addr line_addr) const;
-    std::size_t lineIndex(unsigned set, unsigned way) const;
+    unsigned
+    setIndex(Addr line_addr) const
+    {
+        return static_cast<unsigned>(line_addr & (sets - 1));
+    }
+
+    std::size_t
+    lineIndex(unsigned set, unsigned way) const
+    {
+        return static_cast<std::size_t>(set) * waysTotal + way;
+    }
+
     int findWay(unsigned set, Addr line_addr) const;
+    int findInvalidWay(unsigned set) const;
+
+    /** Write a tag through to both the full and the scan array. */
+    void
+    setTag(std::size_t idx, Addr tag)
+    {
+        tags[idx] = tag;
+        tagLo[idx] = static_cast<std::uint32_t>(tag);
+    }
 
     static PfClass
     pfClassOf(std::uint8_t f)

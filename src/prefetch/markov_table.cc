@@ -1,5 +1,9 @@
 #include "prefetch/markov_table.hh"
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 #include <algorithm>
 
 #include "common/intmath.hh"
@@ -30,18 +34,6 @@ MarkovTable::MarkovTable(unsigned num_sets, unsigned max_ways,
     repl->reset(numSets, maxAssoc());
 }
 
-unsigned
-MarkovTable::setIndex(Addr key) const
-{
-    // Mix the key so that metadata for dense regions spreads across
-    // sets (the LLC uses low bits directly; the table hashes).
-    std::uint64_t h = key;
-    h ^= h >> 17;
-    h *= 0xed5ad4bbULL;
-    h ^= h >> 11;
-    return static_cast<unsigned>(h & (numSets - 1));
-}
-
 int
 MarkovTable::findWay(unsigned set, Addr key) const
 {
@@ -49,14 +41,66 @@ MarkovTable::findWay(unsigned set, Addr key) const
     // unique within a set, so the first verified match is the only
     // one). Invalid slots hold kInvalidAddr in the key array and can
     // never verify against a real key.
+    //
+    // The scan is bounded by the set's valid prefix: inserts always
+    // fill the lowest invalid slot, replacements refill their victim
+    // slot in place, and resizes drop only the tail beyond the new
+    // capacity, so valid entries occupy exactly ways
+    // [0, setValid[set]). Slots past the prefix hold kInvalidAddr
+    // keys and can never verify, so skipping them loses no match —
+    // and a partially trained 96-way set scans only what it holds.
     const std::uint32_t fp = fingerprint(key);
     const std::size_t base = slotIndex(set, 0);
     const std::uint32_t *f = fps.data() + base;
     const Addr *k = keys.data() + base;
-    for (unsigned w = 0; w < curA; ++w) {
+    const unsigned limit = setValid[set];
+    // The first few metadata lines scan scalar: trained lookups
+    // mostly resolve early (slots fill lowest-first), and for the
+    // short scans of a resized-down table the early exit beats
+    // vector setup outright. Only the long tail of a near-full
+    // 96-way set is worth vectorizing.
+    constexpr unsigned kScalarHead = 3 * kEntriesPerLine;
+    const unsigned head = std::min(limit, kScalarHead);
+    for (unsigned w = 0; w < head; ++w) {
         if (f[w] == fp && k[w] == key)
             return static_cast<int>(w);
     }
+#if defined(__SSE2__)
+    static_assert(kEntriesPerLine == 12,
+                  "chunked scan assumes 12 fingerprints per line");
+    // Remaining lines chunk-at-a-time: each 12-entry chunk is
+    // reduced to an any-match flag with three SSE2 compares, and
+    // only a chunk whose flag fires is rescanned scalar. Chunks are
+    // visited in order and rescans resolve in order, so the result
+    // is the same first match the scalar loop produces. A chunk may
+    // read a few slots past `limit` (never past the allocation);
+    // their invalid keys cannot verify.
+    const __m128i vfp = _mm_set1_epi32(static_cast<int>(fp));
+    for (unsigned w = kScalarHead; w < limit;
+         w += kEntriesPerLine) {
+        const __m128i a = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(f + w));
+        const __m128i b = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(f + w + 4));
+        const __m128i c = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(f + w + 8));
+        const __m128i hit = _mm_or_si128(
+            _mm_or_si128(_mm_cmpeq_epi32(a, vfp),
+                         _mm_cmpeq_epi32(b, vfp)),
+            _mm_cmpeq_epi32(c, vfp));
+        if (_mm_movemask_epi8(hit)) {
+            for (unsigned j = 0; j < kEntriesPerLine; ++j) {
+                if (f[w + j] == fp && k[w + j] == key)
+                    return static_cast<int>(w + j);
+            }
+        }
+    }
+#else
+    for (unsigned w = head; w < limit; ++w) {
+        if (f[w] == fp && k[w] == key)
+            return static_cast<int>(w);
+    }
+#endif
     return -1;
 }
 
@@ -131,17 +175,14 @@ MarkovTable::insert(Addr key, Addr target, std::uint8_t priority)
         return;
     }
 
-    // Allocate: prefer an invalid slot within the current partition.
-    // A full set (the trained steady state) skips the scan.
+    // Allocate: valid slots are a contiguous prefix (see findWay),
+    // so the first invalid slot is setValid[set] itself — no scan.
     int slot = -1;
     if (setValid[set] < curA) {
-        const Addr *k = keys.data() + slotIndex(set, 0);
-        for (unsigned w = 0; w < curA; ++w) {
-            if (k[w] == kInvalidAddr) {
-                slot = static_cast<int>(w);
-                break;
-            }
-        }
+        slot = static_cast<int>(setValid[set]);
+        prophet_assert(
+            keys[slotIndex(set, static_cast<unsigned>(slot))]
+            == kInvalidAddr);
     }
 
     if (slot < 0) {

@@ -33,28 +33,36 @@ identifyKernels(const trace::Trace &t,
         std::map<std::int64_t, std::uint64_t> deltas;
         PC consumer = kInvalidPC;
     };
+    // The scan reads the trace's SoA arrays directly: this pass only
+    // needs PCs, byte addresses, and the depends flag, so it streams
+    // those arrays instead of dragging whole records through cache.
+    const std::size_t n = t.size();
+    const PC *pcs = t.pcData();
+    const Addr *addrs = t.addrData();
+    const std::uint32_t *metas = t.metaData();
+
     std::unordered_map<PC, PcStat> stats;
-    for (std::size_t i = 0; i < t.size(); ++i) {
-        const auto &rec = t[i];
-        PcStat &s = stats[rec.pc];
+    for (std::size_t i = 0; i < n; ++i) {
+        const PC pc = pcs[i];
+        PcStat &s = stats[pc];
         ++s.accesses;
         if (s.last != kInvalidAddr) {
-            auto d = static_cast<std::int64_t>(rec.addr)
+            auto d = static_cast<std::int64_t>(addrs[i])
                 - static_cast<std::int64_t>(s.last);
             if (d != 0)
                 ++s.deltas[d];
         }
-        s.last = rec.addr;
+        s.last = addrs[i];
         // Find this PC's dependent consumer within a short forward
         // window (other accesses, e.g. edge weights, may interleave
         // between the kernel load and the indirect use).
         if (s.consumer == kInvalidPC) {
-            for (std::size_t j = i + 1;
-                 j < t.size() && j <= i + 4; ++j) {
-                if (t[j].pc == rec.pc)
+            for (std::size_t j = i + 1; j < n && j <= i + 4; ++j) {
+                if (pcs[j] == pc)
                     break;
-                if (t[j].dependsOnPrev && t[j].pc != rec.pc) {
-                    s.consumer = t[j].pc;
+                if (trace::Trace::dependsOf(metas[j])
+                    && pcs[j] != pc) {
+                    s.consumer = pcs[j];
                     break;
                 }
             }
@@ -94,13 +102,13 @@ identifyKernels(const trace::Trace &t,
             continue;
 
         // The runtime must be able to compute the indirect target.
-        auto probe = resolver->resolve(pc, t[0].addr, 0);
+        auto probe = resolver->resolve(pc, addrs[0], 0);
         bool resolvable = false;
         // Probe with an address actually from this PC.
-        for (const auto &rec : t) {
-            if (rec.pc == pc) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (pcs[i] == pc) {
                 resolvable =
-                    resolver->resolve(pc, rec.addr, 1).has_value();
+                    resolver->resolve(pc, addrs[i], 1).has_value();
                 break;
             }
         }

@@ -122,16 +122,31 @@ System::beginRun(std::size_t expected_records)
     usefulCount = 0;
     lateCount = 0;
     issuedBeforeMark = 0;
-    pcMissCounts.reserve(1024);
+    // Skip the re-reserve when the map still has its capacity from a
+    // previous beginRun (only a finish() hands the storage away).
+    if (pcMissCounts.capacity() < 1024)
+        pcMissCounts.reserve(1024);
 
     // Hoist the loop-invariant indirections once per run.
     l1Raw = l1Pf.get();
     l2Raw = l2Pf.get();
     rpg2Active = !cfg.rpg2Plan.empty();
+    // Without an L2 prefetcher metadataWays() is pinned at zero and
+    // the constructor's syncPartition() already applied it, so the
+    // per-record interval check is dead — hoist it out of the loop.
+    syncActive = l2Raw != nullptr;
 }
 
 void
 System::step(const trace::TraceRecord &rec)
+{
+    stepRecord(rec.pc, rec.addr, rec.instGap, rec.dependsOnPrev,
+               rec.isWrite);
+}
+
+void
+System::stepRecord(PC pc, Addr addr, std::uint16_t inst_gap,
+                   bool depends_on_prev, bool is_write)
 {
     if (!warmed && recordIndex >= warmBoundary) {
         // Warmup boundary: reset the statistics windows.
@@ -144,10 +159,8 @@ System::step(const trace::TraceRecord &rec)
         warmed = true;
     }
 
-    Cycle cycle = coreModel.beginAccess(rec.instGap,
-                                        rec.dependsOnPrev);
-    mem::AccessOutcome out =
-        hier.access(rec.pc, rec.addr, rec.isWrite, cycle);
+    Cycle cycle = coreModel.beginAccess(inst_gap, depends_on_prev);
+    mem::AccessOutcome out = hier.access(pc, addr, is_write, cycle);
     coreModel.completeAccess(out.readyAt);
 
     if (out.prefetchUseful
@@ -160,12 +173,12 @@ System::step(const trace::TraceRecord &rec)
     }
 
     if (out.l2Accessed && !out.l2Hit)
-        ++pcMissCounts[rec.pc];
+        ++pcMissCounts[pc];
 
     // Temporal prefetcher observes the demand L2 access stream.
     if (out.l2Accessed && l2Raw) {
         l2Requests.clear();
-        l2Raw->observe(rec.pc, out.lineAddr, out.l2Hit, cycle,
+        l2Raw->observe(pc, out.lineAddr, out.l2Hit, cycle,
                        l2Requests);
         for (const auto &req : l2Requests)
             if (hier.prefetchL2(req.creditPc, req.lineAddr, cycle))
@@ -175,10 +188,9 @@ System::step(const trace::TraceRecord &rec)
     // RPG2 software prefetch: armed kernel PCs issue the
     // addresses the inserted code would compute.
     if (rpg2Active) {
-        cfg.rpg2Plan.prefetchAddrs(rec.pc, rec.addr, resolver,
-                                   rpg2Addrs);
+        cfg.rpg2Plan.prefetchAddrs(pc, addr, resolver, rpg2Addrs);
         for (Addr a : rpg2Addrs)
-            hier.prefetchL2(rec.pc, lineAddr(a), cycle);
+            hier.prefetchL2(pc, lineAddr(a), cycle);
     }
 
     // L1 prefetcher observes every demand L1 access; its
@@ -186,14 +198,14 @@ System::step(const trace::TraceRecord &rec)
     // prefetcher (Section 5.1).
     if (l1Raw) {
         l1Candidates.clear();
-        l1Raw->observe(rec.pc, out.lineAddr,
+        l1Raw->observe(pc, out.lineAddr,
                        out.level == mem::HitLevel::L1,
                        l1Candidates);
         for (Addr cand : l1Candidates) {
-            auto pf_out = hier.prefetchL1(rec.pc, cand, cycle);
+            auto pf_out = hier.prefetchL1(pc, cand, cycle);
             if (pf_out.l2Accessed && l2Raw) {
                 l2Requests.clear();
-                l2Raw->observe(rec.pc, cand, pf_out.l2Hit, cycle,
+                l2Raw->observe(pc, cand, pf_out.l2Hit, cycle,
                                l2Requests);
                 for (const auto &req : l2Requests)
                     if (hier.prefetchL2(req.creditPc,
@@ -203,7 +215,7 @@ System::step(const trace::TraceRecord &rec)
         }
     }
 
-    if ((recordIndex & syncMask) == 0)
+    if (syncActive && (recordIndex & syncMask) == 0)
         syncPartition();
     ++recordIndex;
 }
@@ -252,8 +264,43 @@ RunStats
 System::run(const trace::Trace &t)
 {
     beginRun(t.size());
-    for (std::size_t i = 0; i < t.size(); ++i)
-        step(t[i]);
+
+    // The whole-trace loop reads the trace's SoA arrays directly —
+    // no TraceRecord is materialized — and runs in two blocks
+    // separated by the point where the lookahead runs out. Block 1:
+    // while record i is simulated, the set-scan arrays record i+K
+    // will probe (all cache levels plus the temporal prefetcher's
+    // Markov table) are software-prefetched, hiding the dependent
+    // tag/key probe latency that dominates the warmed per-record
+    // cost. Block 2 (the last K records) steps without lookahead, so
+    // the hot loop needs no bounds check on i+K. Prefetches have no
+    // architectural effect: results are bit-identical to scalar
+    // step() calls (pinned by tests/test_pipelines.cc).
+    const std::size_t n = t.size();
+    const PC *pcs = t.pcData();
+    const Addr *addrs = t.addrData();
+    const Addr *lines = t.lineAddrData();
+    const std::uint32_t *metas = t.metaData();
+
+    constexpr std::size_t K = kPrefetchLookahead;
+    const std::size_t lookahead_end = n > K ? n - K : 0;
+    std::size_t i = 0;
+    for (; i < lookahead_end; ++i) {
+        const Addr ahead = lines[i + K];
+        hier.prefetchSets(ahead);
+        if (l2Raw)
+            l2Raw->prefetchSets(ahead);
+        const std::uint32_t m = metas[i];
+        stepRecord(pcs[i], addrs[i], trace::Trace::gapOf(m),
+                   trace::Trace::dependsOf(m),
+                   trace::Trace::writeOf(m));
+    }
+    for (; i < n; ++i) {
+        const std::uint32_t m = metas[i];
+        stepRecord(pcs[i], addrs[i], trace::Trace::gapOf(m),
+                   trace::Trace::dependsOf(m),
+                   trace::Trace::writeOf(m));
+    }
     return finish();
 }
 

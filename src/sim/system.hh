@@ -91,6 +91,19 @@ class System
 {
   public:
     /**
+     * Lookahead depth K of run()'s software-prefetch loop: while
+     * record i is simulated, the tag/key scan arrays record i+K will
+     * probe are prefetched. K must cover the per-record simulation
+     * cost (a few hundred ns) at memory latency (~100 ns), but not
+     * run so far ahead that warmed lines are evicted again before
+     * use; 8 is comfortably inside that window on current hardware
+     * (see README "Simulator performance"). Correctness never
+     * depends on K: prefetches are architecturally invisible, and
+     * tests pin run() bit-identical to the scalar step() loop.
+     */
+    static constexpr std::size_t kPrefetchLookahead = 8;
+
+    /**
      * @param config System configuration.
      * @param resolver The workload's indirect resolver (RPG2);
      *        nullptr when absent.
@@ -144,6 +157,13 @@ class System
     pf::TemporalPrefetcher *l2Raw = nullptr;
     bool rpg2Active = false;
 
+    /**
+     * Partition sync only matters when an L2 prefetcher can resize
+     * its metadata partition; without one the reservation is pinned
+     * at zero, so the per-record interval check is skipped outright.
+     */
+    bool syncActive = false;
+
     /** (interval - 1) for the power-of-two partition-sync check. */
     std::size_t syncMask = 0;
 
@@ -162,6 +182,14 @@ class System
     std::vector<Addr> rpg2Addrs;
 
     void syncPartition();
+
+    /**
+     * The per-record simulation body shared by step() and run():
+     * identical logic on both paths is what makes the prefetched
+     * run() loop provably bit-identical to scalar stepping.
+     */
+    void stepRecord(PC pc, Addr addr, std::uint16_t inst_gap,
+                    bool depends_on_prev, bool is_write);
 };
 
 } // namespace prophet::sim

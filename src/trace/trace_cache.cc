@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <system_error>
 #include <unistd.h>
@@ -34,6 +35,22 @@ sanitize(const std::string &name)
             c = '_';
     }
     return out;
+}
+
+/** Binary-format version from a .ptrc header (0 when unreadable). */
+std::uint32_t
+fileVersion(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return 0;
+    char magic[4];
+    std::uint32_t version = 0;
+    bool ok = std::fread(magic, 1, 4, f) == 4
+        && std::memcmp(magic, "PTRC", 4) == 0
+        && std::fread(&version, sizeof(version), 1, f) == 1;
+    std::fclose(f);
+    return ok ? version : 0;
 }
 
 } // anonymous namespace
@@ -71,7 +88,8 @@ TraceCache::load(const std::string &workload, std::size_t records,
         ++counters.misses;
         return false;
     }
-    if (!loadBinary(out, file)) {
+    std::uint32_t version = 0;
+    if (!loadBinary(out, file, &version)) {
         // Corrupt or truncated entry: treat as a miss; the caller
         // regenerates and store() replaces the bad file.
         std::fprintf(stderr,
@@ -80,6 +98,19 @@ TraceCache::load(const std::string &workload, std::size_t records,
         std::lock_guard<std::mutex> lock(mu);
         ++counters.misses;
         return false;
+    }
+    if (version < kTraceFormatV2) {
+        // Legacy entry: repair in place so the next load takes the
+        // bulk path. A failed rewrite is harmless — the v1 file
+        // stays behind and keeps serving hits.
+        if (store(workload, records, out)) {
+            std::fprintf(stderr,
+                         "trace-cache: upgraded %s v%u -> v%u\n",
+                         file.c_str(), version, kTraceFormatV2);
+            std::lock_guard<std::mutex> lock(mu);
+            ++counters.upgrades;
+            --counters.stores; // the rewrite is not a caller store
+        }
     }
     std::fprintf(stderr, "trace-cache: hit %s (%zu records) <- %s\n",
                  workload.c_str(), out.size(), file.c_str());
@@ -154,6 +185,7 @@ TraceCache::entries() const
         e.file = de.path().filename().string();
         e.bytes = static_cast<std::uint64_t>(
             fs::file_size(de.path(), ec));
+        e.version = fileVersion(de.path().string());
         out.push_back(std::move(e));
     }
     std::sort(out.begin(), out.end(),

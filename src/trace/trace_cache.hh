@@ -45,6 +45,9 @@ class TraceCache
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
         std::uint64_t stores = 0;
+
+        /** v1 entries transparently rewritten as v2 on load. */
+        std::uint64_t upgrades = 0;
     };
 
     /** One cached file, for `trace-cache stats`. */
@@ -52,6 +55,9 @@ class TraceCache
     {
         std::string file;       ///< file name within the cache dir
         std::uint64_t bytes = 0;
+
+        /** Binary-format version from the file header (0: unreadable). */
+        std::uint32_t version = 0;
     };
 
     /**
@@ -79,7 +85,9 @@ class TraceCache
      * Load a cached trace. Returns false (and leaves @p out empty)
      * on miss or on a corrupt/truncated file; never throws. A hit is
      * logged to stderr so cache effectiveness is observable without
-     * changing stdout.
+     * changing stdout. A hit on a legacy v1 entry is transparently
+     * repaired: the loaded trace is re-stored in the current (v2)
+     * bulk format, so old cache directories upgrade in place.
      */
     bool load(const std::string &workload, std::size_t records,
               Trace &out);

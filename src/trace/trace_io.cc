@@ -1,9 +1,11 @@
 #include "trace/trace_io.hh"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <vector>
 
 namespace prophet::trace
 {
@@ -12,17 +14,24 @@ namespace
 {
 
 constexpr char kMagic[4] = {'P', 'T', 'R', 'C'};
-constexpr std::uint32_t kVersion = 1;
 
-/** Packed on-disk record (fixed layout, little-endian hosts). */
+/** Bytes before the payload in both formats. */
+constexpr long kHeaderBytes = 16;
+
+/** Packed v1 on-disk record (fixed layout, little-endian hosts). */
 struct PackedRecord
 {
     std::uint64_t pc;
     std::uint64_t addr;
     std::uint16_t instGap;
     std::uint8_t flags; // bit0 depends, bit1 write
-    std::uint8_t pad = 0;
+    std::uint8_t pad;
+    // + 2 trailing padding bytes to the 8-byte alignment
 };
+
+/** Per-record payload bytes of the v2 SoA format. */
+constexpr std::uint64_t kV2RecordBytes =
+    sizeof(std::uint64_t) * 2 + sizeof(std::uint32_t);
 
 struct FileCloser
 {
@@ -35,6 +44,91 @@ struct FileCloser
 
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
+bool
+writeHeader(std::FILE *f, std::uint32_t version, std::uint64_t count)
+{
+    return std::fwrite(kMagic, 1, 4, f) == 4
+        && std::fwrite(&version, sizeof(version), 1, f) == 1
+        && std::fwrite(&count, sizeof(count), 1, f) == 1;
+}
+
+/**
+ * Payload record capacity of the file behind @p f, used to validate
+ * the untrusted header count before any allocation: a corrupted
+ * header fails cleanly instead of throwing std::length_error.
+ * Leaves the file position at the start of the payload.
+ */
+bool
+payloadRecords(std::FILE *f, std::uint64_t record_bytes,
+               std::uint64_t &max_records)
+{
+    if (std::fseek(f, 0, SEEK_END) != 0)
+        return false;
+    long file_size = std::ftell(f);
+    if (file_size < kHeaderBytes
+        || std::fseek(f, kHeaderBytes, SEEK_SET) != 0)
+        return false;
+    max_records =
+        static_cast<std::uint64_t>(file_size - kHeaderBytes)
+        / record_bytes;
+    return true;
+}
+
+bool
+loadV2(Trace &out, std::FILE *f, std::uint64_t count)
+{
+    std::uint64_t max_records = 0;
+    if (!payloadRecords(f, kV2RecordBytes, max_records)
+        || count > max_records)
+        return false;
+    // BulkVector sizing leaves the elements uninitialized: fread is
+    // the first touch of every page, not a value-init memset.
+    Trace::BulkVector<PC> pcs(count);
+    Trace::BulkVector<Addr> addrs(count);
+    Trace::BulkVector<std::uint32_t> metas(count);
+    if (count > 0) {
+        if (std::fread(pcs.data(), sizeof(PC), count, f) != count)
+            return false;
+        if (std::fread(addrs.data(), sizeof(Addr), count, f) != count)
+            return false;
+        if (std::fread(metas.data(), sizeof(std::uint32_t), count, f)
+            != count)
+            return false;
+    }
+    out.adopt(std::move(pcs), std::move(addrs), std::move(metas));
+    return true;
+}
+
+bool
+loadV1(Trace &out, std::FILE *f, std::uint64_t count)
+{
+    std::uint64_t max_records = 0;
+    if (!payloadRecords(f, sizeof(PackedRecord), max_records)
+        || count > max_records)
+        return false;
+    out.reserve(count);
+    // Bulk-read in chunks: the dominant cost of the old loader was
+    // one fread call per record.
+    constexpr std::size_t kChunk = 4096;
+    std::vector<PackedRecord> buf(
+        std::min<std::uint64_t>(count, kChunk));
+    std::uint64_t done = 0;
+    while (done < count) {
+        std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(count - done, kChunk));
+        if (std::fread(buf.data(), sizeof(PackedRecord), want, f)
+            != want)
+            return false;
+        for (std::size_t i = 0; i < want; ++i) {
+            const PackedRecord &p = buf[i];
+            out.append(p.pc, p.addr, p.instGap, p.flags & 1,
+                       p.flags & 2);
+        }
+        done += want;
+    }
+    return true;
+}
+
 } // anonymous namespace
 
 bool
@@ -43,18 +137,44 @@ saveBinary(const Trace &t, const std::string &path)
     FilePtr f(std::fopen(path.c_str(), "wb"));
     if (!f)
         return false;
-    std::uint64_t count = t.size();
-    if (std::fwrite(kMagic, 1, 4, f.get()) != 4)
+    const std::uint64_t count = t.size();
+    if (!writeHeader(f.get(), kTraceFormatV2, count))
         return false;
-    if (std::fwrite(&kVersion, sizeof(kVersion), 1, f.get()) != 1)
+    if (count == 0)
+        return true;
+    if (std::fwrite(t.pcData(), sizeof(PC), count, f.get()) != count)
         return false;
-    if (std::fwrite(&count, sizeof(count), 1, f.get()) != 1)
+    if (std::fwrite(t.addrData(), sizeof(Addr), count, f.get())
+        != count)
         return false;
-    for (const auto &rec : t) {
-        PackedRecord p{rec.pc, rec.addr, rec.instGap,
-                       static_cast<std::uint8_t>(
-                           (rec.dependsOnPrev ? 1 : 0)
-                           | (rec.isWrite ? 2 : 0))};
+    if (std::fwrite(t.metaData(), sizeof(std::uint32_t), count,
+                    f.get())
+        != count)
+        return false;
+    return true;
+}
+
+bool
+saveBinaryV1(const Trace &t, const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+    const std::uint64_t count = t.size();
+    if (!writeHeader(f.get(), kTraceFormatV1, count))
+        return false;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const TraceRecord rec = t[i];
+        // memset covers the tail padding sizeof leaves after `pad`:
+        // brace-init zeroes members but not padding bytes, which
+        // would leak uninitialized stack bytes into the file.
+        PackedRecord p;
+        std::memset(&p, 0, sizeof(p));
+        p.pc = rec.pc;
+        p.addr = rec.addr;
+        p.instGap = rec.instGap;
+        p.flags = static_cast<std::uint8_t>(
+            (rec.dependsOnPrev ? 1 : 0) | (rec.isWrite ? 2 : 0));
         if (std::fwrite(&p, sizeof(p), 1, f.get()) != 1)
             return false;
     }
@@ -62,7 +182,8 @@ saveBinary(const Trace &t, const std::string &path)
 }
 
 bool
-loadBinary(Trace &out, const std::string &path)
+loadBinary(Trace &out, const std::string &path,
+           std::uint32_t *version_out)
 {
     out = Trace{};
     FilePtr f(std::fopen(path.c_str(), "rb"));
@@ -74,35 +195,22 @@ loadBinary(Trace &out, const std::string &path)
     if (std::fread(magic, 1, 4, f.get()) != 4
         || std::memcmp(magic, kMagic, 4) != 0)
         return false;
-    if (std::fread(&version, sizeof(version), 1, f.get()) != 1
-        || version != kVersion)
+    if (std::fread(&version, sizeof(version), 1, f.get()) != 1)
         return false;
     if (std::fread(&count, sizeof(count), 1, f.get()) != 1)
         return false;
-    // The count comes from an untrusted file: cap it by what the
-    // payload can actually hold before reserving, so a corrupted
-    // header fails cleanly instead of throwing std::length_error.
-    constexpr long kHeaderBytes = 16;
-    if (std::fseek(f.get(), 0, SEEK_END) != 0)
+
+    bool ok = false;
+    if (version == kTraceFormatV2)
+        ok = loadV2(out, f.get(), count);
+    else if (version == kTraceFormatV1)
+        ok = loadV1(out, f.get(), count);
+    if (!ok) {
+        out = Trace{};
         return false;
-    long file_size = std::ftell(f.get());
-    if (file_size < kHeaderBytes
-        || std::fseek(f.get(), kHeaderBytes, SEEK_SET) != 0)
-        return false;
-    std::uint64_t max_records =
-        static_cast<std::uint64_t>(file_size - kHeaderBytes)
-        / sizeof(PackedRecord);
-    if (count > max_records)
-        return false;
-    out.reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i) {
-        PackedRecord p;
-        if (std::fread(&p, sizeof(p), 1, f.get()) != 1) {
-            out = Trace{};
-            return false;
-        }
-        out.append(p.pc, p.addr, p.instGap, p.flags & 1, p.flags & 2);
     }
+    if (version_out)
+        *version_out = version;
     return true;
 }
 

@@ -4,11 +4,29 @@
  * generated once, archived, and replayed (the SimPoint-checkpoint
  * workflow's moral equivalent), plus a human-readable text form for
  * debugging and interop with external tools.
+ *
+ * Binary format v2 mirrors the in-memory SoA layout: after the
+ * header, the pc, addr, and packed-meta arrays are written whole —
+ * three bulk fwrite calls instead of one per record — and loads read
+ * them back the same way. v1 files (packed array-of-structs records)
+ * remain loadable; loadBinary reports which version it read so the
+ * trace cache can transparently repair old entries.
+ *
+ * | v2 layout | bytes        | content                              |
+ * |-----------|--------------|--------------------------------------|
+ * | magic     | 4            | "PTRC"                               |
+ * | version   | 4            | 2 (little-endian u32)                |
+ * | count     | 8            | record count N (u64)                 |
+ * | pc[]      | 8 x N        | PC per record                        |
+ * | addr[]    | 8 x N        | byte address per record              |
+ * | meta[]    | 4 x N        | instGap (bits 0-15), depends (16),   |
+ * |           |              | write (17); other bits zero          |
  */
 
 #ifndef PROPHET_TRACE_TRACE_IO_HH
 #define PROPHET_TRACE_TRACE_IO_HH
 
+#include <cstdint>
 #include <string>
 
 #include "trace/trace.hh"
@@ -16,17 +34,32 @@
 namespace prophet::trace
 {
 
+/** Binary-format versions loadBinary understands. */
+constexpr std::uint32_t kTraceFormatV1 = 1;
+constexpr std::uint32_t kTraceFormatV2 = 2;
+
 /**
- * Write a trace in the binary format (magic "PTRC", version, record
- * count, packed records). Returns false on I/O failure.
+ * Write a trace in the current (v2) binary format: header followed
+ * by bulk writes of the SoA arrays. Returns false on I/O failure.
  */
 bool saveBinary(const Trace &t, const std::string &path);
 
 /**
- * Read a binary trace written by saveBinary. Returns an empty trace
- * and false on failure or format mismatch.
+ * Write a trace in the legacy v1 format (packed 24-byte records).
+ * Kept so backward-compatibility tests can fabricate old files; the
+ * struct's tail padding is explicitly zeroed, so output is
+ * deterministic byte-for-byte.
  */
-bool loadBinary(Trace &out, const std::string &path);
+bool saveBinaryV1(const Trace &t, const std::string &path);
+
+/**
+ * Read a binary trace written by saveBinary (v2) or saveBinaryV1
+ * (v1). Returns an empty trace and false on failure or format
+ * mismatch. When @p version_out is non-null and the load succeeds,
+ * it receives the format version the file used.
+ */
+bool loadBinary(Trace &out, const std::string &path,
+                std::uint32_t *version_out = nullptr);
 
 /**
  * Write a text form: one record per line,

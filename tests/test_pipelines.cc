@@ -25,6 +25,7 @@
 #include "driver/spec.hh"
 #include "sim/pipelines.hh"
 #include "sim/runner.hh"
+#include "workloads/registry.hh"
 
 namespace prophet::sim
 {
@@ -302,6 +303,89 @@ TEST(PipelineRegistry, ValidateRejectsBadParams)
     learn_vs_none.params["learn"] = ParamValue::makeList({"mcf"});
     learn_vs_none.params["binary"] = ParamValue::makeString("none");
     bad(learn_vs_none, "conflicts");
+}
+
+/**
+ * Everything a run reports, compared field by field (closer to
+ * bit-identity than expectSameRun: also per-PC miss maps, Markov
+ * statistics, and DRAM traffic splits).
+ */
+void
+expectIdenticalStats(const RunStats &a, const RunStats &b,
+                     const std::string &what)
+{
+    EXPECT_EQ(a.ipc, b.ipc) << what;
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.instructions, b.instructions) << what;
+    EXPECT_EQ(a.records, b.records) << what;
+    EXPECT_EQ(a.l1Misses, b.l1Misses) << what;
+    EXPECT_EQ(a.l2DemandAccesses, b.l2DemandAccesses) << what;
+    EXPECT_EQ(a.l2DemandMisses, b.l2DemandMisses) << what;
+    EXPECT_EQ(a.llcMisses, b.llcMisses) << what;
+    EXPECT_EQ(a.l2PrefetchesIssued, b.l2PrefetchesIssued) << what;
+    EXPECT_EQ(a.l2PrefetchesUseful, b.l2PrefetchesUseful) << what;
+    EXPECT_EQ(a.latePrefetches, b.latePrefetches) << what;
+    EXPECT_EQ(a.dramReads, b.dramReads) << what;
+    EXPECT_EQ(a.dramWrites, b.dramWrites) << what;
+    EXPECT_EQ(a.dramPrefetchReads, b.dramPrefetchReads) << what;
+    EXPECT_EQ(a.markov.lookups, b.markov.lookups) << what;
+    EXPECT_EQ(a.markov.hits, b.markov.hits) << what;
+    EXPECT_EQ(a.markov.inserts, b.markov.inserts) << what;
+    EXPECT_EQ(a.markov.replacements, b.markov.replacements) << what;
+    EXPECT_EQ(a.offchipMeta.metadataReads, b.offchipMeta.metadataReads)
+        << what;
+    EXPECT_EQ(a.offchipMeta.metadataWrites,
+              b.offchipMeta.metadataWrites)
+        << what;
+    EXPECT_EQ(a.finalMetadataWays, b.finalMetadataWays) << what;
+    ASSERT_EQ(a.pcMisses.size(), b.pcMisses.size()) << what;
+    for (const auto &[pc, misses] : a.pcMisses) {
+        auto it = b.pcMisses.find(pc);
+        ASSERT_NE(it, b.pcMisses.end()) << what;
+        EXPECT_EQ(misses, it->second) << what;
+    }
+}
+
+/**
+ * The tentpole invariant of the lookahead-prefetched run() loop:
+ * software prefetching is architecturally invisible, so driving a
+ * system record by record through the scalar step() API must produce
+ * results bit-identical to the blocked/prefetched whole-trace run()
+ * — for every pipeline's system configuration, on the smoke
+ * workloads.
+ */
+TEST(SystemRunLookahead, BitIdenticalToScalarStepLoop)
+{
+    const std::pair<L2PfKind, const char *> kinds[] = {
+        {L2PfKind::None, "none"},
+        {L2PfKind::Triage, "triage"},
+        {L2PfKind::Triage4, "triage4"},
+        {L2PfKind::Triangel, "triangel"},
+        {L2PfKind::Prophet, "prophet"},
+        {L2PfKind::Simplified, "simplified"},
+        {L2PfKind::Stms, "stms"},
+        {L2PfKind::Domino, "domino"},
+    };
+    for (const char *workload : {"mcf", "omnetpp"}) {
+        auto gen = workloads::makeWorkload(workload, kRecords);
+        const trace::Trace t = gen->generate();
+        for (const auto &[kind, name] : kinds) {
+            SystemConfig cfg = SystemConfig::table1();
+            cfg.l2Pf = kind;
+
+            System via_run(cfg, gen->resolver());
+            RunStats run_stats = via_run.run(t);
+
+            System via_step(cfg, gen->resolver());
+            via_step.beginRun(t.size());
+            for (std::size_t i = 0; i < t.size(); ++i)
+                via_step.step(t[i]);
+            RunStats step_stats = via_step.finish();
+
+            expectIdenticalStats(run_stats, step_stats,
+                                 std::string(workload) + "/" + name);
+        }
+    }
 }
 
 } // anonymous namespace

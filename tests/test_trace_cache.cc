@@ -16,6 +16,7 @@
 
 #include "sim/runner.hh"
 #include "trace/trace_cache.hh"
+#include "trace/trace_io.hh"
 #include "workloads/registry.hh"
 
 namespace fs = std::filesystem;
@@ -151,6 +152,75 @@ TEST_F(TraceCacheTest, TruncatedFileFallsBackToRegeneration)
     Trace out;
     EXPECT_FALSE(cache.load("mcf", kRecords, out));
     EXPECT_TRUE(out.empty());
+}
+
+TEST_F(TraceCacheTest, StoresWriteTheV2BulkFormat)
+{
+    Trace fresh =
+        workloads::makeWorkload("mcf", kRecords)->generate();
+    TraceCache cache(dir);
+    ASSERT_TRUE(cache.store("mcf", kRecords, fresh));
+
+    std::uint32_t version = 0;
+    Trace loaded;
+    ASSERT_TRUE(loadBinary(loaded, cache.path("mcf", kRecords),
+                           &version));
+    EXPECT_EQ(version, kTraceFormatV2);
+    expectTraceEq(fresh, loaded);
+    auto entries = cache.entries();
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].version, kTraceFormatV2);
+}
+
+TEST_F(TraceCacheTest, V1EntryLoadsAndIsUpgradedInPlace)
+{
+    Trace fresh =
+        workloads::makeWorkload("mcf", kRecords)->generate();
+    TraceCache cache(dir);
+    // Fabricate a legacy cache directory: one v1 entry under the
+    // current key.
+    fs::create_directories(dir);
+    ASSERT_TRUE(saveBinaryV1(fresh, cache.path("mcf", kRecords)));
+    ASSERT_EQ(cache.entries().at(0).version, kTraceFormatV1);
+
+    // The v1 fallback serves the hit...
+    Trace out;
+    ASSERT_TRUE(cache.load("mcf", kRecords, out));
+    expectTraceEq(fresh, out);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().upgrades, 1u);
+    // A repair rewrite is not a caller-visible store.
+    EXPECT_EQ(cache.stats().stores, 0u);
+
+    // ...and repairs the entry to v2, byte-compatible with a fresh
+    // store.
+    ASSERT_EQ(cache.entries().at(0).version, kTraceFormatV2);
+    Trace again;
+    ASSERT_TRUE(cache.load("mcf", kRecords, again));
+    expectTraceEq(fresh, again);
+    EXPECT_EQ(cache.stats().upgrades, 1u);
+}
+
+TEST_F(TraceCacheTest, TruncatedV2EntryFallsBackAndRepairs)
+{
+    Trace fresh =
+        workloads::makeWorkload("mcf", kRecords)->generate();
+    TraceCache cache(dir);
+    ASSERT_TRUE(cache.store("mcf", kRecords, fresh));
+
+    // Truncate inside the bulk arrays: the header still promises
+    // kRecords, so the load must fail cleanly, not return a short
+    // trace.
+    auto path = cache.path("mcf", kRecords);
+    fs::resize_file(path, fs::file_size(path) - 6);
+    Trace out;
+    EXPECT_FALSE(cache.load("mcf", kRecords, out));
+    EXPECT_TRUE(out.empty());
+
+    // The regenerate-and-store path repairs it.
+    ASSERT_TRUE(cache.store("mcf", kRecords, fresh));
+    ASSERT_TRUE(cache.load("mcf", kRecords, out));
+    expectTraceEq(fresh, out);
 }
 
 TEST_F(TraceCacheTest, ClearAndEntries)

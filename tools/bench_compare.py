@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_micro.json files benchmark by benchmark.
+
+Usage:
+    tools/bench_compare.py OLD.json NEW.json [--tolerance PCT]
+                           [--metric METRIC] [--gate]
+
+For every benchmark name present in both files, the median METRIC
+(default: items_per_second, i.e. records/sec for the system-step and
+trace-cache benches) is compared and the relative change printed.
+Multiple entries with the same name (e.g. --benchmark_repetitions
+runs) are reduced to their median, which is robust against one noisy
+repetition; aggregate rows google-benchmark synthesizes itself
+(name_mean/_median/_stddev/_cv) are ignored.
+
+By default the comparison is informational: the exit status is 0 no
+matter what changed, so noisy CI runners cannot block a merge. Pass
+--gate to exit 1 when any benchmark regressed by more than
+--tolerance percent (default 5).
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_medians(path, metric):
+    """name -> median metric value, skipping aggregate rows."""
+    with open(path) as f:
+        doc = json.load(f)
+    values = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        if name is None or metric not in bench:
+            continue
+        values.setdefault(name, []).append(float(bench[metric]))
+    return {name: statistics.median(vals)
+            for name, vals in values.items()}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("old", help="baseline BENCH_micro.json")
+    parser.add_argument("new", help="candidate BENCH_micro.json")
+    parser.add_argument("--tolerance", type=float, default=5.0,
+                        help="regression threshold in percent "
+                             "(default: 5)")
+    parser.add_argument("--metric", default="items_per_second",
+                        help="JSON field to compare "
+                             "(default: items_per_second)")
+    parser.add_argument("--gate", action="store_true",
+                        help="exit 1 on a regression beyond the "
+                             "tolerance (default: informational)")
+    args = parser.parse_args()
+
+    try:
+        old = load_medians(args.old, args.metric)
+        new = load_medians(args.new, args.metric)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        # Unreadable inputs are not a benchmark regression; stay
+        # informational unless gating was requested.
+        return 1 if args.gate else 0
+
+    names = sorted(set(old) & set(new))
+    if not names:
+        print("bench_compare: no common benchmarks to compare")
+        return 0
+
+    width = max(len(n) for n in names)
+    print(f"{'benchmark':<{width}}  {'old':>14}  {'new':>14}  "
+          f"{'change':>8}")
+    regressions = []
+    for name in names:
+        o, n = old[name], new[name]
+        change = (n / o - 1.0) * 100.0 if o else float("inf")
+        flag = ""
+        if change < -args.tolerance:
+            flag = "  REGRESSED"
+            regressions.append(name)
+        elif change > args.tolerance:
+            flag = "  improved"
+        print(f"{name:<{width}}  {o:>14.4g}  {n:>14.4g}  "
+              f"{change:>+7.1f}%{flag}")
+
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+    if only_old:
+        print(f"only in {args.old}: {', '.join(only_old)}")
+    if only_new:
+        print(f"only in {args.new}: {', '.join(only_new)}")
+
+    if regressions:
+        print(f"{len(regressions)} benchmark(s) beyond the "
+              f"-{args.tolerance}% tolerance: "
+              f"{', '.join(regressions)}")
+        if args.gate:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@
 
 #include "driver/driver.hh"
 #include "sim/pipelines.hh"
+#include "trace/trace_io.hh"
 #include "sim/sweep.hh"
 #include "workloads/registry.hh"
 
@@ -302,16 +303,29 @@ cmdTraceCacheStats(const Flags &flags)
     trace::TraceCache cache(flags.opts.traceCacheDir);
     auto entries = cache.entries();
     std::uint64_t total = 0;
+    std::map<std::uint32_t, std::size_t> by_version;
     for (const auto &e : entries) {
-        std::printf("  %10llu  %s\n",
+        std::printf("  %10llu  v%u  %s\n",
                     static_cast<unsigned long long>(e.bytes),
-                    e.file.c_str());
+                    e.version, e.file.c_str());
         total += e.bytes;
+        ++by_version[e.version];
     }
     std::printf("%zu cached trace(s), %llu bytes in %s\n",
                 entries.size(),
                 static_cast<unsigned long long>(total),
                 cache.dir().c_str());
+    for (const auto &[version, count] : by_version) {
+        if (version == 0)
+            std::printf("  format unreadable: %zu entr%s\n", count,
+                        count == 1 ? "y" : "ies");
+        else
+            std::printf("  format v%u: %zu entr%s%s\n", version,
+                        count, count == 1 ? "y" : "ies",
+                        version < trace::kTraceFormatV2
+                            ? " (legacy; upgraded on next load)"
+                            : "");
+    }
     return 0;
 }
 

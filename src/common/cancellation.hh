@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Cooperative cancellation: a shared flag long-running work polls at
+ * coarse intervals. The sweep driver's fail-fast policy sets it when
+ * the first job fails, so multi-minute simulations already in flight
+ * unwind within a bounded number of records instead of running to
+ * completion for a result nobody will read.
+ *
+ * Polling has no side effects on simulation state, so a run with a
+ * token attached but never cancelled is bit-identical to a run
+ * without one (regression-gated in tests/test_system.cc).
+ */
+
+#ifndef PROPHET_COMMON_CANCELLATION_HH
+#define PROPHET_COMMON_CANCELLATION_HH
+
+#include <atomic>
+
+namespace prophet
+{
+
+/**
+ * A one-way cancel flag. cancel() may be called from any thread,
+ * any number of times; observers poll cancelled(). There is no
+ * un-cancel: one token serves one logical run.
+ */
+class CancellationToken
+{
+  public:
+    void
+    cancel() noexcept
+    {
+        flag.store(true, std::memory_order_relaxed);
+    }
+
+    bool
+    cancelled() const noexcept
+    {
+        return flag.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> flag{false};
+};
+
+} // namespace prophet
+
+#endif // PROPHET_COMMON_CANCELLATION_HH

@@ -1,0 +1,203 @@
+#include "common/fault_injection.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace prophet::fault
+{
+
+namespace
+{
+
+struct SiteState
+{
+    std::uint64_t nth = 0;   ///< 0 = not armed, counting only
+    std::uint64_t count = 0; ///< 0 = unlimited once armed
+    std::uint64_t hits = 0;
+    std::uint64_t fired = 0;
+};
+
+struct Harness
+{
+    std::mutex mu;
+    std::map<std::string, SiteState> sites;
+    std::uint64_t firedTotal = 0;
+};
+
+Harness &
+harness()
+{
+    static Harness h;
+    return h;
+}
+
+/**
+ * Fast-path gate: number of armed sites. Zero (the normal case)
+ * means shouldFail returns immediately without touching the mutex —
+ * hit counters are only maintained while something is armed, which
+ * keeps the idle cost to one relaxed load.
+ */
+std::atomic<std::uint64_t> armedCount{0};
+
+/** One-time $PROPHET_FAULTS pickup, before the first gate check. */
+std::once_flag envOnce;
+
+void
+armFromEnv()
+{
+    const char *env = std::getenv("PROPHET_FAULTS");
+    if (!env || !*env)
+        return;
+    if (!armFromSpec(env))
+        std::fprintf(stderr,
+                     "fault-injection: malformed PROPHET_FAULTS "
+                     "\"%s\" (want site:nth[:count],...)\n",
+                     env);
+}
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (end != s.c_str() + s.size() || errno == ERANGE)
+        return false;
+    out = v;
+    return true;
+}
+
+} // anonymous namespace
+
+bool
+shouldFail(const std::string &site)
+{
+    std::call_once(envOnce, armFromEnv);
+    if (armedCount.load(std::memory_order_relaxed) == 0)
+        return false;
+
+    Harness &h = harness();
+    std::lock_guard<std::mutex> lock(h.mu);
+    SiteState &st = h.sites[site];
+    ++st.hits;
+    if (st.nth == 0)
+        return false; // counted, but this site is not armed
+    bool fire = st.hits >= st.nth
+        && (st.count == 0 || st.hits < st.nth + st.count);
+    if (fire) {
+        ++st.fired;
+        ++h.firedTotal;
+        std::fprintf(stderr,
+                     "fault-injection: %s fired (hit %llu)\n",
+                     site.c_str(),
+                     static_cast<unsigned long long>(st.hits));
+    }
+    return fire;
+}
+
+void
+arm(const std::string &site, std::uint64_t nth, std::uint64_t count)
+{
+    if (nth == 0)
+        nth = 1;
+    Harness &h = harness();
+    std::lock_guard<std::mutex> lock(h.mu);
+    SiteState &st = h.sites[site];
+    if (st.nth == 0)
+        armedCount.fetch_add(1, std::memory_order_relaxed);
+    st.nth = nth;
+    st.count = count;
+}
+
+bool
+armFromSpec(const std::string &spec)
+{
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        std::string item = spec.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        pos = comma == std::string::npos ? spec.size() : comma + 1;
+        if (item.empty())
+            continue;
+
+        // site:nth[:count] — the site itself may contain '/' and
+        // '.', so split from the right.
+        std::uint64_t nth = 0, count = 0;
+        std::size_t c1 = item.rfind(':');
+        if (c1 == std::string::npos || c1 == 0)
+            return false;
+        std::size_t c2 = item.rfind(':', c1 - 1);
+        std::string site;
+        if (c2 != std::string::npos
+            && parseU64(item.substr(c2 + 1, c1 - c2 - 1), nth)
+            && parseU64(item.substr(c1 + 1), count)) {
+            site = item.substr(0, c2);
+        } else if (parseU64(item.substr(c1 + 1), nth)) {
+            site = item.substr(0, c1);
+        } else {
+            return false;
+        }
+        if (site.empty() || nth == 0)
+            return false;
+        arm(site, nth, count);
+    }
+    return true;
+}
+
+void
+reset()
+{
+    Harness &h = harness();
+    std::lock_guard<std::mutex> lock(h.mu);
+    h.sites.clear();
+    h.firedTotal = 0;
+    armedCount.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t
+hits(const std::string &site)
+{
+    Harness &h = harness();
+    std::lock_guard<std::mutex> lock(h.mu);
+    auto it = h.sites.find(site);
+    return it == h.sites.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t
+fired(const std::string &site)
+{
+    Harness &h = harness();
+    std::lock_guard<std::mutex> lock(h.mu);
+    auto it = h.sites.find(site);
+    return it == h.sites.end() ? 0 : it->second.fired;
+}
+
+std::uint64_t
+totalFired()
+{
+    Harness &h = harness();
+    std::lock_guard<std::mutex> lock(h.mu);
+    return h.firedTotal;
+}
+
+std::vector<std::string>
+armedSites()
+{
+    Harness &h = harness();
+    std::lock_guard<std::mutex> lock(h.mu);
+    std::vector<std::string> out;
+    for (const auto &[site, st] : h.sites)
+        if (st.nth != 0)
+            out.push_back(site + ":" + std::to_string(st.nth) + ":"
+                          + std::to_string(st.count));
+    return out;
+}
+
+} // namespace prophet::fault

@@ -2,7 +2,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <thread>
 
+#include "common/cancellation.hh"
+#include "common/error.hh"
+#include "common/fault_injection.hh"
 #include "common/log.hh"
 #include "common/time.hh"
 #include "sim/config_report.hh"
@@ -14,6 +18,91 @@ namespace prophet::driver
 
 namespace
 {
+
+/**
+ * Classify a captured job failure into the JobResult error fields.
+ * Skipped slots (fail-fast cancelled them before they started) and
+ * every exception class get a code the CLI can map to an exit code.
+ */
+void
+recordFailure(JobResult &slot, const sim::SweepEngine::JobFailure &f)
+{
+    slot.ok = false;
+    slot.stats = sim::RunStats{};
+    slot.metrics.clear();
+    // Invariant the sinks rely on: errorMessage always starts with
+    // the code name, so they print it without re-prefixing.
+    // Error::what() is pre-rendered that way; the wrapped classes
+    // get the prefix here.
+    if (f.skipped) {
+        slot.errorCode = ErrorCode::Cancelled;
+        slot.errorMessage = "cancelled: skipped after an earlier "
+                            "job failure (fail-fast)";
+        return;
+    }
+    try {
+        std::rethrow_exception(f.error);
+    } catch (const Error &e) {
+        slot.errorCode = e.code();
+        slot.errorMessage = e.what();
+    } catch (const std::exception &e) {
+        slot.errorCode = ErrorCode::Internal;
+        slot.errorMessage = std::string("internal: ") + e.what();
+    } catch (...) {
+        slot.errorCode = ErrorCode::Internal;
+        slot.errorMessage = "internal: unknown exception";
+    }
+}
+
+/**
+ * Run one (workload, pipeline) job with bounded retry: a *transient*
+ * failure (trace I/O, cache lock — classes where a second try can
+ * genuinely succeed) retries with linear backoff up to
+ * @p max_attempts total tries; permanent failures and cancellation
+ * propagate immediately. The fault points "job.<w>/<p>" and
+ * "job-transient.<w>/<p>" let tests fail exactly one job — the
+ * latter with a retryable class, so arming it for a single shot
+ * exercises the retry-then-succeed path.
+ */
+void
+runJobWithRetry(sim::Runner &runner,
+                const sim::PipelineInstance &inst, JobResult &slot,
+                const CancellationToken &token,
+                unsigned max_attempts, unsigned backoff_ms)
+{
+    const std::string job_key = slot.workload + "/" + slot.pipeline;
+    if (max_attempts == 0)
+        max_attempts = 1;
+    for (unsigned attempt = 1;; ++attempt) {
+        slot.attempts = attempt;
+        try {
+            ErrorContext ctx;
+            ctx.workload = slot.workload;
+            ctx.pipeline = slot.pipeline;
+            if (fault::shouldFail("job." + job_key))
+                throw Error(ErrorCode::FaultInjected,
+                            "injected job failure", std::move(ctx));
+            if (fault::shouldFail("job-transient." + job_key))
+                throw Error(ErrorCode::TraceIo,
+                            "injected transient job failure",
+                            std::move(ctx));
+            slot.stats = runner.run(inst, slot.workload);
+            return;
+        } catch (const Error &e) {
+            if (!e.transient() || attempt >= max_attempts
+                || token.cancelled())
+                throw;
+            std::fprintf(stderr,
+                         "  %s: transient failure (%s); retrying "
+                         "(attempt %u/%u)\n",
+                         job_key.c_str(), e.what(), attempt + 1,
+                         max_attempts);
+            if (backoff_ms > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(backoff_ms * attempt));
+        }
+    }
+}
 
 /** Does any requested output need the per-workload baseline run? */
 bool
@@ -84,6 +173,12 @@ ExperimentDriver::traceCacheEnabled() const
                                : opts.traceCache != 0;
 }
 
+bool
+ExperimentDriver::keepGoingEnabled() const
+{
+    return opts.keepGoing < 0 ? spec.keepGoing : opts.keepGoing != 0;
+}
+
 ExperimentReport
 ExperimentDriver::run()
 {
@@ -116,34 +211,92 @@ ExperimentDriver::run()
                  engine.threads() == 1 ? "" : "s",
                  cache ? " (trace cache on)" : "");
 
+    const bool keep_going = keepGoingEnabled();
+    const auto policy = keep_going
+        ? sim::SweepEngine::FailurePolicy::KeepGoing
+        : sim::SweepEngine::FailurePolicy::FailFast;
+
+    // Fail-fast cancellation: the first failure fires the token and
+    // every in-flight System unwinds within a bounded number of
+    // records. Attaching the token is bit-identical when it never
+    // fires, so the no-failure path is unchanged.
+    CancellationToken token;
+    runner.setCancellation(&token);
+
     // Phase 1: baselines, one job per workload, when any metric or
     // pipeline normalizes to them (keeps the fan-out phase from
-    // computing them redundantly inside racing jobs).
-    if (needsBaseline(spec))
-        engine.warmBaselines(spec.workloads);
+    // computing them redundantly inside racing jobs). A warm-up
+    // failure is not final — the workload's jobs recompute the
+    // baseline themselves and fail individually if it truly cannot
+    // be built — so warm-up always runs keep-going.
+    if (needsBaseline(spec)) {
+        auto warm = engine.tryForEach(
+            spec.workloads.size(),
+            [&](std::size_t i) { runner.baseline(spec.workloads[i]); },
+            sim::SweepEngine::FailurePolicy::KeepGoing);
+        for (std::size_t i = 0; i < warm.size(); ++i)
+            if (!warm[i].ok())
+                std::fprintf(stderr,
+                             "  baseline warm-up failed for %s; its "
+                             "jobs will retry individually\n",
+                             spec.workloads[i].c_str());
+    }
 
-    // Phase 2: every (workload x pipeline) as an independent job,
-    // workload-major. Slots are pre-sized: jobs write disjoint
-    // indices and the merge order is the spec order by construction.
+    // Phase 2: every (workload x pipeline) as an independent,
+    // fault-isolated job, workload-major. Slots are pre-sized: jobs
+    // write disjoint indices and the merge order is the spec order
+    // by construction. One failing job cannot take down its
+    // siblings; its slot records why it failed instead.
     ExperimentReport report;
     std::size_t per = spec.pipelines.size();
     report.results.resize(spec.workloads.size() * per);
-    engine.forEach(report.results.size(), [&](std::size_t i) {
+    auto failures = engine.tryForEach(
+        report.results.size(),
+        [&](std::size_t i) {
+            JobResult &slot = report.results[i];
+            const sim::PipelineInstance &inst =
+                spec.pipelines[i % per];
+            slot.workload = spec.workloads[i / per];
+            slot.pipeline = inst.resultName();
+            runJobWithRetry(runner, inst, slot, token,
+                            opts.maxAttempts, opts.retryBackoffMs);
+            std::fprintf(stderr, "  %s/%s done\n",
+                         slot.workload.c_str(),
+                         slot.pipeline.c_str());
+        },
+        policy, &token);
+
+    for (std::size_t i = 0; i < failures.size(); ++i) {
+        if (failures[i].ok())
+            continue;
+        // Fail-fast skips before the slot's identity was filled in.
         JobResult &slot = report.results[i];
-        const sim::PipelineInstance &inst = spec.pipelines[i % per];
-        slot.workload = spec.workloads[i / per];
-        slot.pipeline = inst.resultName();
-        slot.stats = runner.run(inst, slot.workload);
-        std::fprintf(stderr, "  %s/%s done\n", slot.workload.c_str(),
-                     slot.pipeline.c_str());
-    });
+        if (slot.workload.empty()) {
+            slot.workload = spec.workloads[i / per];
+            slot.pipeline = spec.pipelines[i % per].resultName();
+        }
+        recordFailure(slot, failures[i]);
+        ++report.failedJobs;
+    }
 
     // Metric derivation is sequential: baselines are cached by now
-    // and the division is trivial.
-    for (auto &r : report.results)
-        for (const auto &m : spec.metrics)
-            r.metrics.emplace_back(
-                m, computeMetric(runner, m, r.workload, r.stats));
+    // and the division is trivial. Still fault-isolated per job — a
+    // metric that needs an uncomputable baseline fails that job, not
+    // the run.
+    for (auto &r : report.results) {
+        if (!r.ok)
+            continue;
+        try {
+            for (const auto &m : spec.metrics)
+                r.metrics.emplace_back(
+                    m, computeMetric(runner, m, r.workload, r.stats));
+        } catch (...) {
+            sim::SweepEngine::JobFailure f;
+            f.error = std::current_exception();
+            recordFailure(r, f);
+            ++report.failedJobs;
+        }
+    }
 
     auto elapsed = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - start);

@@ -34,6 +34,20 @@ struct DriverOptions
     std::size_t records = kNoRecords;   ///< kNoRecords = spec value
     int traceCache = -1;                ///< -1 spec, 0 off, 1 on
     std::string traceCacheDir;          ///< empty = default dir
+
+    /** -1 spec value, 0 fail-fast, 1 keep-going (--keep-going). */
+    int keepGoing = -1;
+
+    /**
+     * Per-job simulation attempts: a job failing with a *transient*
+     * error class (isTransientError — trace I/O, cache lock) is
+     * retried with backoff up to this many total tries. Permanent
+     * errors never retry.
+     */
+    unsigned maxAttempts = 2;
+
+    /** Base backoff before retry k is k * this (0 in tests). */
+    unsigned retryBackoffMs = 50;
 };
 
 /** Everything a run produced, for callers beyond the sinks. */
@@ -42,6 +56,12 @@ struct ExperimentReport
     RunMeta meta;
     std::vector<JobResult> results; ///< workload-major spec order
     bool sinksOk = true; ///< every sink wrote its output successfully
+
+    /** Jobs that failed or were skipped by fail-fast. */
+    std::size_t failedJobs = 0;
+
+    /** True when every job completed and every sink wrote. */
+    bool ok() const { return failedJobs == 0 && sinksOk; }
 };
 
 /**
@@ -65,6 +85,9 @@ class ExperimentDriver
 
     /** Whether the on-disk trace cache will be consulted. */
     bool traceCacheEnabled() const;
+
+    /** Failure policy after overrides (true = keep going). */
+    bool keepGoingEnabled() const;
 
     /**
      * Expand, execute, and deliver to sinks. Results are

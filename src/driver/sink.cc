@@ -51,6 +51,7 @@ class TableSink : public Sink
                     static_cast<unsigned long long>(meta.specHash));
         for (const auto &metric : spec.metrics)
             printMetric(spec, metric);
+        printFailures();
         std::printf("wall-clock: %.2f s\n", meta.wallSeconds);
         return true;
     }
@@ -81,8 +82,16 @@ class TableSink : public Sink
         for (const auto &w : spec.workloads) {
             std::vector<std::string> row{w};
             for (std::size_t i = 0; i < spec.pipelines.size(); ++i) {
-                double v = metricValue(
-                    at(w, spec.pipelines[i].resultName()), metric);
+                const JobResult &r =
+                    at(w, spec.pipelines[i].resultName());
+                if (!r.ok) {
+                    // A failed job renders as a marked cell and stays
+                    // out of the geomean: the partial table reports
+                    // every number that was actually computed.
+                    row.push_back("FAILED");
+                    continue;
+                }
+                double v = metricValue(r, metric);
                 row.push_back(stats::Table::fmt(v));
                 if (v > 0.0)
                     cols[i].push_back(v);
@@ -95,6 +104,31 @@ class TableSink : public Sink
         table.addRow(std::move(geo));
         std::printf("%s\n%s\n", metricDisplayName(metric).c_str(),
                     table.render().c_str());
+    }
+
+    /** Printed only when failures exist: no-failure output is
+     *  byte-identical to the pre-failure-handling renderer. */
+    void
+    printFailures() const
+    {
+        std::size_t failed = 0;
+        for (const auto &r : results)
+            if (!r.ok)
+                ++failed;
+        if (failed == 0)
+            return;
+        std::printf("failures: %zu of %zu job%s\n", failed,
+                    results.size(), results.size() == 1 ? "" : "s");
+        for (const auto &r : results) {
+            if (r.ok)
+                continue;
+            // errorMessage self-describes (recordFailure guarantees
+            // the code-name prefix), so no code column here.
+            std::printf("  %s/%s: %s (attempts=%u)\n",
+                        r.workload.c_str(), r.pipeline.c_str(),
+                        r.errorMessage.c_str(), r.attempts);
+        }
+        std::printf("\n");
     }
 };
 
@@ -138,6 +172,18 @@ class JsonFileSink : public Sink
             metrics.set(name, json::Value(value));
         o.set("metrics", std::move(metrics));
         o.set("stats", statsToJson(r.stats));
+        // The "error" key exists only on failed rows, so a fully
+        // successful document stays byte-identical to the
+        // pre-failure-handling schema.
+        if (!r.ok) {
+            ++failedCount;
+            json::Value err = json::Value::makeObject();
+            err.set("code", json::Value(errorCodeName(r.errorCode)));
+            err.set("message", json::Value(r.errorMessage));
+            err.set("attempts",
+                    json::Value(static_cast<double>(r.attempts)));
+            o.set("error", std::move(err));
+        }
         rows.push(std::move(o));
     }
 
@@ -160,6 +206,9 @@ class JsonFileSink : public Sink
         cache.set("misses", json::Value(meta.traceCacheMisses));
         root.set("trace_cache", std::move(cache));
         root.set("spec", spec.toJson());
+        if (failedCount > 0)
+            root.set("failed_jobs",
+                     json::Value(static_cast<double>(failedCount)));
         root.set("results", std::move(rows));
 
         std::ofstream out(path, std::ios::binary);
@@ -182,9 +231,17 @@ class JsonFileSink : public Sink
   private:
     std::string path;
     json::Value rows = json::Value::makeArray();
+    std::size_t failedCount = 0;
 };
 
-/** One CSV row per (workload, pipeline). */
+/**
+ * One CSV row per (workload, pipeline). Rows are buffered and
+ * rendered in finish(): the header comes from the spec's metric list
+ * (not the first row, which may have failed and carry no metrics),
+ * and a trailing "error" column is appended only when at least one
+ * job failed — a fully successful file is byte-identical to the
+ * pre-failure-handling format.
+ */
 class CsvFileSink : public Sink
 {
   public:
@@ -193,45 +250,64 @@ class CsvFileSink : public Sink
     void
     result(const JobResult &r) override
     {
-        if (lines.empty()) {
-            std::string hdr = "workload,pipeline";
-            for (const auto &[name, value] : r.metrics) {
-                (void)value;
-                hdr += "," + name;
-            }
-            // stats_ prefix keeps these distinct from a requested
-            // "ipc" metric column.
-            hdr += ",stats_ipc,stats_cycles,stats_l2_demand_misses,"
-                   "stats_dram_reads,stats_dram_writes";
-            lines.push_back(std::move(hdr));
-        }
-        char buf[64];
-        std::string line = r.workload + "," + r.pipeline;
-        for (const auto &[name, value] : r.metrics) {
-            (void)name;
-            std::snprintf(buf, sizeof(buf), ",%.17g", value);
-            line += buf;
-        }
-        std::snprintf(buf, sizeof(buf), ",%.17g", r.stats.ipc);
-        line += buf;
-        line += "," + std::to_string(r.stats.cycles);
-        line += "," + std::to_string(r.stats.l2DemandMisses);
-        line += "," + std::to_string(r.stats.dramReads);
-        line += "," + std::to_string(r.stats.dramWrites);
-        lines.push_back(std::move(line));
+        results.push_back(r);
     }
 
     bool
-    finish(const ExperimentSpec &, const RunMeta &) override
+    finish(const ExperimentSpec &spec, const RunMeta &) override
     {
+        bool any_failed = false;
+        for (const auto &r : results)
+            if (!r.ok)
+                any_failed = true;
+
         std::ofstream out(path, std::ios::binary);
         if (!out) {
             std::fprintf(stderr, "csv sink: cannot write %s\n",
                          path.c_str());
             return false;
         }
-        for (const auto &line : lines)
+
+        std::string hdr = "workload,pipeline";
+        for (const auto &name : spec.metrics)
+            hdr += "," + name;
+        // stats_ prefix keeps these distinct from a requested
+        // "ipc" metric column.
+        hdr += ",stats_ipc,stats_cycles,stats_l2_demand_misses,"
+               "stats_dram_reads,stats_dram_writes";
+        if (any_failed)
+            hdr += ",error";
+        out << hdr << "\n";
+
+        char buf[64];
+        for (const auto &r : results) {
+            std::string line = r.workload + "," + r.pipeline;
+            if (r.ok) {
+                for (const auto &[name, value] : r.metrics) {
+                    (void)name;
+                    std::snprintf(buf, sizeof(buf), ",%.17g", value);
+                    line += buf;
+                }
+                std::snprintf(buf, sizeof(buf), ",%.17g",
+                              r.stats.ipc);
+                line += buf;
+                line += "," + std::to_string(r.stats.cycles);
+                line += "," + std::to_string(r.stats.l2DemandMisses);
+                line += "," + std::to_string(r.stats.dramReads);
+                line += "," + std::to_string(r.stats.dramWrites);
+                if (any_failed)
+                    line += ",";
+            } else {
+                // Metric and stats cells stay empty — an empty cell
+                // cannot be mistaken for a measured zero.
+                for (std::size_t i = 0;
+                     i < spec.metrics.size() + 5; ++i)
+                    line += ",";
+                line += ",";
+                line += csvQuote(r.errorMessage);
+            }
             out << line << "\n";
+        }
         out.flush();
         if (!out) {
             std::fprintf(stderr, "csv sink: write to %s failed\n",
@@ -244,7 +320,20 @@ class CsvFileSink : public Sink
 
   private:
     std::string path;
-    std::vector<std::string> lines;
+    std::vector<JobResult> results;
+
+    static std::string
+    csvQuote(const std::string &s)
+    {
+        std::string q = "\"";
+        for (char c : s) {
+            if (c == '"')
+                q += '"';
+            q += c;
+        }
+        q += '"';
+        return q;
+    }
 };
 
 } // anonymous namespace

@@ -40,14 +40,25 @@ struct RunMeta
     std::uint64_t traceCacheMisses = 0;
 };
 
-/** One completed (workload, pipeline) job with derived metrics. */
+/** One (workload, pipeline) job: its stats, or why it failed. */
 struct JobResult
 {
     std::string workload;
     std::string pipeline;
-    sim::RunStats stats;
-    /** (metric name, value) in the spec's metric order. */
+    sim::RunStats stats; ///< zeroed when !ok
+    /** (metric name, value) in the spec's metric order; empty on
+     *  failure. */
     std::vector<std::pair<std::string, double>> metrics;
+
+    /** False when the job failed (or was skipped by fail-fast). */
+    bool ok = true;
+
+    /** Failure classification (Ok when the job succeeded). */
+    ErrorCode errorCode = ErrorCode::Ok;
+    std::string errorMessage;
+
+    /** Simulation attempts (> 1 after transient-error retries). */
+    unsigned attempts = 1;
 };
 
 /** A result consumer. result() calls arrive in spec order. */

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/checksum.hh"
 #include "workloads/registry.hh"
 
 namespace prophet::driver
@@ -319,7 +320,7 @@ ExperimentSpec::fromJson(const json::Value &root)
                       {"name", "report", "workloads", "pipelines",
                        "sweep", "metrics", "records", "threads", "l1",
                        "dram_channels", "warmup_records",
-                       "trace_cache", "sinks"},
+                       "trace_cache", "keep_going", "sinks"},
                       "spec");
 
     ExperimentSpec spec;
@@ -420,6 +421,11 @@ ExperimentSpec::fromJson(const json::Value &root)
             specFail("\"trace_cache\" must be a boolean");
         spec.traceCache = v->asBool();
     }
+    if (const json::Value *v = root.find("keep_going")) {
+        if (!v->isBool())
+            specFail("\"keep_going\" must be a boolean");
+        spec.keepGoing = v->asBool();
+    }
     if (const json::Value *v = root.find("sinks")) {
         if (!v->isArray())
             specFail("\"sinks\" must be an array");
@@ -472,6 +478,11 @@ ExperimentSpec::toJson() const
     if (warmupRecords != kWarmupDefault)
         root.set("warmup_records", json::Value(warmupRecords));
     root.set("trace_cache", json::Value(traceCache));
+    // Emitted only when set: the default leaves the canonical form
+    // (and thus hash() and archived spec dumps) byte-identical to
+    // pre-keep_going documents.
+    if (keepGoing)
+        root.set("keep_going", json::Value(true));
     json::Value sink_arr = json::Value::makeArray();
     for (const auto &s : sinks) {
         json::Value obj = json::Value::makeObject();
@@ -491,14 +502,9 @@ namespace
 {
 
 std::uint64_t
-fnv1a64(const std::string &text)
+hashDump(const std::string &text)
 {
-    std::uint64_t h = 1469598103934665603ull;
-    for (unsigned char c : text) {
-        h ^= c;
-        h *= 1099511628211ull;
-    }
-    return h;
+    return fnv1a64(text.data(), text.size());
 }
 
 } // anonymous namespace
@@ -509,7 +515,7 @@ ExperimentSpec::hash() const
     // FNV-1a 64 over the canonical compact dump: two spec files that
     // expand to the same experiment hash identically, regardless of
     // aliases, comments or formatting.
-    return fnv1a64(json::dump(toJson()));
+    return hashDump(json::dump(toJson()));
 }
 
 std::uint64_t
@@ -533,7 +539,7 @@ ExperimentSpec::resultHash(std::size_t effective_records) const
              json::Value(static_cast<double>(dramChannels)));
     if (warmupRecords != kWarmupDefault)
         root.set("warmup_records", json::Value(warmupRecords));
-    return fnv1a64(json::dump(root));
+    return hashDump(json::dump(root));
 }
 
 sim::SystemConfig

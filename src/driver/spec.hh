@@ -47,10 +47,10 @@
 #define PROPHET_DRIVER_SPEC_HH
 
 #include <cstdint>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "driver/json.hh"
 #include "sim/pipelines.hh"
 #include "sim/system_config.hh"
@@ -58,11 +58,18 @@
 namespace prophet::driver
 {
 
-/** A malformed or invalid experiment spec. */
-class SpecError : public std::runtime_error
+/**
+ * A malformed or invalid experiment spec. Part of the prophet::Error
+ * taxonomy (code SpecParse), so the CLI maps it onto the documented
+ * spec-error exit code without string matching.
+ */
+class SpecError : public Error
 {
   public:
-    using std::runtime_error::runtime_error;
+    explicit SpecError(const std::string &message,
+                       ErrorContext ctx = {})
+        : Error(ErrorCode::SpecParse, message, std::move(ctx))
+    {}
 };
 
 /** One output sink request. */
@@ -91,6 +98,16 @@ struct ExperimentSpec
     unsigned dramChannels = 1;
     std::size_t warmupRecords = kWarmupDefault;
     bool traceCache = true;
+
+    /**
+     * Failure policy: true runs every job even after one fails (the
+     * partial table marks failed cells and the CLI exits with the
+     * partial-failure code); false (default) fails fast, cancelling
+     * in-flight jobs. Excluded from resultHash — the policy cannot
+     * change any number a completed job reports.
+     */
+    bool keepGoing = false;
+
     std::vector<SinkSpec> sinks; ///< empty = one table sink
 
     /** Sentinel: keep SystemConfig::table1()'s warmup. */

@@ -18,10 +18,10 @@
 
 #include <functional>
 #include <map>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "sim/system.hh"
 
 namespace prophet::sim
@@ -29,11 +29,18 @@ namespace prophet::sim
 
 class Runner;
 
-/** An unknown pipeline, unknown parameter, or ill-typed value. */
-class PipelineError : public std::runtime_error
+/**
+ * An unknown pipeline, unknown parameter, or ill-typed value. Part
+ * of the prophet::Error taxonomy (code PipelineConfig), so the
+ * driver and CLI classify it without string matching.
+ */
+class PipelineError : public Error
 {
   public:
-    using std::runtime_error::runtime_error;
+    explicit PipelineError(const std::string &message,
+                           ErrorContext ctx = {})
+        : Error(ErrorCode::PipelineConfig, message, std::move(ctx))
+    {}
 };
 
 /** A typed pipeline-parameter value. */

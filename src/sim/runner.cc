@@ -19,6 +19,13 @@ Runner::setTraceCache(std::shared_ptr<trace::TraceCache> c)
 }
 
 void
+Runner::setCancellation(const CancellationToken *token)
+{
+    std::lock_guard<std::mutex> lock(cacheMu);
+    cancel = token;
+}
+
+void
 Runner::ensureWorkload(const std::string &workload)
 {
     std::shared_ptr<trace::TraceCache> disk;
@@ -38,8 +45,17 @@ Runner::ensureWorkload(const std::string &workload)
     trace::Trace generated;
     if (!disk || !disk->load(workload, recordsOverride, generated)) {
         generated = gen->generate();
-        if (disk)
-            disk->store(workload, recordsOverride, generated);
+        // A failed store is not a run failure — the freshly generated
+        // trace is in hand — but it means the next run regenerates,
+        // so surface it.
+        if (disk
+            && !disk->store(workload, recordsOverride, generated)) {
+            std::string msg = "trace-cache: store failed for "
+                + workload
+                + " (disk full or I/O error); trace will be "
+                  "regenerated next run";
+            prophet_warn(msg.c_str());
+        }
     }
     auto tr =
         std::make_shared<const trace::Trace>(std::move(generated));
@@ -82,6 +98,11 @@ Runner::runConfig(const std::string &workload, const SystemConfig &cfg)
     // simulates its own System over the shared immutable trace.
     std::shared_ptr<const trace::Trace> tr = traceShared(workload);
     System system(cfg, resolverFor(workload));
+    {
+        std::lock_guard<std::mutex> lock(cacheMu);
+        if (cancel)
+            system.setCancellation(cancel);
+    }
     return system.run(*tr);
 }
 
@@ -131,6 +152,11 @@ Runner::profileWorkload(const std::string &workload)
     SystemConfig cfg = base;
     cfg.l2Pf = L2PfKind::Simplified;
     System system(cfg, resolverFor(workload));
+    {
+        std::lock_guard<std::mutex> lock(cacheMu);
+        if (cancel)
+            system.setCancellation(cancel);
+    }
     system.run(*tr);
     prophet_assert(system.prophet() != nullptr);
     core::ProfileSnapshot snap = system.prophet()->takeSnapshot();

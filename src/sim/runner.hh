@@ -76,6 +76,19 @@ class Runner
     /** The attached trace cache (may be null). */
     trace::TraceCache *traceCache() const { return cache.get(); }
 
+    /**
+     * Attach a cancellation token: every System this Runner builds
+     * from here on polls it and aborts with
+     * Error(ErrorCode::Cancelled) once it fires (the sweep driver's
+     * fail-fast policy). nullptr detaches. The token must outlive
+     * the runs; polling an attached-but-idle token is bit-identical
+     * to running without one.
+     */
+    void setCancellation(const CancellationToken *token);
+
+    /** The attached cancellation token (may be null). */
+    const CancellationToken *cancellation() const { return cancel; }
+
     /** The (cached) trace of a workload. */
     const trace::Trace &traceFor(const std::string &workload);
 
@@ -157,6 +170,7 @@ class Runner
     SystemConfig base;
     std::size_t recordsOverride;
     std::shared_ptr<trace::TraceCache> cache; ///< optional
+    const CancellationToken *cancel = nullptr; ///< optional
 
     /**
      * Guards the caches below. Held only around lookups and

@@ -50,6 +50,47 @@ SweepEngine::forEach(std::size_t n,
         std::rethrow_exception(firstError);
 }
 
+std::vector<SweepEngine::JobFailure>
+SweepEngine::tryForEach(std::size_t n,
+                        const std::function<void(std::size_t)> &fn,
+                        FailurePolicy policy,
+                        CancellationToken *token)
+{
+    std::vector<JobFailure> out(n);
+    std::atomic<bool> abort{false};
+
+    auto runOne = [&](std::size_t i) {
+        if (policy == FailurePolicy::FailFast
+            && abort.load(std::memory_order_relaxed)) {
+            out[i].skipped = true;
+            return;
+        }
+        try {
+            fn(i);
+        } catch (...) {
+            // Each slot is written by exactly one job, so no lock is
+            // needed: the pool's wait() publishes every write before
+            // the caller reads the vector.
+            out[i].error = std::current_exception();
+            if (policy == FailurePolicy::FailFast) {
+                abort.store(true, std::memory_order_relaxed);
+                if (token)
+                    token->cancel();
+            }
+        }
+    };
+
+    if (!pool) {
+        for (std::size_t i = 0; i < n; ++i)
+            runOne(i);
+        return out;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        pool->submit([&, i] { runOne(i); });
+    pool->wait();
+    return out;
+}
+
 std::vector<RunStats>
 SweepEngine::runConfigs(const std::vector<SweepJob> &jobs)
 {

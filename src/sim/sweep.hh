@@ -14,12 +14,14 @@
 #ifndef PROPHET_SIM_SWEEP_HH
 #define PROPHET_SIM_SWEEP_HH
 
+#include <exception>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/cancellation.hh"
 #include "sim/runner.hh"
 #include "sim/thread_pool.hh"
 
@@ -64,12 +66,54 @@ class SweepEngine
     /** The underlying runner. */
     Runner &runner() { return runnerRef; }
 
+    /** How tryForEach responds to a failing index. */
+    enum class FailurePolicy
+    {
+        /** Every index runs; failures are collected per index. */
+        KeepGoing,
+
+        /**
+         * The first failure cancels the token (when one is given);
+         * indices not yet started are skipped and reported as
+         * cancelled by the caller's convention (their slot stays
+         * null — distinguish via the skipped flag in the result).
+         */
+        FailFast,
+    };
+
+    /** Per-index outcome of a tryForEach fan-out. */
+    struct JobFailure
+    {
+        /** Null when the index succeeded. */
+        std::exception_ptr error;
+
+        /** True when fail-fast skipped the index before it started. */
+        bool skipped = false;
+
+        bool ok() const { return !error && !skipped; }
+    };
+
     /**
      * Run fn(0..n-1), fanned across the pool. Returns when all
      * indices have completed; rethrows the first job exception.
      */
     void forEach(std::size_t n,
                  const std::function<void(std::size_t)> &fn);
+
+    /**
+     * Fault-isolated fan-out: run fn(0..n-1) and capture each
+     * index's failure instead of rethrowing, so one bad job cannot
+     * take down its siblings. Under FailFast the first failure
+     * cancels @p token (when non-null) — unwinding in-flight
+     * simulations that poll it — and skips indices that have not
+     * started. The returned vector always has n entries, indexed by
+     * job, regardless of completion order.
+     */
+    std::vector<JobFailure>
+    tryForEach(std::size_t n,
+               const std::function<void(std::size_t)> &fn,
+               FailurePolicy policy = FailurePolicy::KeepGoing,
+               CancellationToken *token = nullptr);
 
     /**
      * Run every job and return stats in job order (deterministic

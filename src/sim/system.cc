@@ -1,5 +1,6 @@
 #include "sim/system.hh"
 
+#include "common/error.hh"
 #include "common/log.hh"
 #include "prefetch/ipcp.hh"
 #include "prefetch/stride.hh"
@@ -103,6 +104,16 @@ System::System(const SystemConfig &config,
 System::~System() = default;
 
 void
+System::setCancellation(const CancellationToken *token,
+                        std::size_t interval)
+{
+    cancelToken = token;
+    // Same mask-test idiom as the partition sync: round the interval
+    // to a power of two so the hot-path check stays one AND.
+    cancelMask = normalizePartitionSyncInterval(interval) - 1;
+}
+
+void
 System::syncPartition()
 {
     unsigned ways = l2Pf ? l2Pf->metadataWays() : 0;
@@ -148,6 +159,17 @@ void
 System::stepRecord(PC pc, Addr addr, std::uint16_t inst_gap,
                    bool depends_on_prev, bool is_write)
 {
+    // Cooperative cancellation: a pure read at coarse intervals, so
+    // a token that never fires leaves the run bit-identical — and a
+    // detached token (the common case) costs one predictable branch.
+    if (cancelToken && (recordIndex & cancelMask) == 0
+        && cancelToken->cancelled()) {
+        ErrorContext ctx;
+        ctx.offset = recordIndex;
+        throw Error(ErrorCode::Cancelled,
+                    "simulation cancelled mid-run", std::move(ctx));
+    }
+
     if (!warmed && recordIndex >= warmBoundary) {
         // Warmup boundary: reset the statistics windows.
         hier.resetStats();

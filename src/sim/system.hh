@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/cancellation.hh"
 #include "common/flat_map.hh"
 #include "core/prophet.hh"
 #include "mem/hierarchy.hh"
@@ -113,6 +114,18 @@ class System
 
     ~System();
 
+    /**
+     * Poll @p token every @p interval records (rounded up to a power
+     * of two) and abort the run with Error(ErrorCode::Cancelled) once
+     * it reports cancelled. Polling is side-effect free, so an
+     * attached-but-never-cancelled token leaves every statistic
+     * bit-identical to a run without one (regression-gated in
+     * tests/test_system.cc). nullptr detaches; takes effect at the
+     * next beginRun()/run().
+     */
+    void setCancellation(const CancellationToken *token,
+                         std::size_t interval = 4096);
+
     /** Simulate the trace and return the statistics. */
     RunStats run(const trace::Trace &t);
 
@@ -166,6 +179,12 @@ class System
 
     /** (interval - 1) for the power-of-two partition-sync check. */
     std::size_t syncMask = 0;
+
+    /** Cancellation token to poll; nullptr = no polling at all. */
+    const CancellationToken *cancelToken = nullptr;
+
+    /** (interval - 1) for the power-of-two cancellation poll. */
+    std::size_t cancelMask = 4096 - 1;
 
     std::size_t recordIndex = 0;
     std::size_t warmBoundary = 0;

@@ -1,5 +1,8 @@
 #include "sim/thread_pool.hh"
 
+#include <cstdio>
+#include <exception>
+
 namespace prophet::sim
 {
 
@@ -66,11 +69,21 @@ ThreadPool::workerLoop()
         }
         try {
             job();
-        } catch (...) {
+        } catch (const std::exception &e) {
             // A throwing job must not kill the worker (std::terminate)
             // or leak inFlight and hang wait(). Callers that care
             // about failures capture them inside the closure, as
-            // SweepEngine::forEach does.
+            // SweepEngine::forEach does — so an exception reaching
+            // here is a caller bug, worth a trace and a counter
+            // instead of silence.
+            swallowed.fetch_add(1, std::memory_order_relaxed);
+            std::fprintf(stderr,
+                         "thread-pool: job leaked exception: %s\n",
+                         e.what());
+        } catch (...) {
+            swallowed.fetch_add(1, std::memory_order_relaxed);
+            std::fprintf(stderr,
+                         "thread-pool: job leaked non-std exception\n");
         }
         {
             std::lock_guard<std::mutex> lock(mu);

@@ -9,8 +9,10 @@
 #ifndef PROPHET_SIM_THREAD_POOL_HH
 #define PROPHET_SIM_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -41,15 +43,25 @@ class ThreadPool
     ThreadPool &operator=(const ThreadPool &) = delete;
 
     /**
-     * Enqueue a job. Safe to call from worker threads. Exceptions
-     * escaping the job are swallowed (the pool stays healthy and
-     * wait() still returns); capture failures inside the closure if
-     * they matter, as SweepEngine::forEach does.
+     * Enqueue a job. Safe to call from worker threads. An exception
+     * escaping the job cannot kill the worker: it is logged to
+     * stderr, counted (swallowedExceptions()), and dropped so the
+     * pool stays healthy and wait() still returns. Callers that need
+     * the failure itself must capture it inside the closure, as
+     * SweepEngine::forEach does — a nonzero swallowed count therefore
+     * indicates a caller bug, not an expected path.
      */
     void submit(std::function<void()> job);
 
     /** Block until all submitted jobs have completed. */
     void wait();
+
+    /** Exceptions that escaped jobs and were logged + dropped. */
+    std::uint64_t
+    swallowedExceptions() const
+    {
+        return swallowed.load(std::memory_order_relaxed);
+    }
 
     /** Number of worker threads. */
     unsigned threadCount() const
@@ -68,6 +80,7 @@ class ThreadPool
     std::condition_variable allDone;
     std::size_t inFlight = 0;
     bool stopping = false;
+    std::atomic<std::uint64_t> swallowed{0};
 
     void workerLoop();
 };

@@ -7,10 +7,20 @@
  * one is attached; the `prophet trace-cache` CLI subcommands manage
  * the directory.
  *
- * Robustness: stores write to a temp file and rename into place, so
- * a crashed writer never leaves a half-written entry under the final
- * name; loads of corrupt or truncated files fail cleanly and the
- * caller regenerates (and overwrites the bad entry).
+ * Robustness:
+ *  - stores write to a temp file and rename into place, so a crashed
+ *    writer never leaves a half-written entry under the final name;
+ *  - an flock(2)-based lock file (".lock") serializes writers across
+ *    processes sharing the directory (advisory, auto-released on
+ *    process death — no stale-lock recovery needed);
+ *  - entries are stored in the checksummed v3 format and verified on
+ *    load; a damaged entry (bad header, truncation, checksum
+ *    mismatch) is *quarantined* — renamed to "<entry>.corrupt" — so
+ *    the evidence survives for inspection while the caller
+ *    regenerates a good entry under the original name;
+ *  - checksum-failure, quarantine, lock-contention, and
+ *    store-failure counters persist in "cache-counters.txt", so
+ *    `prophet trace-cache stats` reports them across processes.
  */
 
 #ifndef PROPHET_TRACE_TRACE_CACHE_HH
@@ -46,8 +56,33 @@ class TraceCache
         std::uint64_t misses = 0;
         std::uint64_t stores = 0;
 
-        /** v1 entries transparently rewritten as v2 on load. */
+        /** Legacy (v1/v2) entries rewritten as v3 on load. */
         std::uint64_t upgrades = 0;
+
+        /** Entries whose v3 array checksum failed verification. */
+        std::uint64_t checksumFailures = 0;
+
+        /** Damaged entries renamed to "<entry>.corrupt". */
+        std::uint64_t quarantines = 0;
+
+        /** Times the writer lock was held by someone else. */
+        std::uint64_t lockContention = 0;
+
+        /** Failed stores (I/O error, ENOSPC, injected faults). */
+        std::uint64_t storeFailures = 0;
+    };
+
+    /**
+     * The durable counter subset, accumulated across processes in
+     * "cache-counters.txt" (best-effort: a read-only directory
+     * simply stops accumulating).
+     */
+    struct PersistentCounters
+    {
+        std::uint64_t checksumFailures = 0;
+        std::uint64_t quarantines = 0;
+        std::uint64_t lockContention = 0;
+        std::uint64_t storeFailures = 0;
     };
 
     /** One cached file, for `trace-cache stats`. */
@@ -83,16 +118,24 @@ class TraceCache
 
     /**
      * Load a cached trace. Returns false (and leaves @p out empty)
-     * on miss or on a corrupt/truncated file; never throws. A hit is
+     * on miss or on a damaged file; never throws. A damaged entry is
+     * quarantined (renamed to "<entry>.corrupt") so the next run
+     * regenerates it while the bad bytes stay inspectable. A hit is
      * logged to stderr so cache effectiveness is observable without
-     * changing stdout. A hit on a legacy v1 entry is transparently
-     * repaired: the loaded trace is re-stored in the current (v2)
-     * bulk format, so old cache directories upgrade in place.
+     * changing stdout. A hit on a legacy v1/v2 entry is
+     * transparently repaired: the loaded trace is re-stored in the
+     * current checksummed (v3) format, so old cache directories
+     * upgrade in place.
      */
     bool load(const std::string &workload, std::size_t records,
               Trace &out);
 
-    /** Store a trace, atomically (temp file + rename). */
+    /**
+     * Store a trace atomically (temp file + rename) while holding
+     * the cross-process writer lock. Fault point "cache.store"
+     * simulates an out-of-space store; a failed store never leaves a
+     * partial entry under the final name.
+     */
     bool store(const std::string &workload, std::size_t records,
                const Trace &t);
 
@@ -102,13 +145,23 @@ class TraceCache
     /** The cached files, sorted by name. */
     std::vector<Entry> entries() const;
 
-    /** Counter snapshot. */
+    /** Quarantined "<entry>.corrupt" files, sorted by name. */
+    std::vector<Entry> quarantined() const;
+
+    /** Counter snapshot (this instance). */
     Stats stats() const;
+
+    /** The durable counters accumulated in the cache directory. */
+    PersistentCounters persistentCounters() const;
 
   private:
     std::string dirPath;
     mutable std::mutex mu;
     Stats counters;
+
+    void quarantineEntry(const std::string &file, bool checksum);
+    void bumpPersistent(std::uint64_t PersistentCounters::*field,
+                        std::uint64_t delta = 1);
 };
 
 } // namespace prophet::trace

@@ -7,6 +7,9 @@
 #include <memory>
 #include <vector>
 
+#include "common/checksum.hh"
+#include "common/fault_injection.hh"
+
 namespace prophet::trace
 {
 
@@ -15,8 +18,12 @@ namespace
 
 constexpr char kMagic[4] = {'P', 'T', 'R', 'C'};
 
-/** Bytes before the payload in both formats. */
+/** Bytes before the payload in the v1/v2 formats. */
 constexpr long kHeaderBytes = 16;
+
+/** v3 adds three u64 array checksums after the common header. */
+constexpr long kV3HeaderBytes =
+    kHeaderBytes + 3 * static_cast<long>(sizeof(std::uint64_t));
 
 /** Packed v1 on-disk record (fixed layout, little-endian hosts). */
 struct PackedRecord
@@ -29,8 +36,8 @@ struct PackedRecord
     // + 2 trailing padding bytes to the 8-byte alignment
 };
 
-/** Per-record payload bytes of the v2 SoA format. */
-constexpr std::uint64_t kV2RecordBytes =
+/** Per-record payload bytes of the v2/v3 SoA formats. */
+constexpr std::uint64_t kSoaRecordBytes =
     sizeof(std::uint64_t) * 2 + sizeof(std::uint32_t);
 
 struct FileCloser
@@ -44,12 +51,35 @@ struct FileCloser
 
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
+/**
+ * The named fault points: injectedFread/injectedFwrite behave
+ * exactly like a short read/write at the call site, so the recovery
+ * paths under test are the real ones, not simulated copies.
+ */
+std::size_t
+injectedFread(void *dst, std::size_t size, std::size_t n,
+              std::FILE *f)
+{
+    if (fault::shouldFail("trace_io.fread"))
+        return 0;
+    return std::fread(dst, size, n, f);
+}
+
+std::size_t
+injectedFwrite(const void *src, std::size_t size, std::size_t n,
+               std::FILE *f)
+{
+    if (fault::shouldFail("trace_io.fwrite"))
+        return 0; // simulated ENOSPC: nothing written
+    return std::fwrite(src, size, n, f);
+}
+
 bool
 writeHeader(std::FILE *f, std::uint32_t version, std::uint64_t count)
 {
-    return std::fwrite(kMagic, 1, 4, f) == 4
-        && std::fwrite(&version, sizeof(version), 1, f) == 1
-        && std::fwrite(&count, sizeof(count), 1, f) == 1;
+    return injectedFwrite(kMagic, 1, 4, f) == 4
+        && injectedFwrite(&version, sizeof(version), 1, f) == 1
+        && injectedFwrite(&count, sizeof(count), 1, f) == 1;
 }
 
 /**
@@ -59,53 +89,94 @@ writeHeader(std::FILE *f, std::uint32_t version, std::uint64_t count)
  * Leaves the file position at the start of the payload.
  */
 bool
-payloadRecords(std::FILE *f, std::uint64_t record_bytes,
-               std::uint64_t &max_records)
+payloadRecords(std::FILE *f, long header_bytes,
+               std::uint64_t record_bytes, std::uint64_t &max_records)
 {
     if (std::fseek(f, 0, SEEK_END) != 0)
         return false;
     long file_size = std::ftell(f);
-    if (file_size < kHeaderBytes
-        || std::fseek(f, kHeaderBytes, SEEK_SET) != 0)
+    if (file_size < header_bytes
+        || std::fseek(f, header_bytes, SEEK_SET) != 0)
         return false;
     max_records =
-        static_cast<std::uint64_t>(file_size - kHeaderBytes)
+        static_cast<std::uint64_t>(file_size - header_bytes)
         / record_bytes;
     return true;
 }
 
-bool
-loadV2(Trace &out, std::FILE *f, std::uint64_t count)
+/**
+ * Shared v2/v3 SoA payload reader. For v3, @p checksums holds the
+ * three header checksums and each array is verified after the bulk
+ * read; a mismatch reports ChecksumMismatch at the offending
+ * array's offset.
+ */
+void
+loadSoa(Trace &out, std::FILE *f, std::uint64_t count,
+        long header_bytes, const std::uint64_t *checksums,
+        LoadReport &report)
 {
     std::uint64_t max_records = 0;
-    if (!payloadRecords(f, kV2RecordBytes, max_records)
-        || count > max_records)
-        return false;
+    if (!payloadRecords(f, header_bytes, kSoaRecordBytes,
+                        max_records)) {
+        report.status = LoadStatus::Truncated;
+        return;
+    }
+    if (count > max_records) {
+        report.status = LoadStatus::Truncated;
+        report.offset = static_cast<std::uint64_t>(header_bytes);
+        return;
+    }
     // BulkVector sizing leaves the elements uninitialized: fread is
     // the first touch of every page, not a value-init memset.
     Trace::BulkVector<PC> pcs(count);
     Trace::BulkVector<Addr> addrs(count);
     Trace::BulkVector<std::uint32_t> metas(count);
-    if (count > 0) {
-        if (std::fread(pcs.data(), sizeof(PC), count, f) != count)
-            return false;
-        if (std::fread(addrs.data(), sizeof(Addr), count, f) != count)
-            return false;
-        if (std::fread(metas.data(), sizeof(std::uint32_t), count, f)
-            != count)
-            return false;
+    struct ArrayDesc
+    {
+        void *data;
+        std::size_t elemSize;
+    };
+    const ArrayDesc arrays[3] = {
+        {pcs.data(), sizeof(PC)},
+        {addrs.data(), sizeof(Addr)},
+        {metas.data(), sizeof(std::uint32_t)},
+    };
+    std::uint64_t offset = static_cast<std::uint64_t>(header_bytes);
+    for (int a = 0; a < 3; ++a) {
+        if (count > 0
+            && injectedFread(arrays[a].data, arrays[a].elemSize,
+                             count, f)
+                != count) {
+            report.status = LoadStatus::ReadFail;
+            report.offset = offset;
+            return;
+        }
+        if (checksums) {
+            std::uint64_t sum = fnv1a64(
+                arrays[a].data, arrays[a].elemSize * count);
+            if (sum != checksums[a]) {
+                report.status = LoadStatus::ChecksumMismatch;
+                report.offset = offset;
+                return;
+            }
+        }
+        offset += arrays[a].elemSize * count;
     }
     out.adopt(std::move(pcs), std::move(addrs), std::move(metas));
-    return true;
+    report.status = LoadStatus::Ok;
 }
 
-bool
-loadV1(Trace &out, std::FILE *f, std::uint64_t count)
+void
+loadV1(Trace &out, std::FILE *f, std::uint64_t count,
+       LoadReport &report)
 {
     std::uint64_t max_records = 0;
-    if (!payloadRecords(f, sizeof(PackedRecord), max_records)
-        || count > max_records)
-        return false;
+    if (!payloadRecords(f, kHeaderBytes, sizeof(PackedRecord),
+                        max_records)
+        || count > max_records) {
+        report.status = LoadStatus::Truncated;
+        return;
+    }
     out.reserve(count);
     // Bulk-read in chunks: the dominant cost of the old loader was
     // one fread call per record.
@@ -116,9 +187,13 @@ loadV1(Trace &out, std::FILE *f, std::uint64_t count)
     while (done < count) {
         std::size_t want = static_cast<std::size_t>(
             std::min<std::uint64_t>(count - done, kChunk));
-        if (std::fread(buf.data(), sizeof(PackedRecord), want, f)
-            != want)
-            return false;
+        if (injectedFread(buf.data(), sizeof(PackedRecord), want, f)
+            != want) {
+            report.status = LoadStatus::ReadFail;
+            report.offset = static_cast<std::uint64_t>(kHeaderBytes)
+                + done * sizeof(PackedRecord);
+            return;
+        }
         for (std::size_t i = 0; i < want; ++i) {
             const PackedRecord &p = buf[i];
             out.append(p.pc, p.addr, p.instGap, p.flags & 1,
@@ -126,32 +201,77 @@ loadV1(Trace &out, std::FILE *f, std::uint64_t count)
         }
         done += want;
     }
-    return true;
+    report.status = LoadStatus::Ok;
 }
 
-} // anonymous namespace
-
 bool
-saveBinary(const Trace &t, const std::string &path)
+saveSoa(const Trace &t, const std::string &path,
+        std::uint32_t version)
 {
     FilePtr f(std::fopen(path.c_str(), "wb"));
     if (!f)
         return false;
     const std::uint64_t count = t.size();
-    if (!writeHeader(f.get(), kTraceFormatV2, count))
+    if (!writeHeader(f.get(), version, count))
         return false;
+    if (version >= kTraceFormatV3) {
+        const std::uint64_t checksums[3] = {
+            fnv1a64(t.pcData(), sizeof(PC) * count),
+            fnv1a64(t.addrData(), sizeof(Addr) * count),
+            fnv1a64(t.metaData(), sizeof(std::uint32_t) * count),
+        };
+        if (injectedFwrite(checksums, sizeof(std::uint64_t), 3,
+                           f.get())
+            != 3)
+            return false;
+    }
     if (count == 0)
         return true;
-    if (std::fwrite(t.pcData(), sizeof(PC), count, f.get()) != count)
-        return false;
-    if (std::fwrite(t.addrData(), sizeof(Addr), count, f.get())
+    if (injectedFwrite(t.pcData(), sizeof(PC), count, f.get())
         != count)
         return false;
-    if (std::fwrite(t.metaData(), sizeof(std::uint32_t), count,
-                    f.get())
+    if (injectedFwrite(t.addrData(), sizeof(Addr), count, f.get())
+        != count)
+        return false;
+    if (injectedFwrite(t.metaData(), sizeof(std::uint32_t), count,
+                       f.get())
         != count)
         return false;
     return true;
+}
+
+} // anonymous namespace
+
+const char *
+loadStatusName(LoadStatus status)
+{
+    switch (status) {
+      case LoadStatus::Ok:
+        return "ok";
+      case LoadStatus::OpenFail:
+        return "open-fail";
+      case LoadStatus::BadHeader:
+        return "bad-header";
+      case LoadStatus::Truncated:
+        return "truncated";
+      case LoadStatus::ReadFail:
+        return "read-fail";
+      case LoadStatus::ChecksumMismatch:
+        return "checksum-mismatch";
+    }
+    return "unknown";
+}
+
+bool
+saveBinary(const Trace &t, const std::string &path)
+{
+    return saveSoa(t, path, kTraceFormatV3);
+}
+
+bool
+saveBinaryV2(const Trace &t, const std::string &path)
+{
+    return saveSoa(t, path, kTraceFormatV2);
 }
 
 bool
@@ -175,8 +295,60 @@ saveBinaryV1(const Trace &t, const std::string &path)
         p.instGap = rec.instGap;
         p.flags = static_cast<std::uint8_t>(
             (rec.dependsOnPrev ? 1 : 0) | (rec.isWrite ? 2 : 0));
-        if (std::fwrite(&p, sizeof(p), 1, f.get()) != 1)
+        if (injectedFwrite(&p, sizeof(p), 1, f.get()) != 1)
             return false;
+    }
+    return true;
+}
+
+bool
+loadBinary(Trace &out, const std::string &path, LoadReport &report)
+{
+    out = Trace{};
+    report = LoadReport{};
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f) {
+        report.status = LoadStatus::OpenFail;
+        return false;
+    }
+    // Header reads stay on plain fread: the "trace_io.fread" fault
+    // point covers *payload* reads (a short header is BadHeader
+    // territory, and must not be conflated with a transient I/O
+    // error the caller might retry).
+    char magic[4];
+    std::uint32_t version = 0;
+    std::uint64_t count = 0;
+    if (std::fread(magic, 1, 4, f.get()) != 4
+        || std::memcmp(magic, kMagic, 4) != 0
+        || std::fread(&version, sizeof(version), 1, f.get()) != 1
+        || std::fread(&count, sizeof(count), 1, f.get()) != 1) {
+        report.status = LoadStatus::BadHeader;
+        report.offset = 0;
+        return false;
+    }
+    report.version = version;
+
+    if (version == kTraceFormatV3) {
+        std::uint64_t checksums[3];
+        if (std::fread(checksums, sizeof(std::uint64_t), 3, f.get())
+            != 3) {
+            report.status = LoadStatus::BadHeader;
+            report.offset = static_cast<std::uint64_t>(kHeaderBytes);
+        } else {
+            loadSoa(out, f.get(), count, kV3HeaderBytes, checksums,
+                    report);
+        }
+    } else if (version == kTraceFormatV2) {
+        loadSoa(out, f.get(), count, kHeaderBytes, nullptr, report);
+    } else if (version == kTraceFormatV1) {
+        loadV1(out, f.get(), count, report);
+    } else {
+        report.status = LoadStatus::BadHeader;
+        report.offset = 4; // the version field
+    }
+    if (!report.ok()) {
+        out = Trace{};
+        return false;
     }
     return true;
 }
@@ -185,32 +357,11 @@ bool
 loadBinary(Trace &out, const std::string &path,
            std::uint32_t *version_out)
 {
-    out = Trace{};
-    FilePtr f(std::fopen(path.c_str(), "rb"));
-    if (!f)
+    LoadReport report;
+    if (!loadBinary(out, path, report))
         return false;
-    char magic[4];
-    std::uint32_t version = 0;
-    std::uint64_t count = 0;
-    if (std::fread(magic, 1, 4, f.get()) != 4
-        || std::memcmp(magic, kMagic, 4) != 0)
-        return false;
-    if (std::fread(&version, sizeof(version), 1, f.get()) != 1)
-        return false;
-    if (std::fread(&count, sizeof(count), 1, f.get()) != 1)
-        return false;
-
-    bool ok = false;
-    if (version == kTraceFormatV2)
-        ok = loadV2(out, f.get(), count);
-    else if (version == kTraceFormatV1)
-        ok = loadV1(out, f.get(), count);
-    if (!ok) {
-        out = Trace{};
-        return false;
-    }
     if (version_out)
-        *version_out = version;
+        *version_out = report.version;
     return true;
 }
 

@@ -14,6 +14,8 @@
 #include <sstream>
 #include <unistd.h>
 
+#include "common/error.hh"
+#include "common/fault_injection.hh"
 #include "driver/driver.hh"
 #include "driver/json.hh"
 #include "sim/runner.hh"
@@ -255,6 +257,124 @@ TEST_F(DriverTest, CsvSinkWritesOneRowPerJob)
               0u);
     EXPECT_EQ(lines[1].rfind("mcf,baseline,", 0), 0u);
     EXPECT_EQ(lines[6].rfind("omnetpp,triage4,", 0), 0u);
+}
+
+TEST_F(DriverTest, KeepGoingIsolatesAnInjectedJobFailure)
+{
+    std::string out_path = dir + "/partial.json";
+    auto spec = smokeSpec(out_path);
+    spec.keepGoing = true;
+
+    fault::reset();
+    fault::arm("job.mcf/triangel", 1); // every attempt, one job
+    ExperimentDriver drv(std::move(spec));
+    EXPECT_TRUE(drv.keepGoingEnabled());
+    auto report = drv.run();
+    fault::reset();
+
+    // The sibling jobs all completed with full metrics; only the
+    // injected one carries an error instead of stats.
+    ASSERT_EQ(report.results.size(), 6u);
+    EXPECT_EQ(report.failedJobs, 1u);
+    EXPECT_FALSE(report.ok());
+    for (const auto &r : report.results) {
+        if (r.workload == "mcf" && r.pipeline == "triangel") {
+            EXPECT_FALSE(r.ok);
+            EXPECT_EQ(r.errorCode, ErrorCode::FaultInjected);
+            EXPECT_NE(r.errorMessage.find("injected job failure"),
+                      std::string::npos);
+            EXPECT_TRUE(r.metrics.empty());
+            // FaultInjected is permanent: no retry burned.
+            EXPECT_EQ(r.attempts, 1u);
+        } else {
+            EXPECT_TRUE(r.ok) << r.workload << "/" << r.pipeline;
+            EXPECT_EQ(r.metrics.size(), 3u);
+            EXPECT_GT(r.stats.ipc, 0.0);
+        }
+    }
+
+    // The JSON sink renders the partial run: a failed_jobs count at
+    // the root and an error object on exactly the failed row.
+    auto doc = readJson(out_path);
+    EXPECT_EQ(doc.find("failed_jobs")->asNumber(), 1.0);
+    const auto &rows = doc.find("results")->asArray();
+    ASSERT_EQ(rows.size(), 6u);
+    std::size_t errored = 0;
+    for (const auto &row : rows) {
+        const json::Value *err = row.find("error");
+        if (!err)
+            continue;
+        ++errored;
+        EXPECT_EQ(row.find("workload")->asString(), "mcf");
+        EXPECT_EQ(row.find("pipeline")->asString(), "triangel");
+        EXPECT_EQ(err->find("code")->asString(), "fault-injected");
+        EXPECT_EQ(err->find("attempts")->asNumber(), 1.0);
+    }
+    EXPECT_EQ(errored, 1u);
+}
+
+TEST_F(DriverTest, TransientFailureIsRetriedToSuccess)
+{
+    std::string out_path = dir + "/retry.json";
+    auto spec = smokeSpec(out_path);
+    spec.keepGoing = true;
+    DriverOptions opts;
+    opts.retryBackoffMs = 0; // keep the test fast
+
+    // Reference run, no faults.
+    auto ref_spec = smokeSpec(dir + "/ref.json");
+    ExperimentDriver ref_drv(std::move(ref_spec));
+    auto ref = ref_drv.run();
+
+    fault::reset();
+    // Fires exactly once: the first attempt fails with a transient
+    // class, the driver's bounded retry clears it.
+    fault::arm("job-transient.mcf/baseline", 1, 1);
+    ExperimentDriver drv(std::move(spec), opts);
+    auto report = drv.run();
+    fault::reset();
+
+    EXPECT_EQ(report.failedJobs, 0u);
+    ASSERT_EQ(report.results.size(), ref.results.size());
+    for (std::size_t i = 0; i < report.results.size(); ++i) {
+        const JobResult &r = report.results[i];
+        EXPECT_TRUE(r.ok);
+        // The retried job reports its attempt count; the result is
+        // bit-identical to the unfaulted run.
+        bool retried =
+            r.workload == "mcf" && r.pipeline == "baseline";
+        EXPECT_EQ(r.attempts, retried ? 2u : 1u)
+            << r.workload << "/" << r.pipeline;
+        EXPECT_EQ(r.stats.ipc, ref.results[i].stats.ipc);
+        EXPECT_EQ(r.stats.cycles, ref.results[i].stats.cycles);
+    }
+}
+
+TEST_F(DriverTest, FailFastSkipsTheRemainingJobs)
+{
+    std::string out_path = dir + "/failfast.json";
+    auto spec = smokeSpec(out_path); // keepGoing defaults to false
+
+    fault::reset();
+    fault::arm("job.mcf/baseline", 1); // the very first job
+    ExperimentDriver drv(std::move(spec));
+    EXPECT_FALSE(drv.keepGoingEnabled());
+    auto report = drv.run();
+    fault::reset();
+
+    // Single-threaded fail-fast: the first job fails, everything
+    // after it is skipped with a Cancelled marker, and every slot
+    // still carries its (workload, pipeline) identity for the table.
+    ASSERT_EQ(report.results.size(), 6u);
+    EXPECT_EQ(report.failedJobs, 6u);
+    EXPECT_EQ(report.results[0].errorCode, ErrorCode::FaultInjected);
+    for (std::size_t i = 1; i < report.results.size(); ++i) {
+        const JobResult &r = report.results[i];
+        EXPECT_FALSE(r.ok);
+        EXPECT_EQ(r.errorCode, ErrorCode::Cancelled);
+        EXPECT_FALSE(r.workload.empty());
+        EXPECT_FALSE(r.pipeline.empty());
+    }
 }
 
 } // anonymous namespace

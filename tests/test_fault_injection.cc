@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the deterministic fault-injection harness: nth/count
+ * window semantics, spec-string arming (the $PROPHET_FAULTS syntax),
+ * per-site hit accounting, and the idle fast path (an unarmed
+ * harness neither counts nor fires).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/fault_injection.hh"
+
+namespace prophet
+{
+namespace
+{
+
+class FaultInjectionTest : public ::testing::Test
+{
+  protected:
+    // Every test starts and ends disarmed, so ordering between test
+    // cases (and other suites using the harness) cannot leak.
+    void SetUp() override { fault::reset(); }
+    void TearDown() override { fault::reset(); }
+};
+
+TEST_F(FaultInjectionTest, IdleHarnessNeverFiresAndDoesNotCount)
+{
+    EXPECT_FALSE(fault::shouldFail("some.site"));
+    EXPECT_FALSE(fault::shouldFail("some.site"));
+    // The idle fast path skips hit accounting entirely: zero cost,
+    // zero bookkeeping.
+    EXPECT_EQ(fault::hits("some.site"), 0u);
+    EXPECT_EQ(fault::totalFired(), 0u);
+    EXPECT_TRUE(fault::armedSites().empty());
+}
+
+TEST_F(FaultInjectionTest, NthAndCountDefineTheFiringWindow)
+{
+    // Fire on hits [3, 5): exactly the 3rd and 4th.
+    fault::arm("win.site", 3, 2);
+    EXPECT_FALSE(fault::shouldFail("win.site")); // hit 1
+    EXPECT_FALSE(fault::shouldFail("win.site")); // hit 2
+    EXPECT_TRUE(fault::shouldFail("win.site"));  // hit 3
+    EXPECT_TRUE(fault::shouldFail("win.site"));  // hit 4
+    EXPECT_FALSE(fault::shouldFail("win.site")); // hit 5
+    EXPECT_EQ(fault::hits("win.site"), 5u);
+    EXPECT_EQ(fault::fired("win.site"), 2u);
+}
+
+TEST_F(FaultInjectionTest, CountZeroMeansEveryHitFromNthOn)
+{
+    fault::arm("forever.site", 2);
+    EXPECT_FALSE(fault::shouldFail("forever.site"));
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(fault::shouldFail("forever.site"));
+    EXPECT_EQ(fault::fired("forever.site"), 5u);
+}
+
+TEST_F(FaultInjectionTest, SitesAreIndependent)
+{
+    fault::arm("a.site", 1, 1);
+    // When anything is armed, every site's hits are counted — but
+    // only the armed site fires.
+    EXPECT_TRUE(fault::shouldFail("a.site"));
+    EXPECT_FALSE(fault::shouldFail("b.site"));
+    EXPECT_EQ(fault::hits("b.site"), 1u);
+    EXPECT_EQ(fault::fired("b.site"), 0u);
+    EXPECT_EQ(fault::totalFired(), 1u);
+}
+
+TEST_F(FaultInjectionTest, ArmFromSpecParsesTheEnvSyntax)
+{
+    ASSERT_TRUE(
+        fault::armFromSpec("one.site:2:1,two.site:1"));
+    auto sites = fault::armedSites();
+    ASSERT_EQ(sites.size(), 2u);
+
+    EXPECT_TRUE(fault::shouldFail("two.site"));  // nth=1, unlimited
+    EXPECT_TRUE(fault::shouldFail("two.site"));
+    EXPECT_FALSE(fault::shouldFail("one.site")); // hit 1 < nth 2
+    EXPECT_TRUE(fault::shouldFail("one.site"));  // hit 2, count 1
+    EXPECT_FALSE(fault::shouldFail("one.site")); // window closed
+}
+
+TEST_F(FaultInjectionTest, MalformedSpecsAreRejected)
+{
+    EXPECT_FALSE(fault::armFromSpec("missing-colon"));
+    EXPECT_FALSE(fault::armFromSpec("site:notanumber"));
+    EXPECT_FALSE(fault::armFromSpec("site:"));
+    EXPECT_FALSE(fault::armFromSpec(":3"));
+    EXPECT_FALSE(fault::armFromSpec("site:0")); // nth is 1-based
+}
+
+TEST_F(FaultInjectionTest, ResetDisarmsAndZeroes)
+{
+    fault::arm("gone.site", 1);
+    EXPECT_TRUE(fault::shouldFail("gone.site"));
+    fault::reset();
+    EXPECT_FALSE(fault::shouldFail("gone.site"));
+    EXPECT_EQ(fault::hits("gone.site"), 0u);
+    EXPECT_EQ(fault::fired("gone.site"), 0u);
+    EXPECT_EQ(fault::totalFired(), 0u);
+    EXPECT_TRUE(fault::armedSites().empty());
+}
+
+} // anonymous namespace
+} // namespace prophet

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/cancellation.hh"
+#include "common/error.hh"
 #include "sim/system.hh"
 #include "workloads/pattern_lib.hh"
 
@@ -225,6 +227,51 @@ TEST(System, WritebacksGenerateDramWrites)
     System sys(cfg);
     auto st = sys.run(t);
     EXPECT_GT(st.dramWrites, 0u);
+}
+
+TEST(System, AttachedButUnfiredCancellationIsBitIdentical)
+{
+    // The poll is `(recordIndex & mask) == 0 && token.cancelled()` —
+    // no simulation state is touched, so attaching a token that
+    // never fires must reproduce the plain run bit for bit. This is
+    // what lets the driver attach one unconditionally.
+    auto t = chaseTrace(30000, 200000);
+
+    System plain(baseCfg());
+    auto ref = plain.run(t);
+
+    CancellationToken token;
+    System sys(baseCfg());
+    sys.setCancellation(&token, 1024);
+    auto s = sys.run(t);
+    EXPECT_EQ(s.ipc, ref.ipc);
+    EXPECT_EQ(s.cycles, ref.cycles);
+    EXPECT_EQ(s.instructions, ref.instructions);
+    EXPECT_EQ(s.l1Misses, ref.l1Misses);
+    EXPECT_EQ(s.l2DemandMisses, ref.l2DemandMisses);
+    EXPECT_EQ(s.llcMisses, ref.llcMisses);
+    EXPECT_EQ(s.dramReads, ref.dramReads);
+    EXPECT_EQ(s.dramWrites, ref.dramWrites);
+    EXPECT_EQ(s.records, ref.records);
+    EXPECT_FALSE(token.cancelled());
+}
+
+TEST(System, CancelledTokenUnwindsWithStructuredError)
+{
+    auto t = chaseTrace(30000, 200000);
+    CancellationToken token;
+    token.cancel();
+    System sys(baseCfg());
+    sys.setCancellation(&token);
+    try {
+        sys.run(t);
+        FAIL() << "run did not observe the cancelled token";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Cancelled);
+        EXPECT_FALSE(e.transient());
+        // The context pins down how far the run got.
+        EXPECT_NE(e.context().offset, ErrorContext::kNoOffset);
+    }
 }
 
 } // anonymous namespace

@@ -14,6 +14,7 @@
 #include <fstream>
 #include <unistd.h>
 
+#include "common/fault_injection.hh"
 #include "sim/runner.hh"
 #include "trace/trace_cache.hh"
 #include "trace/trace_io.hh"
@@ -154,7 +155,7 @@ TEST_F(TraceCacheTest, TruncatedFileFallsBackToRegeneration)
     EXPECT_TRUE(out.empty());
 }
 
-TEST_F(TraceCacheTest, StoresWriteTheV2BulkFormat)
+TEST_F(TraceCacheTest, StoresWriteTheV3ChecksummedFormat)
 {
     Trace fresh =
         workloads::makeWorkload("mcf", kRecords)->generate();
@@ -165,11 +166,11 @@ TEST_F(TraceCacheTest, StoresWriteTheV2BulkFormat)
     Trace loaded;
     ASSERT_TRUE(loadBinary(loaded, cache.path("mcf", kRecords),
                            &version));
-    EXPECT_EQ(version, kTraceFormatV2);
+    EXPECT_EQ(version, kTraceFormatV3);
     expectTraceEq(fresh, loaded);
     auto entries = cache.entries();
     ASSERT_EQ(entries.size(), 1u);
-    EXPECT_EQ(entries[0].version, kTraceFormatV2);
+    EXPECT_EQ(entries[0].version, kTraceFormatV3);
 }
 
 TEST_F(TraceCacheTest, V1EntryLoadsAndIsUpgradedInPlace)
@@ -192,13 +193,134 @@ TEST_F(TraceCacheTest, V1EntryLoadsAndIsUpgradedInPlace)
     // A repair rewrite is not a caller-visible store.
     EXPECT_EQ(cache.stats().stores, 0u);
 
-    // ...and repairs the entry to v2, byte-compatible with a fresh
-    // store.
-    ASSERT_EQ(cache.entries().at(0).version, kTraceFormatV2);
+    // ...and repairs the entry to the current checksummed format,
+    // byte-compatible with a fresh store.
+    ASSERT_EQ(cache.entries().at(0).version, kTraceFormatV3);
     Trace again;
     ASSERT_TRUE(cache.load("mcf", kRecords, again));
     expectTraceEq(fresh, again);
     EXPECT_EQ(cache.stats().upgrades, 1u);
+}
+
+TEST_F(TraceCacheTest, V2EntryLoadsAndIsUpgradedInPlace)
+{
+    Trace fresh =
+        workloads::makeWorkload("mcf", kRecords)->generate();
+    TraceCache cache(dir);
+    fs::create_directories(dir);
+    ASSERT_TRUE(saveBinaryV2(fresh, cache.path("mcf", kRecords)));
+    ASSERT_EQ(cache.entries().at(0).version, kTraceFormatV2);
+
+    Trace out;
+    ASSERT_TRUE(cache.load("mcf", kRecords, out));
+    expectTraceEq(fresh, out);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().upgrades, 1u);
+    ASSERT_EQ(cache.entries().at(0).version, kTraceFormatV3);
+}
+
+TEST_F(TraceCacheTest, BitFlippedEntryIsQuarantinedThenRegenerated)
+{
+    Trace fresh =
+        workloads::makeWorkload("mcf", kRecords)->generate();
+    TraceCache cache(dir);
+    ASSERT_TRUE(cache.store("mcf", kRecords, fresh));
+
+    // Flip one payload bit past the header + checksum block. Only
+    // the per-array checksum can catch this: the header is intact
+    // and the size is exactly right.
+    auto path = cache.path("mcf", kRecords);
+    {
+        std::fstream f(path,
+                       std::ios::binary | std::ios::in
+                           | std::ios::out);
+        f.seekg(16 + 24 + 100);
+        char c = 0;
+        f.get(c);
+        f.seekp(16 + 24 + 100);
+        f.put(static_cast<char>(c ^ 0x04));
+    }
+
+    // The damaged entry is a miss, counted and quarantined: the bad
+    // bytes survive as "<entry>.corrupt" for inspection.
+    Trace out;
+    EXPECT_FALSE(cache.load("mcf", kRecords, out));
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(cache.stats().checksumFailures, 1u);
+    EXPECT_EQ(cache.stats().quarantines, 1u);
+    EXPECT_FALSE(fs::exists(path));
+    auto q = cache.quarantined();
+    ASSERT_EQ(q.size(), 1u);
+    EXPECT_EQ(q[0].file,
+              fs::path(path).filename().string() + ".corrupt");
+    EXPECT_TRUE(cache.entries().empty());
+
+    // The persistent counters recorded the event durably.
+    auto pc = cache.persistentCounters();
+    EXPECT_EQ(pc.checksumFailures, 1u);
+    EXPECT_EQ(pc.quarantines, 1u);
+
+    // Regeneration stores a good entry under the original name and
+    // serves it; the quarantined evidence is untouched.
+    ASSERT_TRUE(cache.store("mcf", kRecords, fresh));
+    ASSERT_TRUE(cache.load("mcf", kRecords, out));
+    expectTraceEq(fresh, out);
+    EXPECT_EQ(cache.quarantined().size(), 1u);
+}
+
+TEST_F(TraceCacheTest, FailedStoreLeavesNoPartialEntry)
+{
+    Trace fresh =
+        workloads::makeWorkload("mcf", kRecords)->generate();
+    TraceCache cache(dir);
+
+    // Simulated ENOSPC mid-payload: the store fails, and neither the
+    // final name nor any temp file survives in the directory.
+    fault::reset();
+    fault::arm("trace_io.fwrite", 1, 1);
+    EXPECT_FALSE(cache.store("mcf", kRecords, fresh));
+    fault::reset();
+    EXPECT_EQ(cache.stats().storeFailures, 1u);
+    EXPECT_EQ(cache.stats().stores, 0u);
+    EXPECT_FALSE(fs::exists(cache.path("mcf", kRecords)));
+    std::size_t files = 0;
+    for ([[maybe_unused]] const auto &e : fs::directory_iterator(dir))
+        if (e.path().filename().string().find(".ptrc")
+            != std::string::npos)
+            ++files;
+    EXPECT_EQ(files, 0u);
+    EXPECT_EQ(cache.persistentCounters().storeFailures, 1u);
+
+    // The whole-store fault point behaves the same way.
+    fault::arm("cache.store", 1, 1);
+    EXPECT_FALSE(cache.store("mcf", kRecords, fresh));
+    fault::reset();
+    EXPECT_EQ(cache.stats().storeFailures, 2u);
+    EXPECT_FALSE(fs::exists(cache.path("mcf", kRecords)));
+
+    // Once the fault clears, the store goes through.
+    ASSERT_TRUE(cache.store("mcf", kRecords, fresh));
+    Trace out;
+    ASSERT_TRUE(cache.load("mcf", kRecords, out));
+    expectTraceEq(fresh, out);
+}
+
+TEST_F(TraceCacheTest, PersistentCountersAccumulateAcrossInstances)
+{
+    Trace fresh =
+        workloads::makeWorkload("mcf", kRecords)->generate();
+    {
+        TraceCache cache(dir);
+        fault::reset();
+        fault::arm("cache.store", 1, 1);
+        EXPECT_FALSE(cache.store("mcf", kRecords, fresh));
+        fault::reset();
+    }
+    // A fresh instance on the same directory sees the durable count;
+    // its in-memory counters start at zero.
+    TraceCache cache(dir);
+    EXPECT_EQ(cache.stats().storeFailures, 0u);
+    EXPECT_EQ(cache.persistentCounters().storeFailures, 1u);
 }
 
 TEST_F(TraceCacheTest, TruncatedV2EntryFallsBackAndRepairs)

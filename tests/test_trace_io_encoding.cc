@@ -10,6 +10,7 @@
 #include <vector>
 #include <unistd.h>
 
+#include "common/fault_injection.hh"
 #include "core/hint_encoding.hh"
 #include "trace/trace_io.hh"
 
@@ -50,7 +51,83 @@ TEST(TraceIo, BinaryRoundTrip)
     trace::Trace loaded;
     std::uint32_t version = 0;
     ASSERT_TRUE(trace::loadBinary(loaded, path, &version));
+    EXPECT_EQ(version, trace::kTraceFormatV3);
+    expectEqual(t, loaded);
+    std::remove(path);
+}
+
+TEST(TraceIo, LegacyV2FilesStillLoad)
+{
+    auto t = sampleTrace();
+    const char *path = "/tmp/prophet_test_trace_v2.bin";
+    ASSERT_TRUE(trace::saveBinaryV2(t, path));
+    trace::Trace loaded;
+    std::uint32_t version = 0;
+    ASSERT_TRUE(trace::loadBinary(loaded, path, &version));
     EXPECT_EQ(version, trace::kTraceFormatV2);
+    expectEqual(t, loaded);
+    std::remove(path);
+}
+
+TEST(TraceIo, BitFlipCaughtByArrayChecksum)
+{
+    auto t = sampleTrace();
+    const char *path = "/tmp/prophet_test_bitflip.bin";
+    ASSERT_TRUE(trace::saveBinary(t, path));
+    // Flip one payload bit past the header + checksum block. The
+    // header stays plausible, so only the checksum can catch it.
+    {
+        std::FILE *f = std::fopen(path, "rb+");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 16 + 24 + 3, SEEK_SET); // inside pc[]
+        int c = std::fgetc(f);
+        ASSERT_NE(c, EOF);
+        std::fseek(f, -1, SEEK_CUR);
+        std::fputc(c ^ 0x10, f);
+        std::fclose(f);
+    }
+    trace::Trace loaded;
+    trace::LoadReport report;
+    EXPECT_FALSE(trace::loadBinary(loaded, path, report));
+    EXPECT_EQ(report.status, trace::LoadStatus::ChecksumMismatch);
+    EXPECT_TRUE(report.corrupt());
+    EXPECT_EQ(report.version, trace::kTraceFormatV3);
+    EXPECT_TRUE(loaded.empty());
+    std::remove(path);
+}
+
+TEST(TraceIo, InjectedReadFaultReportsReadFailNotCorruption)
+{
+    auto t = sampleTrace();
+    const char *path = "/tmp/prophet_test_readfault.bin";
+    ASSERT_TRUE(trace::saveBinary(t, path));
+    fault::reset();
+    fault::arm("trace_io.fread", 1, 1);
+    trace::Trace loaded;
+    trace::LoadReport report;
+    EXPECT_FALSE(trace::loadBinary(loaded, path, report));
+    EXPECT_EQ(report.status, trace::LoadStatus::ReadFail);
+    // An I/O error is not evidence of on-disk damage: the cache must
+    // not quarantine on it.
+    EXPECT_FALSE(report.corrupt());
+    fault::reset();
+    // The fault cleared; the same file now loads fine.
+    ASSERT_TRUE(trace::loadBinary(loaded, path));
+    expectEqual(t, loaded);
+    std::remove(path);
+}
+
+TEST(TraceIo, InjectedWriteFaultFailsTheSave)
+{
+    auto t = sampleTrace();
+    const char *path = "/tmp/prophet_test_writefault.bin";
+    fault::reset();
+    fault::arm("trace_io.fwrite", 1, 1);
+    EXPECT_FALSE(trace::saveBinary(t, path));
+    fault::reset();
+    ASSERT_TRUE(trace::saveBinary(t, path));
+    trace::Trace loaded;
+    ASSERT_TRUE(trace::loadBinary(loaded, path));
     expectEqual(t, loaded);
     std::remove(path);
 }

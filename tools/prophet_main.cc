@@ -5,6 +5,7 @@
  *
  *   prophet run <spec.json> [--threads N] [--records N]
  *               [--no-trace-cache] [--trace-cache-dir DIR]
+ *               [--keep-going | --fail-fast]
  *   prophet list-workloads
  *   prophet list-pipelines
  *   prophet trace-cache warm <spec.json | workload...>
@@ -13,9 +14,15 @@
  *   prophet trace-cache stats [--trace-cache-dir DIR]
  *
  * `run` executes a spec and streams results to its sinks; CLI flags
- * override the spec's thread/record counts. `trace-cache warm`
- * pre-generates the traces a spec (or an explicit workload list)
- * needs, so subsequent runs skip generation.
+ * override the spec's thread/record counts and failure policy.
+ * `trace-cache warm` pre-generates the traces a spec (or an explicit
+ * workload list) needs, so subsequent runs skip generation.
+ *
+ * Exit codes (documented in --help): 0 success, 2 usage error,
+ * 3 spec parse/validation error, 4 runtime failure (a job or sink
+ * failed and the run could not complete fully under fail-fast),
+ * 5 partial failure (--keep-going: some jobs failed, the rest
+ * completed and the partial results were written).
  */
 
 #include <algorithm>
@@ -48,12 +55,28 @@ usage()
         "\n"
         "  run <spec.json> [--threads N] [--records N]\n"
         "      [--no-trace-cache] [--trace-cache-dir DIR]\n"
+        "      [--keep-going | --fail-fast]\n"
         "  list-workloads\n"
         "  list-pipelines\n"
         "  trace-cache warm <spec.json | workload...>\n"
         "      [--threads N] [--records N] [--trace-cache-dir DIR]\n"
         "  trace-cache clear [--trace-cache-dir DIR]\n"
-        "  trace-cache stats [--trace-cache-dir DIR]\n");
+        "  trace-cache stats [--trace-cache-dir DIR]\n"
+        "\n"
+        "failure policy (run):\n"
+        "  --keep-going   run every job even after one fails; render\n"
+        "                 partial results with failed cells marked\n"
+        "  --fail-fast    cancel remaining jobs on the first failure\n"
+        "                 (the default unless the spec sets\n"
+        "                 \"keep_going\": true)\n"
+        "\n"
+        "exit codes:\n"
+        "  0  success\n"
+        "  2  usage error\n"
+        "  3  spec parse/validation error\n"
+        "  4  runtime failure (job, pipeline, or sink)\n"
+        "  5  partial failure (--keep-going: some jobs failed,\n"
+        "     the rest completed)\n");
     return 2;
 }
 
@@ -119,6 +142,10 @@ parseFlags(int argc, char **argv, int from, Flags &flags)
             flags.opts.records = static_cast<std::size_t>(v);
         } else if (!std::strcmp(argv[i], "--no-trace-cache")) {
             flags.opts.traceCache = 0;
+        } else if (!std::strcmp(argv[i], "--keep-going")) {
+            flags.opts.keepGoing = 1;
+        } else if (!std::strcmp(argv[i], "--fail-fast")) {
+            flags.opts.keepGoing = 0;
         } else if (!std::strcmp(argv[i], "--trace-cache-dir")) {
             const char *s = needValue(i, "--trace-cache-dir");
             if (!s)
@@ -148,20 +175,34 @@ cmdRun(const Flags &flags)
         auto spec =
             driver::ExperimentSpec::fromFile(flags.positional[0]);
         driver::ExperimentDriver drv(std::move(spec), flags.opts);
+        bool keep_going = drv.keepGoingEnabled();
         auto report = drv.run();
+        int rc = 0;
+        if (report.failedJobs > 0) {
+            std::fprintf(
+                stderr, "prophet run: %zu of %zu job%s failed%s\n",
+                report.failedJobs, report.results.size(),
+                report.results.size() == 1 ? "" : "s",
+                keep_going ? " (keep-going: partial results written)"
+                           : "");
+            // Partial failure is its own exit code only when the
+            // user asked for partial results; under fail-fast any
+            // failure is a plain runtime failure.
+            rc = keep_going ? 5 : 4;
+        }
         if (!report.sinksOk) {
             std::fprintf(stderr,
                          "prophet run: one or more sinks failed to "
                          "write\n");
-            return 1;
+            rc = 4;
         }
-        return 0;
+        return rc;
     } catch (const driver::SpecError &e) {
         std::fprintf(stderr, "prophet run: %s\n", e.what());
-        return 1;
+        return 3;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "prophet run: %s\n", e.what());
-        return 1;
+        return 4;
     }
 }
 
@@ -322,10 +363,35 @@ cmdTraceCacheStats(const Flags &flags)
         else
             std::printf("  format v%u: %zu entr%s%s\n", version,
                         count, count == 1 ? "y" : "ies",
-                        version < trace::kTraceFormatV2
+                        version < trace::kTraceFormatV3
                             ? " (legacy; upgraded on next load)"
                             : "");
     }
+
+    // Quarantined entries and the durable health counters
+    // (accumulated across every process that used this directory).
+    auto quarantined = cache.quarantined();
+    if (!quarantined.empty()) {
+        std::printf("%zu quarantined entr%s (corrupt, renamed to "
+                    ".corrupt; removed by trace-cache clear):\n",
+                    quarantined.size(),
+                    quarantined.size() == 1 ? "y" : "ies");
+        for (const auto &e : quarantined)
+            std::printf("  %10llu  %s\n",
+                        static_cast<unsigned long long>(e.bytes),
+                        e.file.c_str());
+    }
+    auto pc = cache.persistentCounters();
+    std::printf("health counters (lifetime of %s):\n"
+                "  checksum failures: %llu\n"
+                "  quarantines:       %llu\n"
+                "  lock contention:   %llu\n"
+                "  store failures:    %llu\n",
+                cache.dir().c_str(),
+                static_cast<unsigned long long>(pc.checksumFailures),
+                static_cast<unsigned long long>(pc.quarantines),
+                static_cast<unsigned long long>(pc.lockContention),
+                static_cast<unsigned long long>(pc.storeFailures));
     return 0;
 }
 

@@ -6,6 +6,8 @@
 #include <map>
 #include <mutex>
 
+#include "common/metrics.hh"
+
 namespace prophet::fault
 {
 
@@ -92,6 +94,9 @@ shouldFail(const std::string &site)
     if (fire) {
         ++st.fired;
         ++h.firedTotal;
+        // Adopted into the metrics registry so a fault-injected run's
+        // metrics.json shows how many faults actually fired.
+        metrics::counter("fault.fired").inc();
         std::fprintf(stderr,
                      "fault-injection: %s fired (hit %llu)\n",
                      site.c_str(),

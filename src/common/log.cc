@@ -1,0 +1,80 @@
+#include "common/log.hh"
+
+#include <cstdarg>
+#include <cstring>
+
+namespace prophet
+{
+
+namespace
+{
+
+LogLevel
+parseLevel()
+{
+    const char *env = std::getenv("PROPHET_LOG");
+    if (!env || !*env)
+        return LogLevel::Info;
+    if (!std::strcmp(env, "error"))
+        return LogLevel::Error;
+    if (!std::strcmp(env, "warn"))
+        return LogLevel::Warn;
+    if (!std::strcmp(env, "info"))
+        return LogLevel::Info;
+    if (!std::strcmp(env, "debug"))
+        return LogLevel::Debug;
+    // A typo should be loud, not silently filter everything: keep
+    // the default and say so (directly — the logger is mid-init).
+    std::fprintf(stderr,
+                 "warn: PROPHET_LOG=\"%s\" is not one of "
+                 "error|warn|info|debug; using info\n",
+                 env);
+    return LogLevel::Info;
+}
+
+} // anonymous namespace
+
+LogLevel
+logLevel()
+{
+    static const LogLevel level = parseLevel();
+    return level;
+}
+
+void
+logfImpl(LogLevel level, const char *file, int line, const char *fmt,
+         ...)
+{
+    if (!logEnabled(level))
+        return;
+
+    // Render the whole line into one buffer and emit it with a
+    // single fprintf: stderr writes are atomic enough per call that
+    // concurrent workers never interleave mid-message.
+    char buf[1024];
+    std::size_t off = 0;
+    if (level == LogLevel::Error)
+        off = std::snprintf(buf, sizeof(buf), "error: ");
+    else if (level == LogLevel::Warn)
+        off = std::snprintf(buf, sizeof(buf), "warn: ");
+
+    std::va_list args;
+    va_start(args, fmt);
+    int n = std::vsnprintf(buf + off, sizeof(buf) - off, fmt, args);
+    va_end(args);
+    if (n > 0) {
+        off += static_cast<std::size_t>(n);
+        if (off >= sizeof(buf))
+            off = sizeof(buf) - 1; // truncated
+    }
+
+    if (file
+        && (level == LogLevel::Error || level == LogLevel::Warn)
+        && off < sizeof(buf) - 1) {
+        std::snprintf(buf + off, sizeof(buf) - off, " (%s:%d)", file,
+                      line);
+    }
+    std::fprintf(stderr, "%s\n", buf);
+}
+
+} // namespace prophet

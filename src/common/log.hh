@@ -1,8 +1,21 @@
 /**
  * @file
  * Minimal gem5-style diagnostics: panic() for internal invariant
- * violations, fatal() for user/configuration errors, warn() for
- * recoverable oddities.
+ * violations, fatal() for user/configuration errors, and a
+ * level-filtered logger for everything recoverable.
+ *
+ * The logger is controlled by $PROPHET_LOG (error|warn|info|debug,
+ * parsed once per process, default info — which preserves the
+ * historical stderr chatter: trace-cache hit lines, per-job done
+ * lines). Every message is rendered into one buffer and emitted
+ * with a single fprintf, so concurrent worker warnings never
+ * interleave mid-line. Formats by level:
+ *
+ *   error/warn  "warn: <msg> (<file>:<line>)"  — the historical
+ *               prophet_warn format, kept verbatim;
+ *   info/debug  "<msg>" verbatim — these wrap pre-existing raw
+ *               fprintf lines (e.g. "trace-cache: hit ..."), whose
+ *               exact text tests and CI greps rely on.
  */
 
 #ifndef PROPHET_COMMON_LOG_HH
@@ -13,6 +26,37 @@
 
 namespace prophet
 {
+
+/** Severity levels, most severe first. */
+enum class LogLevel
+{
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+};
+
+/** The process log level ($PROPHET_LOG, parsed once; default Info). */
+LogLevel logLevel();
+
+/** Would a message at @p level be emitted? */
+inline bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) <= static_cast<int>(logLevel());
+}
+
+/**
+ * Emit one message at @p level (printf-style), dropped when the
+ * level is filtered out. @p file/@p line appear only in error/warn
+ * output; pass nullptr/0 where no location is meaningful.
+ */
+#if defined(__GNUC__)
+__attribute__((format(printf, 4, 5)))
+#endif
+void
+logfImpl(LogLevel level, const char *file, int line, const char *fmt,
+         ...);
 
 /**
  * Abort the process because an internal invariant was violated.
@@ -37,18 +81,29 @@ fatalImpl(const char *file, int line, const char *msg)
     std::exit(1);
 }
 
-/** Print a non-fatal warning to stderr. */
-inline void
-warnImpl(const char *file, int line, const char *msg)
-{
-    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg, file, line);
-}
-
 } // namespace prophet
 
 #define prophet_panic(msg) ::prophet::panicImpl(__FILE__, __LINE__, (msg))
 #define prophet_fatal(msg) ::prophet::fatalImpl(__FILE__, __LINE__, (msg))
-#define prophet_warn(msg) ::prophet::warnImpl(__FILE__, __LINE__, (msg))
+
+/** Non-fatal warning (plain string — never interpreted as a format). */
+#define prophet_warn(msg) \
+    ::prophet::logfImpl(::prophet::LogLevel::Warn, __FILE__, \
+                        __LINE__, "%s", (msg))
+
+/** printf-style variants at each level. */
+#define prophet_warnf(...) \
+    ::prophet::logfImpl(::prophet::LogLevel::Warn, __FILE__, \
+                        __LINE__, __VA_ARGS__)
+#define prophet_errorf(...) \
+    ::prophet::logfImpl(::prophet::LogLevel::Error, __FILE__, \
+                        __LINE__, __VA_ARGS__)
+#define prophet_infof(...) \
+    ::prophet::logfImpl(::prophet::LogLevel::Info, nullptr, 0, \
+                        __VA_ARGS__)
+#define prophet_debugf(...) \
+    ::prophet::logfImpl(::prophet::LogLevel::Debug, nullptr, 0, \
+                        __VA_ARGS__)
 
 /** gem5-style checked assertion that survives NDEBUG builds. */
 #define prophet_assert(cond) \

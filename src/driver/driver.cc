@@ -1,6 +1,8 @@
 #include "driver/driver.hh"
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <thread>
 
@@ -8,7 +10,10 @@
 #include "common/error.hh"
 #include "common/fault_injection.hh"
 #include "common/log.hh"
+#include "common/metrics.hh"
+#include "common/span_trace.hh"
 #include "common/time.hh"
+#include "driver/metrics_report.hh"
 #include "sim/config_report.hh"
 #include "sim/pipelines.hh"
 #include "sim/sweep.hh"
@@ -92,17 +97,119 @@ runJobWithRetry(sim::Runner &runner,
             if (!e.transient() || attempt >= max_attempts
                 || token.cancelled())
                 throw;
-            std::fprintf(stderr,
-                         "  %s: transient failure (%s); retrying "
-                         "(attempt %u/%u)\n",
-                         job_key.c_str(), e.what(), attempt + 1,
-                         max_attempts);
-            if (backoff_ms > 0)
+            metrics::counter("driver.retries").inc();
+            prophet_warnf("  %s: transient failure (%s); retrying "
+                          "(attempt %u/%u)",
+                          job_key.c_str(), e.what(), attempt + 1,
+                          max_attempts);
+            if (backoff_ms > 0) {
+                metrics::ScopedTimer backoff_timer(
+                    metrics::histogram("phase.retry_backoff_ns"));
                 std::this_thread::sleep_for(
                     std::chrono::milliseconds(backoff_ms * attempt));
+            }
         }
     }
 }
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/**
+ * --progress: a monitor thread repainting one '\r'-terminated stderr
+ * status line every ~200 ms — jobs done/total, the aggregate
+ * simulation rate from the "sim.records" counter, and a linear ETA.
+ * stdout is never touched, so result output stays byte-identical;
+ * the driver suppresses the per-job "done" stderr lines while the
+ * monitor owns the line.
+ */
+class ProgressMonitor
+{
+  public:
+    ProgressMonitor(std::string name, std::size_t total,
+                    const std::atomic<std::size_t> &done)
+        : specName(std::move(name)), totalJobs(total), doneJobs(done),
+          start(std::chrono::steady_clock::now()),
+          recordsCounter(metrics::counter("sim.records"))
+    {
+        worker = std::thread([this] { loop(); });
+    }
+
+    ProgressMonitor(const ProgressMonitor &) = delete;
+    ProgressMonitor &operator=(const ProgressMonitor &) = delete;
+
+    ~ProgressMonitor() { stop(); }
+
+    /** Idempotent: final repaint, newline, join the thread. */
+    void
+    stop()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            if (stopping)
+                return;
+            stopping = true;
+        }
+        wake.notify_all();
+        worker.join();
+        paint();
+        std::fputc('\n', stderr);
+    }
+
+  private:
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        while (!wake.wait_for(lock, std::chrono::milliseconds(200),
+                              [this] { return stopping; })) {
+            lock.unlock();
+            paint();
+            lock.lock();
+        }
+    }
+
+    void
+    paint() const
+    {
+        double elapsed = secondsSince(start);
+        std::size_t done = doneJobs.load(std::memory_order_relaxed);
+        double mrecs = elapsed > 0.0
+            ? static_cast<double>(recordsCounter.value()) / elapsed
+                / 1e6
+            : 0.0;
+        char eta[32];
+        if (done >= totalJobs)
+            std::snprintf(eta, sizeof(eta), "done");
+        else if (done == 0)
+            std::snprintf(eta, sizeof(eta), "ETA --");
+        else
+            std::snprintf(eta, sizeof(eta), "ETA %.0fs",
+                          elapsed / static_cast<double>(done)
+                              * static_cast<double>(totalJobs - done));
+        // One write per repaint; the trailing spaces erase leftovers
+        // of a longer previous line.
+        std::fprintf(stderr,
+                     "\r%s: %zu/%zu jobs, %.1f Mrec/s, %s      ",
+                     specName.c_str(), done, totalJobs, mrecs, eta);
+    }
+
+    std::string specName;
+    std::size_t totalJobs;
+    const std::atomic<std::size_t> &doneJobs;
+    std::chrono::steady_clock::time_point start;
+    metrics::Counter &recordsCounter;
+
+    std::mutex mu;
+    std::condition_variable wake;
+    bool stopping = false;
+    std::thread worker;
+};
 
 /** Does any requested output need the per-workload baseline run? */
 bool
@@ -184,6 +291,17 @@ ExperimentDriver::run()
 {
     auto start = std::chrono::steady_clock::now();
 
+    // Fresh instruments per run: a metrics report never carries a
+    // previous run's counts. resetValues() keeps every registration,
+    // so references cached across runs stay valid. Invisible without
+    // the observability flags — it writes no output by itself.
+    metrics::Registry::instance().resetValues();
+    const bool tracing = !opts.traceOut.empty();
+    if (tracing) {
+        span::reset();
+        span::setEnabled(true);
+    }
+
     // Static reports short-circuit the job matrix entirely.
     if (spec.report == ExperimentSpec::Report::SystemConfig) {
         std::fputs(sim::systemConfigReport(spec.baseConfig()).c_str(),
@@ -203,13 +321,17 @@ ExperimentDriver::run()
     }
 
     sim::SweepEngine engine(runner, effectiveThreads());
-    std::fprintf(stderr,
-                 "%s: %zu workloads x %zu pipelines on %u "
-                 "thread%s%s\n",
-                 spec.name.c_str(), spec.workloads.size(),
-                 spec.pipelines.size(), engine.threads(),
-                 engine.threads() == 1 ? "" : "s",
-                 cache ? " (trace cache on)" : "");
+    prophet_infof("%s: %zu workloads x %zu pipelines on %u "
+                  "thread%s%s",
+                  spec.name.c_str(), spec.workloads.size(),
+                  spec.pipelines.size(), engine.threads(),
+                  engine.threads() == 1 ? "" : "s",
+                  cache ? " (trace cache on)" : "");
+
+    // The experiment-wide span is heap-held so it can be closed
+    // explicitly before the trace file is written.
+    auto experiment_span = std::make_unique<span::Span>(
+        "experiment " + spec.name, "experiment");
 
     const bool keep_going = keepGoingEnabled();
     const auto policy = keep_going
@@ -232,14 +354,17 @@ ExperimentDriver::run()
     if (needsBaseline(spec)) {
         auto warm = engine.tryForEach(
             spec.workloads.size(),
-            [&](std::size_t i) { runner.baseline(spec.workloads[i]); },
+            [&](std::size_t i) {
+                span::Span warm_span(
+                    "baseline " + spec.workloads[i], "job");
+                runner.baseline(spec.workloads[i]);
+            },
             sim::SweepEngine::FailurePolicy::KeepGoing);
         for (std::size_t i = 0; i < warm.size(); ++i)
             if (!warm[i].ok())
-                std::fprintf(stderr,
-                             "  baseline warm-up failed for %s; its "
-                             "jobs will retry individually\n",
-                             spec.workloads[i].c_str());
+                prophet_warnf("  baseline warm-up failed for %s; its "
+                              "jobs will retry individually",
+                              spec.workloads[i].c_str());
     }
 
     // Phase 2: every (workload x pipeline) as an independent,
@@ -250,6 +375,11 @@ ExperimentDriver::run()
     ExperimentReport report;
     std::size_t per = spec.pipelines.size();
     report.results.resize(spec.workloads.size() * per);
+    std::atomic<std::size_t> jobs_done{0};
+    std::unique_ptr<ProgressMonitor> monitor;
+    if (opts.progress)
+        monitor = std::make_unique<ProgressMonitor>(
+            spec.name, report.results.size(), jobs_done);
     auto failures = engine.tryForEach(
         report.results.size(),
         [&](std::size_t i) {
@@ -258,13 +388,32 @@ ExperimentDriver::run()
                 spec.pipelines[i % per];
             slot.workload = spec.workloads[i / per];
             slot.pipeline = inst.resultName();
-            runJobWithRetry(runner, inst, slot, token,
-                            opts.maxAttempts, opts.retryBackoffMs);
-            std::fprintf(stderr, "  %s/%s done\n",
-                         slot.workload.c_str(),
-                         slot.pipeline.c_str());
+            span::Span job_span(
+                "job " + slot.workload + "/" + slot.pipeline, "job");
+            auto t0 = std::chrono::steady_clock::now();
+            try {
+                runJobWithRetry(runner, inst, slot, token,
+                                opts.maxAttempts,
+                                opts.retryBackoffMs);
+            } catch (...) {
+                // Failed jobs still report their duration and count
+                // toward progress; the failure handling below fills
+                // in why.
+                slot.seconds = secondsSince(t0);
+                jobs_done.fetch_add(1, std::memory_order_relaxed);
+                throw;
+            }
+            slot.seconds = secondsSince(t0);
+            jobs_done.fetch_add(1, std::memory_order_relaxed);
+            // The per-job line would fight the monitor's single
+            // repainted line, so --progress replaces it.
+            if (!opts.progress)
+                prophet_infof("  %s/%s done", slot.workload.c_str(),
+                              slot.pipeline.c_str());
         },
         policy, &token);
+    if (monitor)
+        monitor->stop();
 
     for (std::size_t i = 0; i < failures.size(); ++i) {
         if (failures[i].ok())
@@ -311,6 +460,18 @@ ExperimentDriver::run()
         report.meta.traceCacheHits = cs.hits;
         report.meta.traceCacheMisses = cs.misses;
     }
+    // Cumulative phase split for the table sink's wall-clock line:
+    // "simulate" covers the whole System::run (warmup + measured
+    // window), "trace-load" the generate-or-cache-load phase.
+    report.meta.traceLoadSeconds =
+        static_cast<double>(
+            metrics::histogram("phase.trace_load_ns").sum())
+        / 1e9;
+    report.meta.simulateSeconds =
+        static_cast<double>(
+            metrics::histogram("phase.warmup_ns").sum()
+            + metrics::histogram("phase.simulate_ns").sum())
+        / 1e9;
 
     // Deliver in spec order to the spec's sinks plus any extras.
     std::vector<std::unique_ptr<Sink>> sinks;
@@ -323,12 +484,29 @@ ExperimentDriver::run()
     for (auto &s : extraSinks)
         sinks.push_back(std::move(s));
     extraSinks.clear();
-    for (const auto &s : sinks) {
-        for (const auto &r : report.results)
-            s->result(r);
-        if (!s->finish(spec, report.meta))
+    {
+        span::Span sink_span("sink-render", "phase");
+        metrics::ScopedTimer sink_timer(
+            metrics::histogram("phase.sink_render_ns"));
+        for (const auto &s : sinks) {
+            for (const auto &r : report.results)
+                s->result(r);
+            if (!s->finish(spec, report.meta))
+                report.sinksOk = false;
+        }
+    }
+
+    // Observability outputs last, so they cover the sink phase too.
+    // A requested-but-unwritable file fails the run like any sink.
+    experiment_span.reset();
+    if (tracing) {
+        span::setEnabled(false);
+        if (!span::writeJson(opts.traceOut))
             report.sinksOk = false;
     }
+    if (!opts.metricsOut.empty()
+        && !writeMetricsReport(report, opts.metricsOut))
+        report.sinksOk = false;
     return report;
 }
 

@@ -48,6 +48,18 @@ struct DriverOptions
 
     /** Base backoff before retry k is k * this (0 in tests). */
     unsigned retryBackoffMs = 50;
+
+    // ---- observability (all default-off: a run with none of these
+    // set produces byte-identical outputs to a build without them) --
+
+    /** --progress: live jobs/records-per-second/ETA line on stderr. */
+    bool progress = false;
+
+    /** --metrics-out FILE: write the run's metrics JSON report. */
+    std::string metricsOut;
+
+    /** --trace-out FILE: write a Chrome/Perfetto span trace. */
+    std::string traceOut;
 };
 
 /** Everything a run produced, for callers beyond the sinks. */

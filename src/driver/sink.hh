@@ -38,6 +38,15 @@ struct RunMeta
     std::string timestamp;     ///< ISO-8601 UTC
     std::uint64_t traceCacheHits = 0;
     std::uint64_t traceCacheMisses = 0;
+
+    /**
+     * Cumulative phase wall time across all jobs (summed over
+     * workers, so on N threads these can exceed wallSeconds). Pulled
+     * from the "phase.trace_load_ns" / "phase.warmup_ns" /
+     * "phase.simulate_ns" registry histograms at the end of the run.
+     */
+    double traceLoadSeconds = 0.0;
+    double simulateSeconds = 0.0;
 };
 
 /** One (workload, pipeline) job: its stats, or why it failed. */
@@ -59,6 +68,13 @@ struct JobResult
 
     /** Simulation attempts (> 1 after transient-error retries). */
     unsigned attempts = 1;
+
+    /**
+     * Wall time of this job's final attempt, including retry backoff
+     * sleeps. Diagnostics only (metrics.json "jobs" section): the
+     * sinks never render it, so their outputs stay deterministic.
+     */
+    double seconds = 0.0;
 };
 
 /** A result consumer. result() calls arrive in spec order. */

@@ -1,6 +1,8 @@
 #include "sim/runner.hh"
 
 #include "common/log.hh"
+#include "common/metrics.hh"
+#include "common/span_trace.hh"
 #include "rpg2/distance_tuner.hh"
 #include "workloads/registry.hh"
 
@@ -41,10 +43,14 @@ Runner::ensureWorkload(const std::string &workload)
     // Constructing the generator is cheap and always happens — the
     // resolver lives on the generator — but the expensive generate()
     // is skipped when the on-disk cache has the trace.
+    span::Span load_span("trace-load " + workload, "trace");
+    metrics::ScopedTimer load_timer(
+        metrics::histogram("phase.trace_load_ns"));
     auto gen = workloads::makeWorkload(workload, recordsOverride);
     trace::Trace generated;
     if (!disk || !disk->load(workload, recordsOverride, generated)) {
         generated = gen->generate();
+        metrics::counter("runner.trace_generated").inc();
         // A failed store is not a run failure — the freshly generated
         // trace is in hand — but it means the next run regenerates,
         // so surface it.
@@ -97,6 +103,7 @@ Runner::runConfig(const std::string &workload, const SystemConfig &cfg)
     // Keep the trace alive independently of the cache map; each job
     // simulates its own System over the shared immutable trace.
     std::shared_ptr<const trace::Trace> tr = traceShared(workload);
+    span::Span sim_span("simulate " + workload, "sim");
     System system(cfg, resolverFor(workload));
     {
         std::lock_guard<std::mutex> lock(cacheMu);
@@ -149,6 +156,7 @@ Runner::profileWorkload(const std::string &workload)
             return it->second;
     }
     std::shared_ptr<const trace::Trace> tr = traceShared(workload);
+    span::Span profile_span("profile " + workload, "sim");
     SystemConfig cfg = base;
     cfg.l2Pf = L2PfKind::Simplified;
     System system(cfg, resolverFor(workload));

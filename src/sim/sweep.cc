@@ -1,9 +1,10 @@
 #include "sim/sweep.hh"
 
 #include <atomic>
-#include <cstdio>
 #include <exception>
 #include <mutex>
+
+#include "common/log.hh"
 
 namespace prophet::sim
 {
@@ -151,8 +152,8 @@ SweepEngine::runTrios(const std::vector<std::string> &workloads)
         }
         // Progress to stderr: stdout stays bit-identical across
         // thread counts (completion order is scheduling-dependent).
-        std::fprintf(stderr, "  [%zu/%zu] %s %s done\n",
-                     ++completed, total, w.c_str(), kSystems[i % 3]);
+        prophet_infof("  [%zu/%zu] %s %s done", ++completed, total,
+                      w.c_str(), kSystems[i % 3]);
     });
     return out;
 }

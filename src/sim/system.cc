@@ -2,6 +2,7 @@
 
 #include "common/error.hh"
 #include "common/log.hh"
+#include "common/metrics.hh"
 #include "prefetch/ipcp.hh"
 #include "prefetch/stride.hh"
 #include "prefetch/domino.hh"
@@ -129,6 +130,8 @@ System::beginRun(std::size_t expected_records)
     warmBoundary = std::min<std::size_t>(cfg.warmupRecords,
                                          expected_records / 2);
     warmed = false;
+    runStartTime = std::chrono::steady_clock::now();
+    warmupEndTime = runStartTime;
     recordIndex = 0;
     usefulCount = 0;
     lateCount = 0;
@@ -171,7 +174,10 @@ System::stepRecord(PC pc, Addr addr, std::uint16_t inst_gap,
     }
 
     if (!warmed && recordIndex >= warmBoundary) {
-        // Warmup boundary: reset the statistics windows.
+        // Warmup boundary: reset the statistics windows. (The body
+        // runs once per run, so the clock read is off the per-record
+        // cost; the condition itself is unchanged.)
+        warmupEndTime = std::chrono::steady_clock::now();
         hier.resetStats();
         coreModel.mark();
         usefulCount = 0;
@@ -279,6 +285,28 @@ System::finish()
     s.finalMetadataWays = l2Pf ? l2Pf->metadataWays() : 0;
 
     s.pcMisses = std::move(pcMissCounts);
+
+    // Publish the warmup/simulate wall split and the record count.
+    // Registry lookups resolve once per process; the references stay
+    // valid across driver-run resets.
+    static metrics::Histogram &warmup_ns =
+        metrics::histogram("phase.warmup_ns");
+    static metrics::Histogram &simulate_ns =
+        metrics::histogram("phase.simulate_ns");
+    static metrics::Counter &records_counter =
+        metrics::counter("sim.records");
+    static metrics::Counter &runs_counter = metrics::counter("sim.runs");
+    auto end = std::chrono::steady_clock::now();
+    if (warmed) {
+        warmup_ns.recordDuration(warmupEndTime - runStartTime);
+        simulate_ns.recordDuration(end - warmupEndTime);
+    } else {
+        // The run never crossed the warm boundary (cancelled early,
+        // or a zero-length trace): it was all warmup.
+        warmup_ns.recordDuration(end - runStartTime);
+    }
+    records_counter.inc(recordIndex);
+    runs_counter.inc();
     return s;
 }
 

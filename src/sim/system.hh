@@ -9,6 +9,7 @@
 #ifndef PROPHET_SIM_SYSTEM_HH
 #define PROPHET_SIM_SYSTEM_HH
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -189,6 +190,16 @@ class System
     std::size_t recordIndex = 0;
     std::size_t warmBoundary = 0;
     bool warmed = false;
+
+    /**
+     * Phase-timer clock points: one read at beginRun(), one inside
+     * the once-per-run warm-boundary body, one at finish() — never
+     * on the per-record path, so the records/sec gate is untouched.
+     * finish() publishes the warmup/simulate split to the
+     * "phase.warmup_ns"/"phase.simulate_ns" metrics histograms.
+     */
+    std::chrono::steady_clock::time_point runStartTime{};
+    std::chrono::steady_clock::time_point warmupEndTime{};
 
     std::uint64_t usefulCount = 0;
     std::uint64_t lateCount = 0;

@@ -1,7 +1,12 @@
 #include "sim/thread_pool.hh"
 
-#include <cstdio>
+#include <chrono>
 #include <exception>
+#include <string>
+
+#include "common/log.hh"
+#include "common/metrics.hh"
+#include "common/span_trace.hh"
 
 namespace prophet::sim
 {
@@ -20,7 +25,7 @@ ThreadPool::ThreadPool(unsigned threads)
     unsigned n = resolveThreads(threads);
     workers.reserve(n);
     for (unsigned i = 0; i < n; ++i)
-        workers.emplace_back([this] { workerLoop(); });
+        workers.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -53,8 +58,20 @@ ThreadPool::wait()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(unsigned index)
 {
+    // Label this worker's span-trace track. Cheap, and recorded even
+    // while the collector is off, so a pool constructed before
+    // --trace-out enables collection still gets named tracks.
+    span::setCurrentThreadName("worker-" + std::to_string(index));
+
+    // Cache the registry lookup once per worker; the busy counter is
+    // bumped per *job* (whole simulations), not per record.
+    metrics::Counter &busy_counter =
+        metrics::counter("threadpool.busy_ns");
+    metrics::Counter &escaped_counter =
+        metrics::counter("threadpool.escaped_exceptions");
+
     for (;;) {
         std::function<void()> job;
         {
@@ -67,6 +84,7 @@ ThreadPool::workerLoop()
             job = std::move(jobs.front());
             jobs.pop_front();
         }
+        auto t0 = std::chrono::steady_clock::now();
         try {
             job();
         } catch (const std::exception &e) {
@@ -77,13 +95,22 @@ ThreadPool::workerLoop()
             // here is a caller bug, worth a trace and a counter
             // instead of silence.
             swallowed.fetch_add(1, std::memory_order_relaxed);
-            std::fprintf(stderr,
-                         "thread-pool: job leaked exception: %s\n",
-                         e.what());
+            escaped_counter.inc();
+            prophet_warnf("thread-pool: job leaked exception: %s",
+                          e.what());
         } catch (...) {
             swallowed.fetch_add(1, std::memory_order_relaxed);
-            std::fprintf(stderr,
-                         "thread-pool: job leaked non-std exception\n");
+            escaped_counter.inc();
+            prophet_warnf("thread-pool: job leaked non-std exception");
+        }
+        auto busy =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        if (busy > 0) {
+            busyNs.fetch_add(static_cast<std::uint64_t>(busy),
+                             std::memory_order_relaxed);
+            busy_counter.inc(static_cast<std::uint64_t>(busy));
         }
         {
             std::lock_guard<std::mutex> lock(mu);

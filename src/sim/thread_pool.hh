@@ -63,6 +63,19 @@ class ThreadPool
         return swallowed.load(std::memory_order_relaxed);
     }
 
+    /**
+     * Nanoseconds workers spent inside jobs, summed across workers
+     * (also accumulated into the "threadpool.busy_ns" registry
+     * counter). With the pool's lifetime this yields the busy/idle
+     * utilization split the metrics report prints: idle time is
+     * workers x wall-clock minus this.
+     */
+    std::uint64_t
+    busyNanos() const
+    {
+        return busyNs.load(std::memory_order_relaxed);
+    }
+
     /** Number of worker threads. */
     unsigned threadCount() const
     {
@@ -81,8 +94,9 @@ class ThreadPool
     std::size_t inFlight = 0;
     bool stopping = false;
     std::atomic<std::uint64_t> swallowed{0};
+    std::atomic<std::uint64_t> busyNs{0};
 
-    void workerLoop();
+    void workerLoop(unsigned index);
 };
 
 } // namespace prophet::sim

@@ -14,6 +14,8 @@
 #include <unistd.h>
 
 #include "common/fault_injection.hh"
+#include "common/log.hh"
+#include "common/metrics.hh"
 #include "trace/trace_io.hh"
 
 namespace fs = std::filesystem;
@@ -23,6 +25,36 @@ namespace prophet::trace
 
 namespace
 {
+
+/**
+ * Registry adoption of the per-instance Stats counters: the same
+ * increments also land in process-wide "trace_cache.*" metrics, so
+ * `prophet run --metrics-out` reports cache behaviour without
+ * plumbing TraceCache pointers through the driver. Looked up once.
+ */
+struct CacheMetrics
+{
+    metrics::Counter &hits = metrics::counter("trace_cache.hits");
+    metrics::Counter &misses = metrics::counter("trace_cache.misses");
+    metrics::Counter &stores = metrics::counter("trace_cache.stores");
+    metrics::Counter &upgrades =
+        metrics::counter("trace_cache.upgrades");
+    metrics::Counter &checksumFailures =
+        metrics::counter("trace_cache.checksum_failures");
+    metrics::Counter &quarantines =
+        metrics::counter("trace_cache.quarantines");
+    metrics::Counter &lockContention =
+        metrics::counter("trace_cache.lock_contention");
+    metrics::Counter &storeFailures =
+        metrics::counter("trace_cache.store_failures");
+
+    static CacheMetrics &
+    get()
+    {
+        static CacheMetrics m;
+        return m;
+    }
+};
 
 constexpr const char *kLockName = ".lock";
 constexpr const char *kCountersName = "cache-counters.txt";
@@ -249,10 +281,9 @@ TraceCache::quarantineEntry(const std::string &file, bool checksum)
     std::error_code ec;
     fs::rename(file, file + ".corrupt", ec);
     bool renamed = !ec;
-    std::fprintf(stderr,
-                 "trace-cache: quarantined damaged entry %s%s\n",
-                 file.c_str(),
-                 renamed ? " -> .corrupt" : " (rename failed)");
+    prophet_warnf("trace-cache: quarantined damaged entry %s%s",
+                  file.c_str(),
+                  renamed ? " -> .corrupt" : " (rename failed)");
     {
         std::lock_guard<std::mutex> lock(mu);
         if (renamed)
@@ -260,6 +291,10 @@ TraceCache::quarantineEntry(const std::string &file, bool checksum)
         if (checksum)
             ++counters.checksumFailures;
     }
+    if (renamed)
+        CacheMetrics::get().quarantines.inc();
+    if (checksum)
+        CacheMetrics::get().checksumFailures.inc();
     if (checksum)
         bumpPersistent(&PersistentCounters::checksumFailures);
     if (renamed)
@@ -276,14 +311,14 @@ TraceCache::load(const std::string &workload, std::size_t records,
         if (report.status == LoadStatus::OpenFail) {
             // A plain miss: the entry does not exist (or cannot be
             // opened, which regeneration will surface anyway).
+            CacheMetrics::get().misses.inc();
             std::lock_guard<std::mutex> lock(mu);
             ++counters.misses;
             return false;
         }
-        std::fprintf(
-            stderr,
+        prophet_warnf(
             "trace-cache: damaged entry %s (%s at offset %llu), "
-            "regenerating\n",
+            "regenerating",
             file.c_str(), loadStatusName(report.status),
             static_cast<unsigned long long>(report.offset));
         if (report.corrupt()) {
@@ -292,6 +327,7 @@ TraceCache::load(const std::string &workload, std::size_t records,
             quarantineEntry(
                 file, report.status == LoadStatus::ChecksumMismatch);
         }
+        CacheMetrics::get().misses.inc();
         std::lock_guard<std::mutex> lock(mu);
         ++counters.misses;
         return false;
@@ -301,17 +337,18 @@ TraceCache::load(const std::string &workload, std::size_t records,
         // checksums. A failed rewrite is harmless — the old file
         // stays behind and keeps serving hits.
         if (store(workload, records, out)) {
-            std::fprintf(stderr,
-                         "trace-cache: upgraded %s v%u -> v%u\n",
-                         file.c_str(), report.version,
-                         kTraceFormatV3);
+            prophet_infof("trace-cache: upgraded %s v%u -> v%u",
+                          file.c_str(), report.version,
+                          kTraceFormatV3);
+            CacheMetrics::get().upgrades.inc();
             std::lock_guard<std::mutex> lock(mu);
             ++counters.upgrades;
             --counters.stores; // the rewrite is not a caller store
         }
     }
-    std::fprintf(stderr, "trace-cache: hit %s (%zu records) <- %s\n",
-                 workload.c_str(), out.size(), file.c_str());
+    prophet_infof("trace-cache: hit %s (%zu records) <- %s",
+                  workload.c_str(), out.size(), file.c_str());
+    CacheMetrics::get().hits.inc();
     std::lock_guard<std::mutex> lock(mu);
     ++counters.hits;
     return true;
@@ -334,6 +371,7 @@ TraceCache::store(const std::string &workload, std::size_t records,
     // upgrade-rewrite and counter-file read-modify-writes.
     DirLock lock(dirPath);
     if (lock.contended()) {
+        CacheMetrics::get().lockContention.inc();
         {
             std::lock_guard<std::mutex> guard(mu);
             ++counters.lockContention;
@@ -344,6 +382,7 @@ TraceCache::store(const std::string &workload, std::size_t records,
     }
 
     auto storeFailed = [this]() {
+        CacheMetrics::get().storeFailures.inc();
         {
             std::lock_guard<std::mutex> guard(mu);
             ++counters.storeFailures;
@@ -379,6 +418,7 @@ TraceCache::store(const std::string &workload, std::size_t records,
         fs::remove(tmp, ec);
         return storeFailed();
     }
+    CacheMetrics::get().stores.inc();
     std::lock_guard<std::mutex> guard(mu);
     ++counters.stores;
     return true;

@@ -377,5 +377,62 @@ TEST_F(DriverTest, FailFastSkipsTheRemainingJobs)
     }
 }
 
+TEST_F(DriverTest, MetricsOutWritesReportAndResetsBetweenRuns)
+{
+    std::string out_path = dir + "/results.json";
+    std::string metrics_path = dir + "/metrics.json";
+
+    DriverOptions opts;
+    opts.metricsOut = metrics_path;
+    {
+        ExperimentDriver drv(smokeSpec(out_path), opts);
+        auto report = drv.run();
+        EXPECT_TRUE(report.ok());
+    }
+    auto first = readJson(metrics_path);
+
+    // Required report sections.
+    for (const char *key :
+         {"phases", "counters", "histograms", "jobs",
+          "peak_rss_bytes", "thread_pool", "wall_seconds"})
+        EXPECT_NE(first.find(key), nullptr) << key;
+
+    // Six jobs, each with its timing fields.
+    const json::Value *jobs = first.find("jobs");
+    ASSERT_NE(jobs, nullptr);
+    ASSERT_EQ(jobs->asArray().size(), 6u);
+    for (const auto &j : jobs->asArray()) {
+        EXPECT_TRUE(j.find("ok")->asBool());
+        EXPECT_GT(j.find("seconds")->asNumber(), 0.0);
+        EXPECT_GT(j.find("records")->asNumber(), 0.0);
+    }
+
+    // The phase split covers trace loading and simulation.
+    const json::Value *phases = first.find("phases");
+    ASSERT_NE(phases, nullptr);
+    for (const char *p : {"trace_load", "warmup", "simulate"}) {
+        const json::Value *ph = phases->find(p);
+        ASSERT_NE(ph, nullptr) << p;
+        EXPECT_GT(ph->find("seconds")->asNumber(), 0.0) << p;
+        EXPECT_GT(ph->find("count")->asNumber(), 0.0) << p;
+    }
+
+    double first_records =
+        first.find("counters")->find("sim.records")->asNumber();
+    EXPECT_GT(first_records, 0.0);
+
+    // A second driver run resets the registry: its report counts
+    // only its own work, not the accumulated total of both runs.
+    {
+        ExperimentDriver drv(smokeSpec(out_path), opts);
+        auto report = drv.run();
+        EXPECT_TRUE(report.ok());
+    }
+    auto second = readJson(metrics_path);
+    EXPECT_EQ(
+        second.find("counters")->find("sim.records")->asNumber(),
+        first_records);
+}
+
 } // anonymous namespace
 } // namespace prophet::driver

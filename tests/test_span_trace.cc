@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the span-trace collector: the emitted document is
+ * well-formed Chrome trace_event JSON, nested spans stay contained
+ * in their parents, thread ids are stable within a thread and
+ * distinct across threads, and a disabled collector records nothing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <thread>
+
+#include "common/span_trace.hh"
+#include "driver/json.hh"
+
+namespace prophet
+{
+namespace
+{
+
+using driver::json::Value;
+
+/** Parse toJson() and return the traceEvents array. */
+Value
+parsedEvents()
+{
+    Value doc;
+    std::string err;
+    EXPECT_TRUE(driver::json::parse(span::toJson(), doc, &err))
+        << err;
+    const Value *events = doc.find("traceEvents");
+    EXPECT_NE(events, nullptr);
+    EXPECT_TRUE(events->isArray());
+    return *events;
+}
+
+/** The "X" (complete) events of @p events, in document order. */
+std::vector<const Value *>
+completeEvents(const Value &events)
+{
+    std::vector<const Value *> out;
+    for (const auto &e : events.asArray())
+        if (e.find("ph") && e.find("ph")->asString() == "X")
+            out.push_back(&e);
+    return out;
+}
+
+class SpanTraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        span::reset();
+        span::setEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        span::setEnabled(false);
+        span::reset();
+    }
+};
+
+TEST_F(SpanTraceTest, DisabledCollectorRecordsNothing)
+{
+    span::setEnabled(false);
+    {
+        span::Span s("ignored");
+    }
+    EXPECT_EQ(span::eventCount(), 0u);
+    // The document is still valid JSON with an empty event list
+    // (modulo thread-name metadata).
+    Value events = parsedEvents();
+    EXPECT_TRUE(completeEvents(events).empty());
+}
+
+TEST_F(SpanTraceTest, NestedSpansAreContained)
+{
+    {
+        span::Span outer("outer");
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        {
+            span::Span inner("inner", "detail");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(span::eventCount(), 2u);
+
+    Value events = parsedEvents();
+    auto xs = completeEvents(events);
+    ASSERT_EQ(xs.size(), 2u);
+    // Deterministic order sorts parents before children.
+    const Value *outer = xs[0], *inner = xs[1];
+    EXPECT_EQ(outer->find("name")->asString(), "outer");
+    EXPECT_EQ(inner->find("name")->asString(), "inner");
+    EXPECT_EQ(inner->find("cat")->asString(), "detail");
+
+    double ots = outer->find("ts")->asNumber();
+    double odur = outer->find("dur")->asNumber();
+    double its = inner->find("ts")->asNumber();
+    double idur = inner->find("dur")->asNumber();
+    EXPECT_LE(ots, its);
+    EXPECT_GE(ots + odur, its + idur);
+    EXPECT_EQ(outer->find("tid")->asNumber(),
+              inner->find("tid")->asNumber());
+    EXPECT_EQ(outer->find("ph")->asString(), "X");
+}
+
+TEST_F(SpanTraceTest, TidStableWithinAThreadDistinctAcross)
+{
+    std::uint32_t here1 = span::currentTid();
+    std::uint32_t here2 = span::currentTid();
+    EXPECT_EQ(here1, here2);
+
+    std::uint32_t there = 0;
+    std::thread([&there] { there = span::currentTid(); }).join();
+    EXPECT_NE(here1, there);
+
+    {
+        span::Span a("main-span");
+    }
+    std::thread([] { span::Span b("worker-span"); }).join();
+
+    Value events = parsedEvents();
+    auto xs = completeEvents(events);
+    ASSERT_EQ(xs.size(), 2u);
+    std::set<double> tids;
+    for (const auto *e : xs)
+        tids.insert(e->find("tid")->asNumber());
+    EXPECT_EQ(tids.size(), 2u);
+}
+
+TEST_F(SpanTraceTest, ThreadNameMetadataEventEmitted)
+{
+    std::thread([] {
+        span::setCurrentThreadName("test-worker-7");
+        span::Span s("named-thread-span");
+    }).join();
+
+    Value events = parsedEvents();
+    bool found = false;
+    for (const auto &e : events.asArray()) {
+        if (e.find("ph")->asString() != "M")
+            continue;
+        EXPECT_EQ(e.find("name")->asString(), "thread_name");
+        const Value *args = e.find("args");
+        ASSERT_NE(args, nullptr);
+        if (args->find("name")->asString() == "test-worker-7")
+            found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST_F(SpanTraceTest, WriteJsonRoundTrips)
+{
+    {
+        span::Span s("to-disk \"quoted\\name\"");
+    }
+    std::string path = ::testing::TempDir() + "span_trace_test.json";
+    ASSERT_TRUE(span::writeJson(path));
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    Value doc;
+    std::string err;
+    ASSERT_TRUE(driver::json::parse(text, doc, &err)) << err;
+    EXPECT_EQ(doc.find("displayTimeUnit")->asString(), "ms");
+    auto xs = completeEvents(*doc.find("traceEvents"));
+    ASSERT_EQ(xs.size(), 1u);
+    // The escaped name survives the round trip.
+    EXPECT_EQ(xs[0]->find("name")->asString(),
+              "to-disk \"quoted\\name\"");
+}
+
+TEST_F(SpanTraceTest, ResetDropsEventsKeepsNames)
+{
+    span::setCurrentThreadName("kept-name");
+    {
+        span::Span s("dropped");
+    }
+    EXPECT_EQ(span::eventCount(), 1u);
+    span::reset();
+    EXPECT_EQ(span::eventCount(), 0u);
+
+    Value events = parsedEvents();
+    EXPECT_TRUE(completeEvents(events).empty());
+    bool name_kept = false;
+    for (const auto &e : events.asArray())
+        if (e.find("ph")->asString() == "M"
+            && e.find("args")->find("name")->asString() == "kept-name")
+            name_kept = true;
+    EXPECT_TRUE(name_kept);
+}
+
+} // anonymous namespace
+} // namespace prophet

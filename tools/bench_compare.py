@@ -4,6 +4,7 @@
 Usage:
     tools/bench_compare.py OLD.json NEW.json [--tolerance PCT]
                            [--metric METRIC] [--gate]
+    tools/bench_compare.py OLD_metrics.json NEW_metrics.json --phases
 
 For every benchmark name present in both files, the median METRIC
 (default: items_per_second, i.e. records/sec for the system-step and
@@ -12,6 +13,12 @@ Multiple entries with the same name (e.g. --benchmark_repetitions
 runs) are reduced to their median, which is robust against one noisy
 repetition; aggregate rows google-benchmark synthesizes itself
 (name_mean/_median/_stddev/_cv) are ignored.
+
+With --phases the inputs are two `prophet run --metrics-out` files
+instead: the per-phase cumulative seconds (trace_load, warmup,
+simulate, sink_render, ...) from their "phases" sections are diffed.
+Phase timings are durations, so *increases* beyond the tolerance are
+the regressions.
 
 By default the comparison is informational: the exit status is 0 no
 matter what changed, so noisy CI runners cannot block a merge. Pass
@@ -41,6 +48,14 @@ def load_medians(path, metric):
             for name, vals in values.items()}
 
 
+def load_phases(path):
+    """phase name -> cumulative seconds from a --metrics-out file."""
+    with open(path) as f:
+        doc = json.load(f)
+    return {name: float(entry.get("seconds", 0.0))
+            for name, entry in doc.get("phases", {}).items()}
+
+
 def main():
     parser = argparse.ArgumentParser(
         description=__doc__,
@@ -56,11 +71,22 @@ def main():
     parser.add_argument("--gate", action="store_true",
                         help="exit 1 on a regression beyond the "
                              "tolerance (default: informational)")
+    parser.add_argument("--phases", action="store_true",
+                        help="inputs are `prophet run --metrics-out` "
+                             "files; diff their per-phase seconds "
+                             "(lower is better)")
     args = parser.parse_args()
 
+    # Phase timings are durations: a regression is an *increase*.
+    # Benchmark throughput is the opposite.
+    lower_is_better = args.phases
     try:
-        old = load_medians(args.old, args.metric)
-        new = load_medians(args.new, args.metric)
+        if args.phases:
+            old = load_phases(args.old)
+            new = load_phases(args.new)
+        else:
+            old = load_medians(args.old, args.metric)
+            new = load_medians(args.new, args.metric)
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_compare: {e}", file=sys.stderr)
         # Unreadable inputs are not a benchmark regression; stay
@@ -69,21 +95,27 @@ def main():
 
     names = sorted(set(old) & set(new))
     if not names:
-        print("bench_compare: no common benchmarks to compare")
+        what = "phases" if args.phases else "benchmarks"
+        print(f"bench_compare: no common {what} to compare")
         return 0
 
-    width = max(len(n) for n in names)
-    print(f"{'benchmark':<{width}}  {'old':>14}  {'new':>14}  "
+    title = "phase" if args.phases else "benchmark"
+    width = max(len(title), max(len(n) for n in names))
+    print(f"{title:<{width}}  {'old':>14}  {'new':>14}  "
           f"{'change':>8}")
     regressions = []
     for name in names:
         o, n = old[name], new[name]
         change = (n / o - 1.0) * 100.0 if o else float("inf")
+        worse = change > args.tolerance if lower_is_better \
+            else change < -args.tolerance
+        better = change < -args.tolerance if lower_is_better \
+            else change > args.tolerance
         flag = ""
-        if change < -args.tolerance:
+        if worse:
             flag = "  REGRESSED"
             regressions.append(name)
-        elif change > args.tolerance:
+        elif better:
             flag = "  improved"
         print(f"{name:<{width}}  {o:>14.4g}  {n:>14.4g}  "
               f"{change:>+7.1f}%{flag}")
@@ -96,8 +128,10 @@ def main():
         print(f"only in {args.new}: {', '.join(only_new)}")
 
     if regressions:
-        print(f"{len(regressions)} benchmark(s) beyond the "
-              f"-{args.tolerance}% tolerance: "
+        what = "phase(s)" if args.phases else "benchmark(s)"
+        sign = "+" if lower_is_better else "-"
+        print(f"{len(regressions)} {what} beyond the "
+              f"{sign}{args.tolerance}% tolerance: "
               f"{', '.join(regressions)}")
         if args.gate:
             return 1

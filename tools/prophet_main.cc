@@ -5,7 +5,8 @@
  *
  *   prophet run <spec.json> [--threads N] [--records N]
  *               [--no-trace-cache] [--trace-cache-dir DIR]
- *               [--keep-going | --fail-fast]
+ *               [--keep-going | --fail-fast] [--progress]
+ *               [--metrics-out FILE] [--trace-out FILE]
  *   prophet list-workloads
  *   prophet list-pipelines
  *   prophet trace-cache warm <spec.json | workload...>
@@ -55,13 +56,25 @@ usage()
         "\n"
         "  run <spec.json> [--threads N] [--records N]\n"
         "      [--no-trace-cache] [--trace-cache-dir DIR]\n"
-        "      [--keep-going | --fail-fast]\n"
+        "      [--keep-going | --fail-fast] [--progress]\n"
+        "      [--metrics-out FILE] [--trace-out FILE]\n"
         "  list-workloads\n"
         "  list-pipelines\n"
         "  trace-cache warm <spec.json | workload...>\n"
         "      [--threads N] [--records N] [--trace-cache-dir DIR]\n"
         "  trace-cache clear [--trace-cache-dir DIR]\n"
         "  trace-cache stats [--trace-cache-dir DIR]\n"
+        "\n"
+        "observability (run; all off by default — outputs are\n"
+        "byte-identical to a run without these flags):\n"
+        "  --progress         live jobs/rate/ETA line on stderr\n"
+        "  --metrics-out FILE write a JSON metrics report (phase\n"
+        "                     timings, counters, per-job timings,\n"
+        "                     peak RSS, thread utilization)\n"
+        "  --trace-out FILE   write a Chrome trace_event span trace\n"
+        "                     (open in https://ui.perfetto.dev)\n"
+        "  PROPHET_LOG=error|warn|info|debug filters stderr logging\n"
+        "                     (default info)\n"
         "\n"
         "failure policy (run):\n"
         "  --keep-going   run every job even after one fails; render\n"
@@ -153,6 +166,22 @@ parseFlags(int argc, char **argv, int from, Flags &flags)
             flags.opts.traceCacheDir = s;
         } else if (!std::strncmp(argv[i], "--trace-cache-dir=", 18)) {
             flags.opts.traceCacheDir = argv[i] + 18;
+        } else if (!std::strcmp(argv[i], "--progress")) {
+            flags.opts.progress = true;
+        } else if (!std::strcmp(argv[i], "--metrics-out")) {
+            const char *s = needValue(i, "--metrics-out");
+            if (!s)
+                return false;
+            flags.opts.metricsOut = s;
+        } else if (!std::strncmp(argv[i], "--metrics-out=", 14)) {
+            flags.opts.metricsOut = argv[i] + 14;
+        } else if (!std::strcmp(argv[i], "--trace-out")) {
+            const char *s = needValue(i, "--trace-out");
+            if (!s)
+                return false;
+            flags.opts.traceOut = s;
+        } else if (!std::strncmp(argv[i], "--trace-out=", 12)) {
+            flags.opts.traceOut = argv[i] + 12;
         } else if (argv[i][0] == '-') {
             std::fprintf(stderr, "prophet: unknown flag %s\n",
                          argv[i]);

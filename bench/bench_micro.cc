@@ -159,6 +159,47 @@ BENCHMARK_CAPTURE(BM_SystemStep, triangel, sim::L2PfKind::Triangel)
 BENCHMARK_CAPTURE(BM_SystemStep, prophet, sim::L2PfKind::Prophet)
     ->Unit(benchmark::kMillisecond)->Iterations(3);
 
+/**
+ * Sampled fast-mode counterpart of BM_SystemStep: same trace, same
+ * pipelines, a representative sparse schedule (20k warm + 10k window
+ * per 100k interval = 30% of records stepped). items_per_second
+ * counts *effective* (trace) records — the number sweeps experience
+ * — so its ratio over BM_SystemStep is the fast mode's speedup and
+ * the perf-diff step catches regressions in the skip machinery.
+ */
+void
+BM_SystemStepSampled(benchmark::State &state, sim::L2PfKind l2_kind)
+{
+    const trace::Trace &t = systemStepTrace();
+
+    sim::SystemConfig cfg = sim::SystemConfig::table1();
+    cfg.l2Pf = l2_kind;
+    cfg.warmupRecords = 0;
+    cfg.sampling.enabled = true;
+    cfg.sampling.warmupRecords = 20000;
+    cfg.sampling.windowRecords = 10000;
+    cfg.sampling.intervalRecords = 100000;
+
+    for (auto _ : state) {
+        state.PauseTiming();
+        sim::System sys(cfg);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(sys.run(t));
+        state.SetItemsProcessed(state.items_processed()
+                                + static_cast<std::int64_t>(t.size()));
+    }
+}
+BENCHMARK_CAPTURE(BM_SystemStepSampled, none, sim::L2PfKind::None)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK_CAPTURE(BM_SystemStepSampled, triage, sim::L2PfKind::Triage)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK_CAPTURE(BM_SystemStepSampled, triangel,
+                  sim::L2PfKind::Triangel)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK_CAPTURE(BM_SystemStepSampled, prophet,
+                  sim::L2PfKind::Prophet)
+    ->Unit(benchmark::kMillisecond)->Iterations(3);
+
 /** Scratch trace-cache directory, removed at process scope end. */
 struct ScratchCacheDir
 {

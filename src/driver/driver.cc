@@ -461,8 +461,11 @@ ExperimentDriver::run()
         report.meta.traceCacheMisses = cs.misses;
     }
     // Cumulative phase split for the table sink's wall-clock line:
-    // "simulate" covers the whole System::run (warmup + measured
-    // window), "trace-load" the generate-or-cache-load phase.
+    // "simulate" covers every System::run (warmup + functional warm +
+    // measured window + Prophet's profiling pass), "trace-load" the
+    // generate-or-cache-load phase. The finer per-phase split — with
+    // profiling broken out so sampled-vs-full speedups compare pure
+    // timing simulation — is in --metrics-out "phases".
     report.meta.traceLoadSeconds =
         static_cast<double>(
             metrics::histogram("phase.trace_load_ns").sum())
@@ -470,6 +473,8 @@ ExperimentDriver::run()
     report.meta.simulateSeconds =
         static_cast<double>(
             metrics::histogram("phase.warmup_ns").sum()
+            + metrics::histogram("phase.warm_ns").sum()
+            + metrics::histogram("phase.profile_ns").sum()
             + metrics::histogram("phase.simulate_ns").sum())
         / 1e9;
 

@@ -150,6 +150,14 @@ buildMetricsReport(const ExperimentReport &report)
         j.set("records", json::Value(r.stats.records));
         j.set("attempts",
               json::Value(static_cast<double>(r.attempts)));
+        // Sampled jobs carry their detailed-record count; full jobs
+        // keep the pre-sampling document shape.
+        if (r.stats.sampled) {
+            j.set("sampled", json::Value(true));
+            j.set("sampled_records",
+                  json::Value(r.stats.sampledRecords));
+            j.set("sample_scale", json::Value(r.stats.sampleScale));
+        }
         jobs.push(std::move(j));
     }
     root.set("jobs", std::move(jobs));

@@ -161,6 +161,14 @@ statsToJson(const sim::RunStats &s)
     o.set("dram_prefetch_reads", json::Value(s.dramPrefetchReads));
     o.set("final_metadata_ways",
           json::Value(static_cast<double>(s.finalMetadataWays)));
+    // Sampled-run keys exist only on sampled rows: documents from
+    // specs without "sampling" stay byte-identical to the
+    // pre-sampling schema.
+    if (s.sampled) {
+        o.set("sampled", json::Value(true));
+        o.set("sampled_records", json::Value(s.sampledRecords));
+        o.set("sample_scale", json::Value(s.sampleScale));
+    }
     return o;
 }
 

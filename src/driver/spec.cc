@@ -299,6 +299,57 @@ parseSink(const json::Value &v)
     return s;
 }
 
+/**
+ * The "sampling" object: sampled fast-mode execution knobs. Every
+ * value is validated here at parse time — a schedule the simulator
+ * would have to clamp (zero-record windows, a window longer than its
+ * interval) is a spec error, not a silent reinterpretation.
+ */
+sim::SamplingConfig
+parseSampling(const json::Value &v)
+{
+    if (!v.isObject())
+        specFail("\"sampling\" must be an object");
+    rejectUnknownKeys(v,
+                      {"warmup_records", "window_records",
+                       "interval_records", "offset"},
+                      "sampling");
+    sim::SamplingConfig s;
+    s.enabled = true;
+    if (const json::Value *w = v.find("warmup_records"))
+        s.warmupRecords = asCount(*w, "warmup_records");
+    if (const json::Value *w = v.find("window_records")) {
+        s.windowRecords = asCount(*w, "window_records");
+        if (s.windowRecords == 0)
+            specFail("sampling \"window_records\" must be at "
+                     "least 1");
+    }
+    if (const json::Value *w = v.find("interval_records")) {
+        s.intervalRecords = asCount(*w, "interval_records");
+        if (s.intervalRecords == 0)
+            specFail("sampling \"interval_records\" must be at "
+                     "least 1");
+    }
+    if (s.intervalRecords < s.windowRecords)
+        specFail("sampling \"interval_records\" must be >= "
+                 "\"window_records\" (one window per interval)");
+    if (const json::Value *w = v.find("offset"))
+        s.offset = asCount(*w, "offset");
+    return s;
+}
+
+/** Canonical JSON of an enabled sampling config (every knob). */
+json::Value
+samplingToJson(const sim::SamplingConfig &s)
+{
+    json::Value obj = json::Value::makeObject();
+    obj.set("warmup_records", json::Value(s.warmupRecords));
+    obj.set("window_records", json::Value(s.windowRecords));
+    obj.set("interval_records", json::Value(s.intervalRecords));
+    obj.set("offset", json::Value(s.offset));
+    return obj;
+}
+
 } // anonymous namespace
 
 const std::vector<std::string> &
@@ -319,7 +370,7 @@ ExperimentSpec::fromJson(const json::Value &root)
     rejectUnknownKeys(root,
                       {"name", "report", "workloads", "pipelines",
                        "sweep", "metrics", "records", "threads", "l1",
-                       "dram_channels", "warmup_records",
+                       "dram_channels", "warmup_records", "sampling",
                        "trace_cache", "keep_going", "sinks"},
                       "spec");
 
@@ -340,7 +391,7 @@ ExperimentSpec::fromJson(const json::Value &root)
         // the reported configuration.
         for (const char *key :
              {"workloads", "pipelines", "sweep", "metrics", "sinks",
-              "records", "threads", "trace_cache"})
+              "records", "threads", "trace_cache", "sampling"})
             if (root.find(key))
                 specFail(std::string("\"") + key
                          + "\" has no effect in a \"report\" spec");
@@ -416,6 +467,8 @@ ExperimentSpec::fromJson(const json::Value &root)
     }
     if (const json::Value *v = root.find("warmup_records"))
         spec.warmupRecords = asCount(*v, "warmup_records");
+    if (const json::Value *v = root.find("sampling"))
+        spec.sampling = parseSampling(*v);
     if (const json::Value *v = root.find("trace_cache")) {
         if (!v->isBool())
             specFail("\"trace_cache\" must be a boolean");
@@ -477,6 +530,10 @@ ExperimentSpec::toJson() const
              json::Value(static_cast<double>(dramChannels)));
     if (warmupRecords != kWarmupDefault)
         root.set("warmup_records", json::Value(warmupRecords));
+    // Emitted only when enabled: pre-sampling specs keep their
+    // canonical form (and hash) byte-identical.
+    if (sampling.enabled)
+        root.set("sampling", samplingToJson(sampling));
     root.set("trace_cache", json::Value(traceCache));
     // Emitted only when set: the default leaves the canonical form
     // (and thus hash() and archived spec dumps) byte-identical to
@@ -539,6 +596,10 @@ ExperimentSpec::resultHash(std::size_t effective_records) const
              json::Value(static_cast<double>(dramChannels)));
     if (warmupRecords != kWarmupDefault)
         root.set("warmup_records", json::Value(warmupRecords));
+    // Sampling changes every reported number: two runs differing
+    // only in schedule must never compare as bit-identical.
+    if (sampling.enabled)
+        root.set("sampling", samplingToJson(sampling));
     return hashDump(json::dump(root));
 }
 
@@ -555,6 +616,7 @@ ExperimentSpec::baseConfig() const
     cfg.hier.dram.channels = dramChannels;
     if (warmupRecords != kWarmupDefault)
         cfg.warmupRecords = warmupRecords;
+    cfg.sampling = sampling;
     return cfg;
 }
 

@@ -29,6 +29,12 @@
  *     "l1": "stride",                // stride | ipcp | none
  *     "dram_channels": 1,
  *     "warmup_records": 200000,
+ *     "sampling": {                  // sampled fast-mode execution
+ *       "warmup_records": 100000,    // functional warm before window
+ *       "window_records": 50000,     // detailed records per window
+ *       "interval_records": 1000000, // schedule period (>= window)
+ *       "offset": 0                  // shift the whole schedule
+ *     },
  *     "trace_cache": true,           // consult the on-disk cache
  *     "sinks": [{"type": "table"},   // table | json | csv
  *               {"type": "json", "path": "out.json"}]
@@ -97,6 +103,15 @@ struct ExperimentSpec
     std::string l1 = "stride";
     unsigned dramChannels = 1;
     std::size_t warmupRecords = kWarmupDefault;
+
+    /**
+     * Sampled fast-mode execution (sampling.enabled == false when
+     * the spec has no "sampling" key — the exact full-trace loop).
+     * Included in toJson()/resultHash() only when enabled, so
+     * pre-sampling specs keep their hashes.
+     */
+    sim::SamplingConfig sampling{};
+
     bool traceCache = true;
 
     /**

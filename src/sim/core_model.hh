@@ -78,6 +78,32 @@ class CoreModel
     /** IPC measured after the last mark(). */
     double ipcSinceMark() const;
 
+    /**
+     * Exact (fractional) cycles elapsed since the last mark(). The
+     * sampled run path accumulates these per measurement window;
+     * keeping the value fractional until the final rounding is what
+     * lets a whole-trace window reproduce finalCycles() bit for bit.
+     */
+    double cyclesSinceMark() const
+    {
+        double c = (issueClock > retireClock ? issueClock
+                                             : retireClock)
+            - markCycles;
+        return c > 0.0 ? c : 0.0;
+    }
+
+    /** Instructions retired since the last mark(). */
+    std::uint64_t instructionsSinceMark() const
+    {
+        return instCount - markInsts;
+    }
+
+    /** Exact (fractional) total cycles, before finalCycles() rounds. */
+    double exactCycles() const
+    {
+        return issueClock > retireClock ? issueClock : retireClock;
+    }
+
   private:
     CoreParams prm;
 

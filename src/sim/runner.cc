@@ -159,6 +159,16 @@ Runner::profileWorkload(const std::string &workload)
     span::Span profile_span("profile " + workload, "sim");
     SystemConfig cfg = base;
     cfg.l2Pf = L2PfKind::Simplified;
+    // Profiling is the offline compile step that produces the
+    // optimized binary's hints: it must see the whole access stream
+    // regardless of how the timing simulation is sampled, or sampled
+    // Prophet runs would measure a crippled binary, not a sampled
+    // machine.
+    cfg.sampling = SamplingConfig{};
+    // Published under "phase.profile_ns": the offline pass is a
+    // per-workload cost amortized across a sweep, not part of the
+    // timing-simulation throughput the phase split measures.
+    cfg.profilingRun = true;
     System system(cfg, resolverFor(workload));
     {
         std::lock_guard<std::mutex> lock(cacheMu);

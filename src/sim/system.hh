@@ -57,6 +57,21 @@ struct RunStats
     pf::MarkovStats markov{};
     unsigned finalMetadataWays = 0;
 
+    // ---- sampled fast-mode execution (SamplingConfig) ----
+
+    /** The run used sampled execution (warm + measurement windows). */
+    bool sampled = false;
+
+    /** Detailed (measured-window) records actually simulated. */
+    std::uint64_t sampledRecords = 0;
+
+    /**
+     * Scale applied to window-measured counters to estimate the full
+     * run's measured region (1.0 for full runs and for sampled
+     * schedules that cover the whole trace).
+     */
+    double sampleScale = 1.0;
+
     /** DRAM metadata traffic of off-chip schemes (STMS/Domino). */
     pf::OffchipMetadataStats offchipMeta{};
 
@@ -127,7 +142,14 @@ class System
     void setCancellation(const CancellationToken *token,
                          std::size_t interval = 4096);
 
-    /** Simulate the trace and return the statistics. */
+    /**
+     * Simulate the trace and return the statistics. With
+     * cfg.sampling.enabled the trace is run in sampled fast mode
+     * (functional warmup + detailed measurement windows, everything
+     * else fast-forwarded) and the window-measured statistics are
+     * scaled to full-run estimates; otherwise this is the exact
+     * full-trace loop, bit-identical to scalar step() calls.
+     */
     RunStats run(const trace::Trace &t);
 
     /**
@@ -191,6 +213,41 @@ class System
     std::size_t warmBoundary = 0;
     bool warmed = false;
 
+    // ---- sampled-mode state (runSampled() only) ----
+
+    /** Trace length of the sampled run (RunStats::records). */
+    std::size_t traceRecords = 0;
+
+    /** Detailed records stepped inside measurement windows. */
+    std::uint64_t detailedTotal = 0;
+
+    /** Wall time spent in functional-warm segments (ns). */
+    std::uint64_t warmWallNs = 0;
+
+    /** Wall time spent in detailed measurement windows (ns). */
+    std::uint64_t windowWallNs = 0;
+
+    /**
+     * Per-window measurements summed across windows. Each window is
+     * bracketed by windowBegin() (reset the hierarchy/core stats
+     * windows) and windowEnd() (fold the window's deltas in here).
+     * Cycles stay fractional until finish() rounds once — that, plus
+     * resetting exactly like the full run's warmup boundary, is what
+     * makes a whole-trace window bit-identical to the full run.
+     */
+    struct WindowAccum
+    {
+        double cycles = 0.0;
+        std::uint64_t instructions = 0;
+        std::uint64_t l1DemandHits = 0, l1DemandMisses = 0;
+        std::uint64_t l2DemandHits = 0, l2DemandMisses = 0;
+        std::uint64_t llcDemandHits = 0, llcDemandMisses = 0;
+        std::uint64_t dramReads = 0, dramWrites = 0;
+        std::uint64_t dramPrefetchReads = 0;
+        std::uint64_t l2PrefetchesIssued = 0;
+    };
+    WindowAccum windowAccum{};
+
     /**
      * Phase-timer clock points: one read at beginRun(), one inside
      * the once-per-run warm-boundary body, one at finish() — never
@@ -220,6 +277,34 @@ class System
      */
     void stepRecord(PC pc, Addr addr, std::uint16_t inst_gap,
                     bool depends_on_prev, bool is_write);
+
+    /**
+     * The shared record body. Detailed=true is the exact stepRecord
+     * path; Detailed=false is the functional-warm path of sampled
+     * runs — identical architectural state transitions (core timing,
+     * caches, every prefetcher's training, RPG2, partition sync), but
+     * no System-level statistic attribution (useful/late counters,
+     * per-PC miss map, warm-boundary bookkeeping). Sharing one
+     * template body keeps the two paths in lockstep by construction.
+     */
+    template <bool Detailed>
+    void stepRecordImpl(PC pc, Addr addr, std::uint16_t inst_gap,
+                        bool depends_on_prev, bool is_write);
+
+    /** The sampled fast-mode trace loop (cfg.sampling.enabled). */
+    RunStats runSampled(const trace::Trace &t);
+
+    /** Open a measurement window: reset the stats windows. */
+    void windowBegin();
+
+    /** Close a measurement window: fold its deltas into the accum. */
+    void windowEnd();
+
+    /**
+     * Assemble a sampled run's RunStats: scale the window accumulators
+     * to full-trace estimates and publish the sampled-phase metrics.
+     */
+    RunStats finishSampled();
 };
 
 } // namespace prophet::sim

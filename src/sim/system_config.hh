@@ -53,6 +53,54 @@ normalizePartitionSyncInterval(std::size_t interval)
     return interval <= 1 ? 1 : nextPowerOf2(interval);
 }
 
+/**
+ * Sampled (fast-mode) execution: SimPoint/SMARTS-style region
+ * sampling over the trace. The trace is tiled into intervals of
+ * @ref intervalRecords; each interval ends in a detailed measurement
+ * window of @ref windowRecords, preceded by @ref warmupRecords of
+ * functional warming (caches, prefetchers and Markov/metadata tables
+ * train, System-level statistics are not attributed). Records before
+ * the warm region of the next window are fast-forwarded — not
+ * simulated at all — which is where the 10-50x effective throughput
+ * comes from. Measured window statistics are scaled to estimates of
+ * what a full run would have reported (see System::finish); a
+ * schedule whose warm+window phases cover the whole trace is
+ * bit-identical to the full run (regression-gated in
+ * tests/test_sampling.cc).
+ */
+struct SamplingConfig
+{
+    /** Off by default: run() stays the exact full-trace loop. */
+    bool enabled = false;
+
+    /**
+     * Functional-warm records before each measurement window. Larger
+     * values cost throughput and buy state fidelity (long-history
+     * structures — the LLC, Markov tables — recover from the
+     * fast-forward). Clipped at the previous window's end, so an
+     * oversized warmup (e.g. the trace length) simply disables
+     * fast-forwarding.
+     */
+    std::size_t warmupRecords = 100'000;
+
+    /** Detailed records measured per window (>= 1). */
+    std::size_t windowRecords = 50'000;
+
+    /**
+     * Period of the schedule: one window per this many trace
+     * records (>= windowRecords). The detailed fraction
+     * windowRecords / intervalRecords bounds the speedup from above.
+     */
+    std::size_t intervalRecords = 1'000'000;
+
+    /**
+     * Shift the whole schedule this many records into the trace
+     * (deterministic offset; windows end at offset + k *
+     * intervalRecords, k = 1, 2, ...).
+     */
+    std::size_t offset = 0;
+};
+
 /** The full system configuration. */
 struct SystemConfig
 {
@@ -76,6 +124,18 @@ struct SystemConfig
 
     /** Records before the statistics warmup boundary. */
     std::size_t warmupRecords = 200'000;
+
+    /** Sampled fast-mode execution (disabled by default). */
+    SamplingConfig sampling{};
+
+    /**
+     * This run is Prophet's offline profiling pass (Section 3.2):
+     * its wall time is published as "phase.profile_ns" instead of
+     * the warmup/simulate split, so phase accounting separates the
+     * one-time per-workload analysis cost from timing simulation —
+     * the part sampling accelerates. Set by Runner::profileWorkload.
+     */
+    bool profilingRun = false;
 
     /**
      * Resync LLC way partition every this many records. Rounded up

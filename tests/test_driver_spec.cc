@@ -288,5 +288,65 @@ TEST(Spec, FromFileReportsIoAndParseErrors)
                  SpecError);
 }
 
+TEST(Spec, ParsesSamplingObject)
+{
+    auto spec = specOk(
+        "{\"workloads\": [\"mcf\"], \"pipelines\": [\"prophet\"],"
+        " \"sampling\": {\"warmup_records\": 20000,"
+        " \"window_records\": 10000,"
+        " \"interval_records\": 300000, \"offset\": 7}}");
+    EXPECT_TRUE(spec.sampling.enabled);
+    EXPECT_EQ(spec.sampling.warmupRecords, 20000u);
+    EXPECT_EQ(spec.sampling.windowRecords, 10000u);
+    EXPECT_EQ(spec.sampling.intervalRecords, 300000u);
+    EXPECT_EQ(spec.sampling.offset, 7u);
+    EXPECT_TRUE(spec.baseConfig().sampling.enabled);
+    EXPECT_EQ(spec.baseConfig().sampling.windowRecords, 10000u);
+
+    // Empty object: sampling on with every default.
+    auto defaults = specOk(
+        "{\"workloads\": [\"mcf\"], \"pipelines\": [\"prophet\"],"
+        " \"sampling\": {}}");
+    EXPECT_TRUE(defaults.sampling.enabled);
+    EXPECT_EQ(defaults.sampling.windowRecords,
+              sim::SamplingConfig{}.windowRecords);
+}
+
+TEST(Spec, RejectsBadSampling)
+{
+    // Not an object / unknown key inside.
+    specErr("{\"workloads\": [\"mcf\"], \"pipelines\": [\"prophet\"],"
+            " \"sampling\": true}");
+    specErr("{\"workloads\": [\"mcf\"], \"pipelines\": [\"prophet\"],"
+            " \"sampling\": {\"windw_records\": 5}}");
+    // Degenerate schedules are parse errors, never silent clamps.
+    specErr("{\"workloads\": [\"mcf\"], \"pipelines\": [\"prophet\"],"
+            " \"sampling\": {\"window_records\": 0}}");
+    specErr("{\"workloads\": [\"mcf\"], \"pipelines\": [\"prophet\"],"
+            " \"sampling\": {\"interval_records\": 0}}");
+    specErr("{\"workloads\": [\"mcf\"], \"pipelines\": [\"prophet\"],"
+            " \"sampling\": {\"window_records\": 1000,"
+            " \"interval_records\": 500}}");
+    // Sampling in a static report spec is meaningless.
+    specErr("{\"report\": \"system-config\","
+            " \"sampling\": {\"window_records\": 1000}}");
+}
+
+TEST(Spec, SamplingChangesHashesOnlyWhenPresent)
+{
+    auto plain = specOk(
+        "{\"workloads\": [\"mcf\"], \"pipelines\": [\"prophet\"]}");
+    auto sampled = specOk(
+        "{\"workloads\": [\"mcf\"], \"pipelines\": [\"prophet\"],"
+        " \"sampling\": {\"interval_records\": 300000}}");
+    // Pre-sampling canonical form carries no "sampling" key, so old
+    // spec hashes and archived dumps are unchanged.
+    EXPECT_EQ(plain.toJson().find("sampling"), nullptr);
+    ASSERT_NE(sampled.toJson().find("sampling"), nullptr);
+    EXPECT_NE(plain.hash(), sampled.hash());
+    // Sampling changes the numbers: results must not compare equal.
+    EXPECT_NE(plain.resultHash(1000), sampled.resultHash(1000));
+}
+
 } // anonymous namespace
 } // namespace prophet::driver

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Sampled-vs-full validation harness.
+
+Runs an experiment spec twice through the prophet driver -- once
+exactly (any "sampling" key stripped) and once in sampled fast mode
+-- and reports, per (workload, pipeline, metric), the relative error
+of the sampled estimate, plus the effective speedup from the driver's
+phase metrics.
+
+Typical use:
+
+    python3 tools/sampling_error.py specs/fig10.json \
+        --prophet build/prophet \
+        --sampling '{"warmup_records": 25000, "window_records": 10000,
+                     "interval_records": 300000}' \
+        --max-error 2.0 --report sampling_report.json
+
+Exit status: 0 when every compared metric is within --max-error
+(always 0 when no gate is given), 1 otherwise, 2 on usage/run errors.
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+DEFAULT_SAMPLING = {
+    "warmup_records": 25000,
+    "window_records": 10000,
+    "interval_records": 300000,
+}
+
+
+def load_spec(path):
+    """Parse a spec file, tolerating the // comments and trailing
+    commas the driver's JSON reader accepts."""
+    text = Path(path).read_text()
+    text = re.sub(r"^\s*//.*$", "", text, flags=re.MULTILINE)
+    text = re.sub(r",(\s*[}\]])", r"\1", text)
+    return json.loads(text)
+
+
+def run_variant(args, spec, tag, tmp):
+    """Write a spec variant, run it, return (rows, phases)."""
+    results_path = tmp / f"{tag}_results.json"
+    metrics_path = tmp / f"{tag}_metrics.json"
+    spec = dict(spec)
+    spec["name"] = f"{spec.get('name', 'experiment')}-{tag}"
+    # The json sink is the comparison input; drop table/csv noise.
+    spec["sinks"] = [{"type": "json", "path": str(results_path)}]
+    spec_path = tmp / f"{tag}_spec.json"
+    spec_path.write_text(json.dumps(spec, indent=2))
+
+    cmd = [args.prophet, "run", str(spec_path),
+           "--metrics-out", str(metrics_path)]
+    if args.threads:
+        cmd += ["--threads", str(args.threads)]
+    if args.trace_cache_dir:
+        cmd += ["--trace-cache-dir", args.trace_cache_dir]
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.PIPE, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        sys.exit(2)
+
+    rows = json.loads(results_path.read_text())["results"]
+    phases = json.loads(metrics_path.read_text()).get("phases", {})
+    return rows, phases
+
+
+def phase_seconds(phases, keys):
+    return sum(phases.get(k, {}).get("seconds", 0.0) for k in keys)
+
+
+def compare(full_rows, sampled_rows):
+    """Yield (workload, pipeline, metric, full, sampled, rel_error)."""
+    sampled = {(r["workload"], r["pipeline"]): r for r in sampled_rows}
+    for f in full_rows:
+        key = (f["workload"], f["pipeline"])
+        s = sampled.get(key)
+        if s is None:
+            continue
+        pairs = list(f.get("metrics", {}).items())
+        # IPC is the headline per-workload stat even when the spec
+        # only asked for derived metrics like speedup.
+        if "ipc" not in f.get("metrics", {}):
+            pairs.append(("ipc", f["stats"]["ipc"]))
+        for name, fv in pairs:
+            sv = (s.get("metrics", {}).get(name)
+                  if name in s.get("metrics", {})
+                  else s["stats"].get(name))
+            if sv is None:
+                continue
+            err = abs(sv - fv) / abs(fv) if fv else abs(sv - fv)
+            yield key[0], key[1], name, fv, sv, err
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="sampled-vs-full relative-error report")
+    ap.add_argument("spec", help="experiment spec (specs/*.json)")
+    ap.add_argument("--prophet", default="build/prophet",
+                    help="driver binary (default: build/prophet)")
+    ap.add_argument("--sampling", default=None,
+                    help="sampling object as JSON (default: the "
+                         "spec's own \"sampling\" object, else "
+                         + json.dumps(DEFAULT_SAMPLING) + ")")
+    ap.add_argument("--max-error", type=float, default=None,
+                    help="fail (exit 1) if any relative error "
+                         "exceeds this percentage")
+    ap.add_argument("--report", default=None,
+                    help="write the JSON report here")
+    ap.add_argument("--threads", type=int, default=0)
+    ap.add_argument("--trace-cache-dir", default=None)
+    args = ap.parse_args()
+
+    spec = load_spec(args.spec)
+    if spec.get("report"):
+        sys.exit("report specs run no jobs; nothing to validate")
+    # Schedule precedence: explicit --sampling, then the spec's own
+    # "sampling" object (so `sampling_error.py specs/foo.json`
+    # validates the schedule foo.json actually ships), then the
+    # small built-in default.
+    sampling = (json.loads(args.sampling) if args.sampling
+                else spec.get("sampling") or dict(DEFAULT_SAMPLING))
+
+    full_spec = {k: v for k, v in spec.items() if k != "sampling"}
+    sampled_spec = dict(full_spec)
+    sampled_spec["sampling"] = sampling
+
+    with tempfile.TemporaryDirectory(prefix="sampling_err_") as d:
+        tmp = Path(d)
+        full_rows, full_ph = run_variant(args, full_spec, "full", tmp)
+        sampled_rows, sampled_ph = run_variant(args, sampled_spec,
+                                               "sampled", tmp)
+
+    rows = list(compare(full_rows, sampled_rows))
+    if not rows:
+        sys.exit("no comparable (workload, pipeline) rows")
+
+    # Pure timing-simulation time: Prophet's offline profiling pass
+    # reports under its own "profile" phase and is identical (never
+    # sampled) in both variants, so it is excluded from the ratio.
+    sim_phases = ["warmup", "warm", "simulate"]
+    full_sim = phase_seconds(full_ph, sim_phases)
+    sampled_sim = phase_seconds(sampled_ph, sim_phases)
+    profile_s = phase_seconds(sampled_ph, ["profile"])
+    speedup = full_sim / sampled_sim if sampled_sim > 0 else 0.0
+
+    print(f"{'workload':<16} {'pipeline':<14} {'metric':<10} "
+          f"{'full':>12} {'sampled':>12} {'err%':>7}")
+    worst = 0.0
+    for wl, pl, name, fv, sv, err in rows:
+        worst = max(worst, err)
+        print(f"{wl:<16} {pl:<14} {name:<10} "
+              f"{fv:>12.6g} {sv:>12.6g} {err * 100:>6.2f}%")
+    print(f"\nmax relative error: {worst * 100:.2f}%")
+    print(f"simulate phase: full {full_sim:.2f}s, "
+          f"sampled {sampled_sim:.2f}s, speedup {speedup:.1f}x"
+          + (f" (+ {profile_s:.2f}s unsampled profiling)"
+             if profile_s else ""))
+
+    if args.report:
+        doc = {
+            "spec": args.spec,
+            "sampling": sampling,
+            "max_error_pct": worst * 100,
+            "speedup": speedup,
+            "full_simulate_seconds": full_sim,
+            "sampled_simulate_seconds": sampled_sim,
+            "profile_seconds": profile_s,
+            "metrics": [
+                {"workload": wl, "pipeline": pl, "metric": name,
+                 "full": fv, "sampled": sv, "error_pct": err * 100}
+                for wl, pl, name, fv, sv, err in rows
+            ],
+        }
+        Path(args.report).write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"report written to {args.report}")
+
+    if args.max_error is not None and worst * 100 > args.max_error:
+        print(f"FAIL: max error {worst * 100:.2f}% exceeds gate "
+              f"{args.max_error:.2f}%", file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

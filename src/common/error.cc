@@ -29,6 +29,10 @@ errorCodeName(ErrorCode code)
         return "fault-injected";
       case ErrorCode::Internal:
         return "internal";
+      case ErrorCode::JournalCorrupt:
+        return "journal-corrupt";
+      case ErrorCode::JobTimeout:
+        return "job-timeout";
     }
     return "unknown";
 }
@@ -39,6 +43,10 @@ isTransientError(ErrorCode code)
     switch (code) {
       case ErrorCode::TraceIo:
       case ErrorCode::CacheLock:
+      // A deadline expiry says nothing permanent about the job: the
+      // machine may simply have been overloaded, so a fresh attempt
+      // (with a fresh deadline) is worth one retry.
+      case ErrorCode::JobTimeout:
         return true;
       default:
         return false;

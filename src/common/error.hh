@@ -41,6 +41,8 @@ enum class ErrorCode : std::uint8_t
     Cancelled,       ///< cooperative cancellation observed
     FaultInjected,   ///< a deterministic test fault fired
     Internal,        ///< everything else (wrapped std::exception)
+    JournalCorrupt,  ///< result-journal entry failed validation
+    JobTimeout,      ///< watchdog deadline cancelled the job
 };
 
 /** Canonical lower-case name of a code ("trace-corrupt", ...). */

@@ -16,6 +16,15 @@
  *   job-transient.<w>/<p>  same, but raised as a transient I/O
  *                      error, so the driver's bounded retry clears
  *                      it once the armed count is exhausted
+ *   journal.load       per-entry corruption while loading the resume
+ *                      journal: the entry is dropped as if its
+ *                      checksum failed (logged, counted under
+ *                      "journal.corrupt_skipped"; the job
+ *                      re-simulates)
+ *   journal.append     an append I/O failure in the resume journal:
+ *                      nothing is written (the file stays
+ *                      well-formed), the run continues, that job
+ *                      just re-simulates on the next resume
  *
  * Arming: PROPHET_FAULTS="site:nth[:count]" (comma-separated list).
  * The site's hit counter starts at 1; the fault fires on hits

@@ -1,9 +1,11 @@
 #include "driver/driver.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <set>
 #include <thread>
 
 #include "common/cancellation.hh"
@@ -13,6 +15,7 @@
 #include "common/metrics.hh"
 #include "common/span_trace.hh"
 #include "common/time.hh"
+#include "driver/journal.hh"
 #include "driver/metrics_report.hh"
 #include "sim/config_report.hh"
 #include "sim/pipelines.hh"
@@ -30,7 +33,8 @@ namespace
  * every exception class get a code the CLI can map to an exit code.
  */
 void
-recordFailure(JobResult &slot, const sim::SweepEngine::JobFailure &f)
+recordFailure(JobResult &slot, const sim::SweepEngine::JobFailure &f,
+              bool interrupted)
 {
     slot.ok = false;
     slot.stats = sim::RunStats{};
@@ -41,8 +45,11 @@ recordFailure(JobResult &slot, const sim::SweepEngine::JobFailure &f)
     // get the prefix here.
     if (f.skipped) {
         slot.errorCode = ErrorCode::Cancelled;
-        slot.errorMessage = "cancelled: skipped after an earlier "
-                            "job failure (fail-fast)";
+        slot.errorMessage = interrupted
+            ? "cancelled: run interrupted before this job started; "
+              "rerun with --resume to continue"
+            : "cancelled: skipped after an earlier "
+              "job failure (fail-fast)";
         return;
     }
     try {
@@ -60,12 +67,190 @@ recordFailure(JobResult &slot, const sim::SweepEngine::JobFailure &f)
 }
 
 /**
+ * Watchdog over in-flight job attempts. One monitor thread polls a
+ * registry of active attempts and fires an attempt's private
+ * CancellationToken when (a) the attempt outlives the per-job
+ * deadline — counted under "watchdog.fires" and surfaced to the
+ * retry loop as a transient JobTimeout — or (b) the run's global
+ * token fires (graceful shutdown / fail-fast), which must reach
+ * Systems that are polling their private token instead of the
+ * global one.
+ *
+ * Created only when a deadline or an external shutdown token is in
+ * play: without it, jobs poll the runner-wide token exactly as
+ * before, so the default path is untouched.
+ */
+class JobWatchdog
+{
+  public:
+    struct Watch
+    {
+        CancellationToken token; ///< this attempt's private token
+        std::string jobKey;
+        std::chrono::steady_clock::time_point deadline{};
+        bool hasDeadline = false;
+        std::atomic<bool> timedOut{false};
+    };
+
+    JobWatchdog(double deadline_s, const CancellationToken *global)
+        : deadlineS(deadline_s), globalToken(global)
+    {
+        worker = std::thread([this] { loop(); });
+    }
+
+    JobWatchdog(const JobWatchdog &) = delete;
+    JobWatchdog &operator=(const JobWatchdog &) = delete;
+
+    ~JobWatchdog()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            stopping = true;
+        }
+        wake.notify_all();
+        worker.join();
+    }
+
+    double deadlineSeconds() const { return deadlineS; }
+
+    /**
+     * Register one attempt. Each retry gets a fresh Watch: tokens
+     * cannot un-cancel, so a timed-out attempt's token must not
+     * poison the retry.
+     */
+    std::shared_ptr<Watch>
+    beginAttempt(const std::string &job_key)
+    {
+        auto w = std::make_shared<Watch>();
+        w->jobKey = job_key;
+        if (deadlineS > 0.0) {
+            w->deadline = std::chrono::steady_clock::now()
+                + std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(deadlineS));
+            w->hasDeadline = true;
+        }
+        // An attempt started after shutdown fired is born cancelled
+        // — the monitor's next poll would catch it, but this closes
+        // the window.
+        if (globalToken && globalToken->cancelled())
+            w->token.cancel();
+        std::lock_guard<std::mutex> lock(mu);
+        active.push_back(w);
+        return w;
+    }
+
+    void
+    endAttempt(const std::shared_ptr<Watch> &w)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        active.erase(std::remove(active.begin(), active.end(), w),
+                     active.end());
+    }
+
+  private:
+    void
+    loop()
+    {
+        // Poll at a quarter of the deadline (clamped to [1, 100] ms)
+        // so the overshoot past a deadline is bounded without
+        // burning a core; 100 ms when only shutdown propagation is
+        // needed.
+        auto interval = std::chrono::milliseconds(100);
+        if (deadlineS > 0.0)
+            interval = std::chrono::milliseconds(std::min(
+                100L,
+                std::max(1L, static_cast<long>(deadlineS * 250.0))));
+        std::unique_lock<std::mutex> lock(mu);
+        while (!wake.wait_for(lock, interval,
+                              [this] { return stopping; })) {
+            bool shutdown_fired =
+                globalToken && globalToken->cancelled();
+            auto now = std::chrono::steady_clock::now();
+            std::vector<std::string> expired;
+            for (const auto &w : active) {
+                if (shutdown_fired) {
+                    w->token.cancel();
+                    continue;
+                }
+                if (w->hasDeadline && now >= w->deadline
+                    && !w->timedOut.load(std::memory_order_relaxed)) {
+                    w->timedOut.store(true,
+                                      std::memory_order_relaxed);
+                    w->token.cancel();
+                    metrics::counter("watchdog.fires").inc();
+                    expired.push_back(w->jobKey);
+                }
+            }
+            // Log outside the registry lock: begin/endAttempt on
+            // worker threads must never wait on stderr.
+            lock.unlock();
+            for (const auto &key : expired)
+                prophet_warnf("  %s: exceeded the %.3gs job "
+                              "deadline; cancelling this attempt",
+                              key.c_str(), deadlineS);
+            lock.lock();
+        }
+    }
+
+    double deadlineS;
+    const CancellationToken *globalToken;
+
+    std::mutex mu;
+    std::condition_variable wake;
+    bool stopping = false;
+    std::vector<std::shared_ptr<Watch>> active;
+    std::thread worker;
+};
+
+/**
+ * RAII scope of one supervised attempt: registers a Watch and routes
+ * every System the calling thread builds to the attempt's private
+ * token (Runner's thread-local override). No-op without a watchdog —
+ * jobs then poll the runner-wide token, the pre-watchdog behaviour.
+ */
+class AttemptScope
+{
+  public:
+    AttemptScope(JobWatchdog *watchdog, const std::string &job_key)
+        : wd(watchdog)
+    {
+        if (!wd)
+            return;
+        watch = wd->beginAttempt(job_key);
+        sim::Runner::setThreadJobCancellation(&watch->token);
+    }
+
+    AttemptScope(const AttemptScope &) = delete;
+    AttemptScope &operator=(const AttemptScope &) = delete;
+
+    ~AttemptScope()
+    {
+        if (!watch)
+            return;
+        sim::Runner::setThreadJobCancellation(nullptr);
+        wd->endAttempt(watch);
+    }
+
+    bool
+    timedOut() const
+    {
+        return watch
+            && watch->timedOut.load(std::memory_order_relaxed);
+    }
+
+  private:
+    JobWatchdog *wd;
+    std::shared_ptr<JobWatchdog::Watch> watch;
+};
+
+/**
  * Run one (workload, pipeline) job with bounded retry: a *transient*
- * failure (trace I/O, cache lock — classes where a second try can
- * genuinely succeed) retries with linear backoff up to
- * @p max_attempts total tries; permanent failures and cancellation
- * propagate immediately. The fault points "job.<w>/<p>" and
- * "job-transient.<w>/<p>" let tests fail exactly one job — the
+ * failure (trace I/O, cache lock, watchdog timeout — classes where a
+ * second try can genuinely succeed) retries with linear backoff up
+ * to @p max_attempts total tries; permanent failures and
+ * cancellation propagate immediately. The fault points "job.<w>/<p>"
+ * and "job-transient.<w>/<p>" let tests fail exactly one job — the
  * latter with a retryable class, so arming it for a single shot
  * exercises the retry-then-succeed path.
  */
@@ -73,7 +258,8 @@ void
 runJobWithRetry(sim::Runner &runner,
                 const sim::PipelineInstance &inst, JobResult &slot,
                 const CancellationToken &token,
-                unsigned max_attempts, unsigned backoff_ms)
+                JobWatchdog *watchdog, unsigned max_attempts,
+                unsigned backoff_ms)
 {
     const std::string job_key = slot.workload + "/" + slot.pipeline;
     if (max_attempts == 0)
@@ -81,18 +267,42 @@ runJobWithRetry(sim::Runner &runner,
     for (unsigned attempt = 1;; ++attempt) {
         slot.attempts = attempt;
         try {
-            ErrorContext ctx;
-            ctx.workload = slot.workload;
-            ctx.pipeline = slot.pipeline;
-            if (fault::shouldFail("job." + job_key))
-                throw Error(ErrorCode::FaultInjected,
-                            "injected job failure", std::move(ctx));
-            if (fault::shouldFail("job-transient." + job_key))
-                throw Error(ErrorCode::TraceIo,
-                            "injected transient job failure",
-                            std::move(ctx));
-            slot.stats = runner.run(inst, slot.workload);
-            return;
+            AttemptScope scope(watchdog, job_key);
+            try {
+                ErrorContext ctx;
+                ctx.workload = slot.workload;
+                ctx.pipeline = slot.pipeline;
+                if (fault::shouldFail("job." + job_key))
+                    throw Error(ErrorCode::FaultInjected,
+                                "injected job failure",
+                                std::move(ctx));
+                if (fault::shouldFail("job-transient." + job_key))
+                    throw Error(ErrorCode::TraceIo,
+                                "injected transient job failure",
+                                std::move(ctx));
+                slot.stats = runner.run(inst, slot.workload);
+                return;
+            } catch (const Error &e) {
+                // A cancellation caused by this attempt's own
+                // deadline is a timeout — transient, so the loop
+                // below retries it with a fresh deadline. External
+                // cancellation (shutdown, fail-fast) stays
+                // Cancelled and propagates.
+                if (e.code() == ErrorCode::Cancelled
+                    && scope.timedOut()) {
+                    char msg[96];
+                    std::snprintf(msg, sizeof(msg),
+                                  "job exceeded its %.3gs deadline "
+                                  "and was cancelled by the watchdog",
+                                  watchdog->deadlineSeconds());
+                    ErrorContext tctx;
+                    tctx.workload = slot.workload;
+                    tctx.pipeline = slot.pipeline;
+                    throw Error(ErrorCode::JobTimeout, msg,
+                                std::move(tctx));
+                }
+                throw;
+            }
         } catch (const Error &e) {
             if (!e.transient() || attempt >= max_attempts
                 || token.cancelled())
@@ -341,23 +551,107 @@ ExperimentDriver::run()
     // Fail-fast cancellation: the first failure fires the token and
     // every in-flight System unwinds within a bounded number of
     // records. Attaching the token is bit-identical when it never
-    // fires, so the no-failure path is unchanged.
-    CancellationToken token;
+    // fires, so the no-failure path is unchanged. When the caller
+    // supplied an external shutdown token (the CLI's signal handler
+    // fires it), fail-fast and shutdown share one token: either
+    // cause drains in-flight jobs the same way.
+    CancellationToken local_token;
+    CancellationToken &token =
+        opts.shutdown ? *opts.shutdown : local_token;
     runner.setCancellation(&token);
+
+    const std::uint64_t result_hash =
+        spec.resultHash(effectiveRecords());
+    const std::size_t per = spec.pipelines.size();
+    const std::size_t total_jobs = spec.workloads.size() * per;
+
+    // Resume journal: load what a previous (interrupted) run already
+    // completed, and checkpoint every completion of this one. A
+    // journal written for a different spec is a refusal (SpecError —
+    // replaying its results would silently mix experiments); an
+    // unreadable/uncreatable journal merely downgrades to running
+    // without checkpointing.
+    std::unique_ptr<ResultJournal> journal;
+    if (!opts.journalPath.empty()) {
+        try {
+            ResultJournal::Options jopts;
+            jopts.fsyncEachAppend = opts.journalFsync;
+            journal = std::make_unique<ResultJournal>(
+                opts.journalPath, result_hash, jopts);
+        } catch (const SpecError &) {
+            throw;
+        } catch (const std::exception &e) {
+            prophet_warnf("journal: %s unusable (%s); running "
+                          "without checkpointing",
+                          opts.journalPath.c_str(), e.what());
+        }
+    }
+    std::vector<const JournalEntry *> replay(total_jobs, nullptr);
+    std::set<std::string> replayed_baselines;
+    if (journal) {
+        for (const JournalEntry &e : journal->entries()) {
+            if (e.kind == JournalEntry::Kind::Baseline) {
+                runner.injectBaseline(e.workload, e.stats);
+                replayed_baselines.insert(e.workload);
+                continue;
+            }
+            const std::size_t idx = e.jobIndex;
+            // Identity check per entry: hashes collide with
+            // near-zero probability, but a journal edited or grown
+            // by hand must not inject a wrong slot.
+            if (idx >= total_jobs
+                || e.workload != spec.workloads[idx / per]
+                || e.pipeline
+                    != spec.pipelines[idx % per].resultName()) {
+                prophet_warnf("journal: entry for %s/%s does not "
+                              "match this spec's job grid; ignored",
+                              e.workload.c_str(), e.pipeline.c_str());
+                continue;
+            }
+            replay[idx] = &e;
+        }
+        std::size_t hits = 0;
+        for (const auto *e : replay)
+            if (e)
+                ++hits;
+        if (hits > 0 || !replayed_baselines.empty())
+            prophet_infof("%s: resuming — %zu of %zu completed "
+                          "job(s) replayed from %s",
+                          spec.name.c_str(), hits, total_jobs,
+                          journal->path().c_str());
+    }
+
+    // Watchdog: only when a per-job deadline or an external shutdown
+    // token is in play. API users who set neither get exactly the
+    // old execution path (no monitor thread, no per-attempt tokens).
+    const double deadline_s =
+        opts.jobTimeoutS < 0.0 ? spec.deadlineS : opts.jobTimeoutS;
+    std::unique_ptr<JobWatchdog> watchdog;
+    if (deadline_s > 0.0 || opts.shutdown)
+        watchdog =
+            std::make_unique<JobWatchdog>(deadline_s, &token);
 
     // Phase 1: baselines, one job per workload, when any metric or
     // pipeline normalizes to them (keeps the fan-out phase from
     // computing them redundantly inside racing jobs). A warm-up
     // failure is not final — the workload's jobs recompute the
     // baseline themselves and fail individually if it truly cannot
-    // be built — so warm-up always runs keep-going.
+    // be built — so warm-up always runs keep-going. Baselines
+    // journal too: they are the expensive half of a resumed run.
     if (needsBaseline(spec)) {
         auto warm = engine.tryForEach(
             spec.workloads.size(),
             [&](std::size_t i) {
-                span::Span warm_span(
-                    "baseline " + spec.workloads[i], "job");
-                runner.baseline(spec.workloads[i]);
+                const std::string &w = spec.workloads[i];
+                span::Span warm_span("baseline " + w, "job");
+                const sim::RunStats &stats = runner.baseline(w);
+                if (journal && !replayed_baselines.count(w)) {
+                    JournalEntry e;
+                    e.kind = JournalEntry::Kind::Baseline;
+                    e.workload = w;
+                    e.stats = stats;
+                    journal->append(e);
+                }
             },
             sim::SweepEngine::FailurePolicy::KeepGoing);
         for (std::size_t i = 0; i < warm.size(); ++i)
@@ -373,8 +667,7 @@ ExperimentDriver::run()
     // by construction. One failing job cannot take down its
     // siblings; its slot records why it failed instead.
     ExperimentReport report;
-    std::size_t per = spec.pipelines.size();
-    report.results.resize(spec.workloads.size() * per);
+    report.results.resize(total_jobs);
     std::atomic<std::size_t> jobs_done{0};
     std::unique_ptr<ProgressMonitor> monitor;
     if (opts.progress)
@@ -388,12 +681,27 @@ ExperimentDriver::run()
                 spec.pipelines[i % per];
             slot.workload = spec.workloads[i / per];
             slot.pipeline = inst.resultName();
+            // A journaled completion replays instead of simulating:
+            // same stats bits, so downstream metrics and sinks are
+            // indistinguishable from a from-scratch run.
+            if (replay[i]) {
+                slot.stats = replay[i]->stats;
+                slot.attempts = replay[i]->attempts;
+                slot.resumed = true;
+                metrics::counter("journal.hits").inc();
+                jobs_done.fetch_add(1, std::memory_order_relaxed);
+                if (!opts.progress)
+                    prophet_infof("  %s/%s replayed from journal",
+                                  slot.workload.c_str(),
+                                  slot.pipeline.c_str());
+                return;
+            }
             span::Span job_span(
                 "job " + slot.workload + "/" + slot.pipeline, "job");
             auto t0 = std::chrono::steady_clock::now();
             try {
                 runJobWithRetry(runner, inst, slot, token,
-                                opts.maxAttempts,
+                                watchdog.get(), opts.maxAttempts,
                                 opts.retryBackoffMs);
             } catch (...) {
                 // Failed jobs still report their duration and count
@@ -405,6 +713,16 @@ ExperimentDriver::run()
             }
             slot.seconds = secondsSince(t0);
             jobs_done.fetch_add(1, std::memory_order_relaxed);
+            if (journal) {
+                JournalEntry e;
+                e.kind = JournalEntry::Kind::Job;
+                e.jobIndex = static_cast<std::uint32_t>(i);
+                e.workload = slot.workload;
+                e.pipeline = slot.pipeline;
+                e.attempts = slot.attempts;
+                e.stats = slot.stats;
+                journal->append(e);
+            }
             // The per-job line would fight the monitor's single
             // repainted line, so --progress replaces it.
             if (!opts.progress)
@@ -415,6 +733,31 @@ ExperimentDriver::run()
     if (monitor)
         monitor->stop();
 
+    // Whether the external token fired decides how skipped slots
+    // read: "interrupted, --resume continues" vs fail-fast's
+    // "earlier job failure". Fail-fast also fires the shared
+    // shutdown token, so a hard (non-skipped) failure keeps the
+    // fail-fast wording; only a pure cancellation — nothing failed,
+    // the token simply fired — reads as an interrupt.
+    // In-flight jobs drained by the interrupt fail with Cancelled —
+    // that is the interrupt's own signature, not a hard failure.
+    bool hard_failure = false;
+    for (const auto &f : failures) {
+        if (f.ok() || f.skipped)
+            continue;
+        try {
+            std::rethrow_exception(f.error);
+        } catch (const Error &e) {
+            if (e.code() != ErrorCode::Cancelled)
+                hard_failure = true;
+        } catch (...) {
+            hard_failure = true;
+        }
+    }
+    const bool interrupted = opts.shutdown
+        && opts.shutdown->cancelled() && !hard_failure;
+    report.interrupted = interrupted;
+
     for (std::size_t i = 0; i < failures.size(); ++i) {
         if (failures[i].ok())
             continue;
@@ -424,9 +767,12 @@ ExperimentDriver::run()
             slot.workload = spec.workloads[i / per];
             slot.pipeline = spec.pipelines[i % per].resultName();
         }
-        recordFailure(slot, failures[i]);
+        recordFailure(slot, failures[i], interrupted);
         ++report.failedJobs;
     }
+    for (const auto &r : report.results)
+        if (r.resumed)
+            ++report.resumedJobs;
 
     // Metric derivation is sequential: baselines are cached by now
     // and the division is trivial. Still fault-isolated per job — a
@@ -442,7 +788,7 @@ ExperimentDriver::run()
         } catch (...) {
             sim::SweepEngine::JobFailure f;
             f.error = std::current_exception();
-            recordFailure(r, f);
+            recordFailure(r, f, interrupted);
             ++report.failedJobs;
         }
     }
@@ -450,7 +796,7 @@ ExperimentDriver::run()
     auto elapsed = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - start);
     report.meta.specName = spec.name;
-    report.meta.specHash = spec.resultHash(effectiveRecords());
+    report.meta.specHash = result_hash;
     report.meta.records = effectiveRecords();
     report.meta.threads = engine.threads();
     report.meta.wallSeconds = elapsed.count();

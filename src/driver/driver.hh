@@ -49,6 +49,41 @@ struct DriverOptions
     /** Base backoff before retry k is k * this (0 in tests). */
     unsigned retryBackoffMs = 50;
 
+    // ---- crash-safe sweeps (all default-off: a run with none of
+    // these set produces byte-identical outputs to one without) ----
+
+    /**
+     * Path of the result journal (--resume / --journal). Empty
+     * disables checkpointing. When set, entries valid at startup
+     * replay — those jobs are not re-simulated — and every completed
+     * job is appended, so an interrupted run continues where it
+     * stopped. A journal written for a different spec resultHash is
+     * refused with SpecError.
+     */
+    std::string journalPath;
+
+    /** fsync the journal after every append (--no-journal-fsync). */
+    bool journalFsync = true;
+
+    /**
+     * Per-job watchdog deadline in seconds. < 0 defers to the
+     * spec's "deadline_s"; 0 forces the watchdog off; > 0 overrides
+     * (--job-timeout). An expired job is cancelled and recorded as
+     * a transient JobTimeout failure (retried once by default).
+     */
+    double jobTimeoutS = -1.0;
+
+    /**
+     * External shutdown token (the CLI's SIGINT/SIGTERM handler
+     * fires it). When it fires mid-run: in-flight jobs are
+     * cancelled and drained, queued jobs never start, the journal
+     * and sinks flush what completed, and run() still returns its
+     * (partial) report. Null = no external shutdown. Non-const:
+     * the run's fail-fast policy shares the token, so a first
+     * failure may fire it too.
+     */
+    CancellationToken *shutdown = nullptr;
+
     // ---- observability (all default-off: a run with none of these
     // set produces byte-identical outputs to a build without them) --
 
@@ -71,6 +106,12 @@ struct ExperimentReport
 
     /** Jobs that failed or were skipped by fail-fast. */
     std::size_t failedJobs = 0;
+
+    /** Jobs replayed from the resume journal, not simulated. */
+    std::size_t resumedJobs = 0;
+
+    /** The external shutdown token fired during the run. */
+    bool interrupted = false;
 
     /** True when every job completed and every sink wrote. */
     bool ok() const { return failedJobs == 0 && sinksOk; }

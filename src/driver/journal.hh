@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The crash-safe result journal: an append-only binary file the
+ * experiment driver writes one entry to per completed job (and per
+ * warmed baseline), so a sweep killed mid-run — SIGTERM, OOM, power —
+ * resumes from its last completed job instead of starting over.
+ *
+ * Durability model, in the spirit of the trace cache's frame format:
+ *
+ *  - the header carries the spec's *result hash*, so a journal can
+ *    never replay into a different experiment (a mismatch refuses
+ *    loudly rather than merging foreign numbers);
+ *  - every entry is framed (magic, length, payload, FNV-1a-64
+ *    checksum) and written with a single fwrite + flush (+ optional
+ *    fsync), so a torn tail from a crashed writer is detected and
+ *    truncated on the next load — everything before it replays;
+ *  - a mid-file entry whose checksum fails (bit rot) is skipped and
+ *    logged; intact entries after it still replay, and the skipped
+ *    job simply re-simulates.
+ *
+ * Entries serialize the full RunStats — including the per-PC miss
+ * map, which downstream RPG2 kernel identification consumes — so a
+ * resumed run's merged output is bit-identical to a from-scratch run
+ * (regression-gated in tests/test_journal.cc). The format is
+ * host-endian: a journal is a same-machine resume artifact, not an
+ * interchange format.
+ */
+
+#ifndef PROPHET_DRIVER_JOURNAL_HH
+#define PROPHET_DRIVER_JOURNAL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+
+namespace prophet::driver
+{
+
+/** One replayable journal record. */
+struct JournalEntry
+{
+    enum class Kind : std::uint8_t
+    {
+        Job = 0,      ///< one (workload, pipeline) slot's stats
+        Baseline = 1, ///< a warmed per-workload baseline run
+    };
+
+    Kind kind = Kind::Job;
+
+    /** Job-matrix slot index (unused for Baseline entries). */
+    std::uint32_t jobIndex = 0;
+
+    std::string workload;
+    std::string pipeline; ///< result name; empty for Baseline
+    unsigned attempts = 1;
+    sim::RunStats stats;
+};
+
+/**
+ * The journal file. Constructing it loads and validates any existing
+ * entries (replayable via entries()), truncates a torn tail, then
+ * holds the file open for appends. One instance per driver run;
+ * append() is thread-safe (sweep workers call it concurrently).
+ */
+class ResultJournal
+{
+  public:
+    struct Options
+    {
+        // Explicit ctor instead of member initializers: the
+        // enclosing class uses Options() as a default argument,
+        // which GCC rejects for NSDMIs of a nested class.
+        Options() : fsyncEachAppend(true) {}
+
+        /**
+         * fsync after every append (the default): an entry survives
+         * power loss, not just process death. --no-journal-fsync
+         * trades that for append latency on slow disks.
+         */
+        bool fsyncEachAppend;
+    };
+
+    /**
+     * Open @p path (creating it if absent) for an experiment whose
+     * spec resultHash is @p spec_hash.
+     *
+     * Throws SpecError when the file holds a valid header for a
+     * *different* spec hash — replaying it would merge numbers from
+     * another experiment. Every other defect recovers: a torn tail
+     * is truncated (logged), a checksum-failed entry is skipped
+     * (logged), an unreadable header restarts the journal from
+     * scratch. The fault site "journal.load" injects a per-entry
+     * corruption; "journal.append" injects an append I/O failure.
+     */
+    ResultJournal(std::string path, std::uint64_t spec_hash,
+                  Options opts = Options());
+
+    ResultJournal(const ResultJournal &) = delete;
+    ResultJournal &operator=(const ResultJournal &) = delete;
+
+    ~ResultJournal();
+
+    /** Valid entries found at construction, in file order. */
+    const std::vector<JournalEntry> &entries() const
+    {
+        return loaded;
+    }
+
+    /**
+     * Append one entry: a single buffered write, flushed (and
+     * fsynced per Options) before returning, so a completed job is
+     * durable before the next one starts. Returns false on an I/O
+     * failure — journaling degrades (the run continues, this job
+     * just re-simulates on resume) and the failure is logged once.
+     */
+    bool append(const JournalEntry &entry);
+
+    /** Entries dropped at load time for failing their checksum. */
+    std::size_t corruptSkipped() const { return skippedEntries; }
+
+    /** Bytes of torn tail truncated at load time. */
+    std::uint64_t truncatedBytes() const { return tornBytes; }
+
+    const std::string &path() const { return filePath; }
+
+  private:
+    std::string filePath;
+    std::uint64_t specHash;
+    Options options;
+
+    std::vector<JournalEntry> loaded;
+    std::size_t skippedEntries = 0;
+    std::uint64_t tornBytes = 0;
+
+    std::mutex appendMu;
+    std::FILE *file = nullptr; ///< open for append after load
+    bool appendFailedOnce = false;
+
+    void load();
+};
+
+} // namespace prophet::driver
+
+#endif // PROPHET_DRIVER_JOURNAL_HH

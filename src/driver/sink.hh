@@ -70,6 +70,14 @@ struct JobResult
     unsigned attempts = 1;
 
     /**
+     * Replayed from the resume journal rather than simulated. The
+     * sinks never render it (a resumed run's output must stay
+     * byte-identical to a from-scratch run); metrics.json's "jobs"
+     * section reports it for observability.
+     */
+    bool resumed = false;
+
+    /**
      * Wall time of this job's final attempt, including retry backoff
      * sleeps. Diagnostics only (metrics.json "jobs" section): the
      * sinks never render it, so their outputs stay deterministic.

@@ -371,7 +371,8 @@ ExperimentSpec::fromJson(const json::Value &root)
                       {"name", "report", "workloads", "pipelines",
                        "sweep", "metrics", "records", "threads", "l1",
                        "dram_channels", "warmup_records", "sampling",
-                       "trace_cache", "keep_going", "sinks"},
+                       "trace_cache", "keep_going", "deadline_s",
+                       "sinks"},
                       "spec");
 
     ExperimentSpec spec;
@@ -391,7 +392,8 @@ ExperimentSpec::fromJson(const json::Value &root)
         // the reported configuration.
         for (const char *key :
              {"workloads", "pipelines", "sweep", "metrics", "sinks",
-              "records", "threads", "trace_cache", "sampling"})
+              "records", "threads", "trace_cache", "sampling",
+              "deadline_s"})
             if (root.find(key))
                 specFail(std::string("\"") + key
                          + "\" has no effect in a \"report\" spec");
@@ -479,6 +481,16 @@ ExperimentSpec::fromJson(const json::Value &root)
             specFail("\"keep_going\" must be a boolean");
         spec.keepGoing = v->asBool();
     }
+    if (const json::Value *v = root.find("deadline_s")) {
+        // Fractional deadlines are legal (sub-second tests); zero or
+        // negative would silently disable the watchdog the spec
+        // asked for, so they are errors.
+        if (!v->isNumber() || !(v->asNumber() > 0.0)
+            || !(v->asNumber() < 1e9))
+            specFail("\"deadline_s\" must be a positive number of "
+                     "seconds");
+        spec.deadlineS = v->asNumber();
+    }
     if (const json::Value *v = root.find("sinks")) {
         if (!v->isArray())
             specFail("\"sinks\" must be an array");
@@ -540,6 +552,8 @@ ExperimentSpec::toJson() const
     // pre-keep_going documents.
     if (keepGoing)
         root.set("keep_going", json::Value(true));
+    if (deadlineS > 0.0)
+        root.set("deadline_s", json::Value(deadlineS));
     json::Value sink_arr = json::Value::makeArray();
     for (const auto &s : sinks) {
         json::Value obj = json::Value::makeObject();

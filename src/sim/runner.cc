@@ -27,6 +27,30 @@ Runner::setCancellation(const CancellationToken *token)
     cancel = token;
 }
 
+namespace
+{
+/**
+ * The calling thread's job-scoped token. thread_local rather than a
+ * Runner member so the watchdog needs no per-job plumbing through
+ * the pipeline registry: whatever Systems a job builds on its worker
+ * thread — including nested baseline/profile runs — poll this token.
+ */
+thread_local const CancellationToken *tl_job_cancel = nullptr;
+} // anonymous namespace
+
+void
+Runner::setThreadJobCancellation(const CancellationToken *token)
+{
+    tl_job_cancel = token;
+}
+
+void
+Runner::injectBaseline(const std::string &workload, RunStats stats)
+{
+    std::lock_guard<std::mutex> lock(cacheMu);
+    baselines.emplace(workload, std::move(stats));
+}
+
 void
 Runner::ensureWorkload(const std::string &workload)
 {
@@ -105,7 +129,9 @@ Runner::runConfig(const std::string &workload, const SystemConfig &cfg)
     std::shared_ptr<const trace::Trace> tr = traceShared(workload);
     span::Span sim_span("simulate " + workload, "sim");
     System system(cfg, resolverFor(workload));
-    {
+    if (tl_job_cancel) {
+        system.setCancellation(tl_job_cancel);
+    } else {
         std::lock_guard<std::mutex> lock(cacheMu);
         if (cancel)
             system.setCancellation(cancel);
@@ -170,7 +196,9 @@ Runner::profileWorkload(const std::string &workload)
     // timing-simulation throughput the phase split measures.
     cfg.profilingRun = true;
     System system(cfg, resolverFor(workload));
-    {
+    if (tl_job_cancel) {
+        system.setCancellation(tl_job_cancel);
+    } else {
         std::lock_guard<std::mutex> lock(cacheMu);
         if (cancel)
             system.setCancellation(cancel);

@@ -89,6 +89,25 @@ class Runner
     /** The attached cancellation token (may be null). */
     const CancellationToken *cancellation() const { return cancel; }
 
+    /**
+     * Per-thread job token: Systems built on the *calling thread*
+     * poll @p token instead of the runner-wide one until it is
+     * cleared (nullptr). The driver's watchdog scopes one around
+     * each job attempt so a deadline cancels that job alone; with no
+     * job token set, behaviour is exactly the runner-wide token's.
+     * The token must outlive the scoped runs.
+     */
+    static void setThreadJobCancellation(
+        const CancellationToken *token);
+
+    /**
+     * Seed the baseline cache with externally obtained stats (the
+     * resume journal's replayed baselines), so metric derivation and
+     * RPG2 on a resumed run skip the re-simulation. First insert
+     * wins, matching the concurrent-compute semantics of baseline().
+     */
+    void injectBaseline(const std::string &workload, RunStats stats);
+
     /** The (cached) trace of a workload. */
     const trace::Trace &traceFor(const std::string &workload);
 

@@ -61,8 +61,13 @@ SweepEngine::tryForEach(std::size_t n,
     std::atomic<bool> abort{false};
 
     auto runOne = [&](std::size_t i) {
-        if (policy == FailurePolicy::FailFast
-            && abort.load(std::memory_order_relaxed)) {
+        // A fired token skips jobs not yet started under *any*
+        // policy: fail-fast fires it on the first failure, and the
+        // driver's graceful-shutdown path fires it on SIGINT/SIGTERM
+        // — where even keep-going must drain, not start new work.
+        if ((policy == FailurePolicy::FailFast
+             && abort.load(std::memory_order_relaxed))
+            || (token && token->cancelled())) {
             out[i].skipped = true;
             return;
         }

@@ -106,8 +106,11 @@ class SweepEngine
      * take down its siblings. Under FailFast the first failure
      * cancels @p token (when non-null) — unwinding in-flight
      * simulations that poll it — and skips indices that have not
-     * started. The returned vector always has n entries, indexed by
-     * job, regardless of completion order.
+     * started. A token fired *externally* (the driver's graceful
+     * shutdown) skips not-yet-started indices under either policy:
+     * in-flight jobs drain, new ones never start. The returned
+     * vector always has n entries, indexed by job, regardless of
+     * completion order.
      */
     std::vector<JobFailure>
     tryForEach(std::size_t n,

@@ -34,15 +34,19 @@ TEST(Error, CodeNamesAreStableAndLowerCase)
     EXPECT_STREQ(errorCodeName(ErrorCode::FaultInjected),
                  "fault-injected");
     EXPECT_STREQ(errorCodeName(ErrorCode::Internal), "internal");
+    EXPECT_STREQ(errorCodeName(ErrorCode::JournalCorrupt),
+                 "journal-corrupt");
+    EXPECT_STREQ(errorCodeName(ErrorCode::JobTimeout), "job-timeout");
 }
 
-TEST(Error, OnlyIoAndLockClassesAreTransient)
+TEST(Error, OnlyIoLockAndTimeoutClassesAreTransient)
 {
-    // The retry policy keys off this: an I/O hiccup or a briefly
-    // held lock can clear on its own; corruption, bad specs, and
-    // cancellation cannot.
+    // The retry policy keys off this: an I/O hiccup, a briefly held
+    // lock, or a deadline blown on an overloaded machine can clear
+    // on their own; corruption, bad specs, and cancellation cannot.
     EXPECT_TRUE(isTransientError(ErrorCode::TraceIo));
     EXPECT_TRUE(isTransientError(ErrorCode::CacheLock));
+    EXPECT_TRUE(isTransientError(ErrorCode::JobTimeout));
 
     EXPECT_FALSE(isTransientError(ErrorCode::Ok));
     EXPECT_FALSE(isTransientError(ErrorCode::SpecParse));
@@ -53,6 +57,7 @@ TEST(Error, OnlyIoAndLockClassesAreTransient)
     EXPECT_FALSE(isTransientError(ErrorCode::Cancelled));
     EXPECT_FALSE(isTransientError(ErrorCode::FaultInjected));
     EXPECT_FALSE(isTransientError(ErrorCode::Internal));
+    EXPECT_FALSE(isTransientError(ErrorCode::JournalCorrupt));
 }
 
 TEST(Error, CarriesCodeContextAndTransience)

@@ -23,11 +23,15 @@
  * 3 spec parse/validation error, 4 runtime failure (a job or sink
  * failed and the run could not complete fully under fail-fast),
  * 5 partial failure (--keep-going: some jobs failed, the rest
- * completed and the partial results were written).
+ * completed and the partial results were written), 6 interrupted
+ * (SIGINT/SIGTERM drained the run; completed jobs were journaled
+ * when --resume/--journal was on, so rerunning with --resume
+ * continues where it stopped).
  */
 
 #include <algorithm>
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancellation.hh"
 #include "driver/driver.hh"
 #include "sim/pipelines.hh"
 #include "trace/trace_io.hh"
@@ -46,6 +51,36 @@ namespace
 {
 
 using namespace prophet;
+
+/**
+ * Graceful-shutdown plumbing for `prophet run`: the handler fires the
+ * driver's shutdown token (CancellationToken::cancel is
+ * async-signal-safe — one relaxed atomic store) and records which
+ * signal arrived so cmdRun can exit 6. SA_RESETHAND restores the
+ * default disposition, so a second ^C force-kills a run whose drain
+ * is stuck.
+ */
+CancellationToken gShutdown;
+volatile std::sig_atomic_t gSignal = 0;
+
+extern "C" void
+onShutdownSignal(int sig)
+{
+    gSignal = sig;
+    gShutdown.cancel();
+}
+
+void
+installShutdownHandlers()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onShutdownSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESETHAND;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
 
 int
 usage()
@@ -58,6 +93,8 @@ usage()
         "      [--no-trace-cache] [--trace-cache-dir DIR]\n"
         "      [--keep-going | --fail-fast] [--progress]\n"
         "      [--metrics-out FILE] [--trace-out FILE]\n"
+        "      [--resume | --journal FILE] [--no-journal-fsync]\n"
+        "      [--job-timeout SEC]\n"
         "  list-workloads\n"
         "  list-pipelines\n"
         "  trace-cache warm <spec.json | workload...>\n"
@@ -83,13 +120,34 @@ usage()
         "                 (the default unless the spec sets\n"
         "                 \"keep_going\": true)\n"
         "\n"
+        "long-running sweeps (run):\n"
+        "  --resume       checkpoint each completed job to\n"
+        "                 <spec>.journal and replay completed jobs\n"
+        "                 from it on restart (output is\n"
+        "                 byte-identical to an uninterrupted run)\n"
+        "  --journal FILE same, with an explicit journal path\n"
+        "  --no-journal-fsync\n"
+        "                 skip the per-append fsync (faster; an\n"
+        "                 entry then survives process death, not\n"
+        "                 power loss)\n"
+        "  --job-timeout SEC\n"
+        "                 per-job watchdog deadline: an overrunning\n"
+        "                 job is cancelled, recorded as a transient\n"
+        "                 timeout, and retried; overrides the spec's\n"
+        "                 \"deadline_s\" (0 disables both)\n"
+        "  SIGINT/SIGTERM drain in-flight jobs, flush the journal\n"
+        "                 and partial sinks, and exit 6; a second\n"
+        "                 signal force-kills\n"
+        "\n"
         "exit codes:\n"
         "  0  success\n"
         "  2  usage error\n"
         "  3  spec parse/validation error\n"
         "  4  runtime failure (job, pipeline, or sink)\n"
         "  5  partial failure (--keep-going: some jobs failed,\n"
-        "     the rest completed)\n");
+        "     the rest completed)\n"
+        "  6  interrupted (SIGINT/SIGTERM; completed jobs were\n"
+        "     journaled when --resume/--journal was on)\n");
     return 2;
 }
 
@@ -98,6 +156,9 @@ struct Flags
 {
     driver::DriverOptions opts;
     std::vector<std::string> positional;
+
+    /** --resume: journal at <spec>.journal (path known post-parse). */
+    bool resume = false;
 };
 
 bool
@@ -182,6 +243,36 @@ parseFlags(int argc, char **argv, int from, Flags &flags)
             flags.opts.traceOut = s;
         } else if (!std::strncmp(argv[i], "--trace-out=", 12)) {
             flags.opts.traceOut = argv[i] + 12;
+        } else if (!std::strcmp(argv[i], "--resume")) {
+            flags.resume = true;
+        } else if (!std::strcmp(argv[i], "--journal")) {
+            const char *s = needValue(i, "--journal");
+            if (!s)
+                return false;
+            flags.opts.journalPath = s;
+        } else if (!std::strncmp(argv[i], "--journal=", 10)) {
+            flags.opts.journalPath = argv[i] + 10;
+        } else if (!std::strcmp(argv[i], "--no-journal-fsync")) {
+            flags.opts.journalFsync = false;
+        } else if (!std::strcmp(argv[i], "--job-timeout")
+                   || !std::strncmp(argv[i], "--job-timeout=", 14)) {
+            const char *s = argv[i][13] == '='
+                ? argv[i] + 14
+                : needValue(i, "--job-timeout");
+            if (!s)
+                return false;
+            char *end = nullptr;
+            errno = 0;
+            double secs = std::strtod(s, &end);
+            if (end == s || *end != '\0' || errno == ERANGE
+                || !(secs >= 0.0) || secs >= 1e9) {
+                std::fprintf(
+                    stderr,
+                    "prophet: --job-timeout: invalid value '%s'\n",
+                    s);
+                return false;
+            }
+            flags.opts.jobTimeoutS = secs;
         } else if (argv[i][0] == '-') {
             std::fprintf(stderr, "prophet: unknown flag %s\n",
                          argv[i]);
@@ -203,7 +294,16 @@ cmdRun(const Flags &flags)
     try {
         auto spec =
             driver::ExperimentSpec::fromFile(flags.positional[0]);
-        driver::ExperimentDriver drv(std::move(spec), flags.opts);
+        driver::DriverOptions opts = flags.opts;
+        if (flags.resume && opts.journalPath.empty())
+            opts.journalPath = flags.positional[0] + ".journal";
+        // The shutdown token rides along unconditionally: without a
+        // journal an interrupt still drains cleanly and exits 6, it
+        // just has nothing to resume from.
+        installShutdownHandlers();
+        opts.shutdown = &gShutdown;
+        driver::ExperimentDriver drv(std::move(spec),
+                                     std::move(opts));
         bool keep_going = drv.keepGoingEnabled();
         auto report = drv.run();
         int rc = 0;
@@ -224,6 +324,24 @@ cmdRun(const Flags &flags)
                          "prophet run: one or more sinks failed to "
                          "write\n");
             rc = 4;
+        }
+        // A signal trumps the failure codes: the skipped/cancelled
+        // jobs are the interrupt's doing, and exit 6 tells scripts
+        // "rerun with --resume", not "a job is broken".
+        if (gSignal != 0) {
+            std::fprintf(
+                stderr,
+                "prophet run: interrupted by signal %d "
+                "(%zu job%s completed%s)\n",
+                static_cast<int>(gSignal),
+                report.results.size() - report.failedJobs,
+                report.results.size() - report.failedJobs == 1
+                    ? ""
+                    : "s",
+                flags.resume || !flags.opts.journalPath.empty()
+                    ? "; rerun with --resume to continue"
+                    : "");
+            rc = 6;
         }
         return rc;
     } catch (const driver::SpecError &e) {

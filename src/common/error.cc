@@ -33,6 +33,12 @@ errorCodeName(ErrorCode code)
         return "journal-corrupt";
       case ErrorCode::JobTimeout:
         return "job-timeout";
+      case ErrorCode::ServerOverloaded:
+        return "server-overloaded";
+      case ErrorCode::ProtocolError:
+        return "protocol-error";
+      case ErrorCode::SocketBusy:
+        return "socket-busy";
     }
     return "unknown";
 }
@@ -47,6 +53,9 @@ isTransientError(ErrorCode code)
       // machine may simply have been overloaded, so a fresh attempt
       // (with a fresh deadline) is worth one retry.
       case ErrorCode::JobTimeout:
+      // Overload clears as soon as the daemon's queue drains, and the
+      // response carries a retry-after hint saying when to try.
+      case ErrorCode::ServerOverloaded:
         return true;
       default:
         return false;

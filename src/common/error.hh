@@ -43,6 +43,9 @@ enum class ErrorCode : std::uint8_t
     Internal,        ///< everything else (wrapped std::exception)
     JournalCorrupt,  ///< result-journal entry failed validation
     JobTimeout,      ///< watchdog deadline cancelled the job
+    ServerOverloaded,///< serve daemon shed the request (queue full)
+    ProtocolError,   ///< malformed/oversize serve frame or request
+    SocketBusy,      ///< a live daemon already owns the socket path
 };
 
 /** Canonical lower-case name of a code ("trace-corrupt", ...). */

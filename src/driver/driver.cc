@@ -10,6 +10,7 @@
 
 #include "common/cancellation.hh"
 #include "common/error.hh"
+#include "common/exit_codes.hh"
 #include "common/fault_injection.hh"
 #include "common/log.hh"
 #include "common/metrics.hh"
@@ -504,8 +505,11 @@ ExperimentDriver::run()
     // Fresh instruments per run: a metrics report never carries a
     // previous run's counts. resetValues() keeps every registration,
     // so references cached across runs stay valid. Invisible without
-    // the observability flags — it writes no output by itself.
-    metrics::Registry::instance().resetValues();
+    // the observability flags — it writes no output by itself. The
+    // serve daemon opts out: its counters are daemon-lifetime values
+    // and concurrent requests must not zero each other mid-flight.
+    if (opts.resetMetrics)
+        metrics::Registry::instance().resetValues();
     const bool tracing = !opts.traceOut.empty();
     if (tracing) {
         span::reset();
@@ -522,9 +526,17 @@ ExperimentDriver::run()
         return report;
     }
 
-    sim::Runner runner(spec.baseConfig(), effectiveRecords());
+    // Either a per-run Runner (the historical path) or the caller's
+    // resident one (the serve daemon — trace/baseline caches then
+    // outlive this run and warm the next request for the same
+    // configuration).
+    std::unique_ptr<sim::Runner> owned_runner;
+    if (!opts.runner)
+        owned_runner = std::make_unique<sim::Runner>(
+            spec.baseConfig(), effectiveRecords());
+    sim::Runner &runner = opts.runner ? *opts.runner : *owned_runner;
     std::shared_ptr<trace::TraceCache> cache;
-    if (traceCacheEnabled()) {
+    if (owned_runner && traceCacheEnabled()) {
         cache =
             std::make_shared<trace::TraceCache>(opts.traceCacheDir);
         runner.setTraceCache(cache);
@@ -558,7 +570,14 @@ ExperimentDriver::run()
     CancellationToken local_token;
     CancellationToken &token =
         opts.shutdown ? *opts.shutdown : local_token;
-    runner.setCancellation(&token);
+    // An external (resident) runner is shared by concurrent runs, so
+    // the runner-wide token stays untouched — a per-run token wired
+    // there would dangle after this frame returns and clobber the
+    // other runs' cancellation. The watchdog (forced on by
+    // opts.shutdown below) routes both shutdown and fail-fast to its
+    // per-attempt thread-local tokens instead.
+    if (owned_runner)
+        runner.setCancellation(&token);
 
     const std::uint64_t result_hash =
         spec.resultHash(effectiveRecords());
@@ -644,6 +663,11 @@ ExperimentDriver::run()
             [&](std::size_t i) {
                 const std::string &w = spec.workloads[i];
                 span::Span warm_span("baseline " + w, "job");
+                // Scope the warm-up under the watchdog too: on a
+                // shared resident runner this is the only cancellation
+                // route, and a deadline applies to baselines as much
+                // as to the jobs they feed.
+                AttemptScope scope(watchdog.get(), w + "/baseline");
                 const sim::RunStats &stats = runner.baseline(w);
                 if (journal && !replayed_baselines.count(w)) {
                     JournalEntry e;
@@ -801,8 +825,9 @@ ExperimentDriver::run()
     report.meta.threads = engine.threads();
     report.meta.wallSeconds = elapsed.count();
     report.meta.timestamp = iso8601UtcNow();
-    if (cache) {
-        auto cs = cache->stats();
+    if (trace::TraceCache *tc =
+            cache ? cache.get() : runner.traceCache()) {
+        auto cs = tc->stats();
         report.meta.traceCacheHits = cs.hits;
         report.meta.traceCacheMisses = cs.misses;
     }
@@ -824,9 +849,14 @@ ExperimentDriver::run()
             + metrics::histogram("phase.simulate_ns").sum())
         / 1e9;
 
-    // Deliver in spec order to the spec's sinks plus any extras.
+    // Deliver in spec order to the spec's sinks plus any extras. A
+    // suppressing caller (the serve daemon) replaced the spec's sinks
+    // with its own capturing ones via addSink, so only extras run —
+    // including the implicit default table.
     std::vector<std::unique_ptr<Sink>> sinks;
-    if (spec.sinks.empty()) {
+    if (opts.suppressSpecSinks) {
+        // nothing from the spec
+    } else if (spec.sinks.empty()) {
         sinks.push_back(makeSink(SinkSpec{}));
     } else {
         for (const auto &s : spec.sinks)
@@ -859,6 +889,22 @@ ExperimentDriver::run()
         && !writeMetricsReport(report, opts.metricsOut))
         report.sinksOk = false;
     return report;
+}
+
+int
+exitCodeForReport(const ExperimentReport &report, bool keepGoing)
+{
+    // An interrupt wins even when the drain left failed slots behind
+    // — those are the interrupt's own signature, not a verdict on
+    // the spec.
+    if (report.interrupted)
+        return static_cast<int>(ExitCode::Interrupted);
+    if (report.failedJobs > 0)
+        return static_cast<int>(keepGoing ? ExitCode::PartialFailure
+                                          : ExitCode::RuntimeFailure);
+    if (!report.sinksOk)
+        return static_cast<int>(ExitCode::RuntimeFailure);
+    return static_cast<int>(ExitCode::Success);
 }
 
 } // namespace prophet::driver

@@ -1,5 +1,6 @@
 #include "driver/sink.hh"
 
+#include <cstdarg>
 #include <cstdio>
 #include <fstream>
 
@@ -12,6 +13,30 @@ namespace prophet::driver
 
 namespace
 {
+
+/**
+ * printf-append into a string — the table sink renders through this
+ * so one code path feeds both stdout and the serve daemon's captured
+ * response bytes, and the two cannot drift.
+ */
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    if (n > 0) {
+        const std::size_t old = out.size();
+        out.resize(old + static_cast<std::size_t>(n) + 1);
+        std::vsnprintf(&out[old], static_cast<std::size_t>(n) + 1,
+                       fmt, ap2);
+        out.resize(old + static_cast<std::size_t>(n));
+    }
+    va_end(ap2);
+}
 
 /** Metric value for a job (metrics are precomputed by the driver). */
 double
@@ -32,6 +57,11 @@ metricValue(const JobResult &r, const std::string &metric)
 class TableSink : public Sink
 {
   public:
+    explicit TableSink(std::string *capture = nullptr)
+        : capture(capture)
+    {
+    }
+
     void
     result(const JobResult &r) override
     {
@@ -41,31 +71,39 @@ class TableSink : public Sink
     bool
     finish(const ExperimentSpec &spec, const RunMeta &meta) override
     {
-        std::printf("\n== %s: %zu workload%s x %zu pipeline%s "
-                    "(records=%zu, threads=%u, spec %016llx) ==\n\n",
-                    spec.name.c_str(), spec.workloads.size(),
-                    spec.workloads.size() == 1 ? "" : "s",
-                    spec.pipelines.size(),
-                    spec.pipelines.size() == 1 ? "" : "s",
-                    meta.records, meta.threads,
-                    static_cast<unsigned long long>(meta.specHash));
+        std::string out;
+        appendf(out,
+                "\n== %s: %zu workload%s x %zu pipeline%s "
+                "(records=%zu, threads=%u, spec %016llx) ==\n\n",
+                spec.name.c_str(), spec.workloads.size(),
+                spec.workloads.size() == 1 ? "" : "s",
+                spec.pipelines.size(),
+                spec.pipelines.size() == 1 ? "" : "s", meta.records,
+                meta.threads,
+                static_cast<unsigned long long>(meta.specHash));
         for (const auto &metric : spec.metrics)
-            printMetric(spec, metric);
-        printFailures();
+            printMetric(out, spec, metric);
+        printFailures(out);
         // Cumulative phase split from the metrics registry: summed
         // over workers, so the parenthesis can exceed the wall time
         // on multiple threads. Golden-output comparisons already
         // exclude the "wall-clock: " line (its value is nondeterministic),
         // so extending it costs no byte-identity.
-        std::printf("wall-clock: %.2f s (trace-load %.2f s, "
-                    "simulate %.2f s across %u thread%s)\n",
-                    meta.wallSeconds, meta.traceLoadSeconds,
-                    meta.simulateSeconds, meta.threads,
-                    meta.threads == 1 ? "" : "s");
+        appendf(out,
+                "wall-clock: %.2f s (trace-load %.2f s, "
+                "simulate %.2f s across %u thread%s)\n",
+                meta.wallSeconds, meta.traceLoadSeconds,
+                meta.simulateSeconds, meta.threads,
+                meta.threads == 1 ? "" : "s");
+        if (capture)
+            *capture = std::move(out);
+        else
+            std::fwrite(out.data(), 1, out.size(), stdout);
         return true;
     }
 
   private:
+    std::string *capture; ///< null = stdout (the CLI path)
     std::vector<JobResult> results;
 
     const JobResult &
@@ -78,7 +116,8 @@ class TableSink : public Sink
     }
 
     void
-    printMetric(const ExperimentSpec &spec, const std::string &metric)
+    printMetric(std::string &out, const ExperimentSpec &spec,
+                const std::string &metric)
     {
         // Column titles and order come straight from the registry-
         // validated pipeline instances (label, else display name).
@@ -111,14 +150,14 @@ class TableSink : public Sink
         for (const auto &c : cols)
             geo.push_back(stats::Table::fmt(stats::geomean(c)));
         table.addRow(std::move(geo));
-        std::printf("%s\n%s\n", metricDisplayName(metric).c_str(),
-                    table.render().c_str());
+        appendf(out, "%s\n%s\n", metricDisplayName(metric).c_str(),
+                table.render().c_str());
     }
 
     /** Printed only when failures exist: no-failure output is
      *  byte-identical to the pre-failure-handling renderer. */
     void
-    printFailures() const
+    printFailures(std::string &out) const
     {
         std::size_t failed = 0;
         for (const auto &r : results)
@@ -126,18 +165,18 @@ class TableSink : public Sink
                 ++failed;
         if (failed == 0)
             return;
-        std::printf("failures: %zu of %zu job%s\n", failed,
-                    results.size(), results.size() == 1 ? "" : "s");
+        appendf(out, "failures: %zu of %zu job%s\n", failed,
+                results.size(), results.size() == 1 ? "" : "s");
         for (const auto &r : results) {
             if (r.ok)
                 continue;
             // errorMessage self-describes (recordFailure guarantees
             // the code-name prefix), so no code column here.
-            std::printf("  %s/%s: %s (attempts=%u)\n",
-                        r.workload.c_str(), r.pipeline.c_str(),
-                        r.errorMessage.c_str(), r.attempts);
+            appendf(out, "  %s/%s: %s (attempts=%u)\n",
+                    r.workload.c_str(), r.pipeline.c_str(),
+                    r.errorMessage.c_str(), r.attempts);
         }
-        std::printf("\n");
+        appendf(out, "\n");
     }
 };
 
@@ -176,7 +215,11 @@ statsToJson(const sim::RunStats &s)
 class JsonFileSink : public Sink
 {
   public:
-    explicit JsonFileSink(std::string path) : path(std::move(path)) {}
+    explicit JsonFileSink(std::string path,
+                          std::string *capture = nullptr)
+        : path(std::move(path)), capture(capture)
+    {
+    }
 
     void
     result(const JobResult &r) override
@@ -228,13 +271,18 @@ class JsonFileSink : public Sink
                      json::Value(static_cast<double>(failedCount)));
         root.set("results", std::move(rows));
 
+        std::string doc = json::dump(root, 2);
+        if (capture) {
+            *capture = std::move(doc);
+            return true;
+        }
         std::ofstream out(path, std::ios::binary);
         if (!out) {
             std::fprintf(stderr, "json sink: cannot write %s\n",
                          path.c_str());
             return false;
         }
-        out << json::dump(root, 2);
+        out << doc;
         out.flush();
         if (!out) {
             std::fprintf(stderr, "json sink: write to %s failed\n",
@@ -247,6 +295,7 @@ class JsonFileSink : public Sink
 
   private:
     std::string path;
+    std::string *capture; ///< null = write the file (the CLI path)
     json::Value rows = json::Value::makeArray();
     std::size_t failedCount = 0;
 };
@@ -262,7 +311,11 @@ class JsonFileSink : public Sink
 class CsvFileSink : public Sink
 {
   public:
-    explicit CsvFileSink(std::string path) : path(std::move(path)) {}
+    explicit CsvFileSink(std::string path,
+                         std::string *capture = nullptr)
+        : path(std::move(path)), capture(capture)
+    {
+    }
 
     void
     result(const JobResult &r) override
@@ -278,13 +331,7 @@ class CsvFileSink : public Sink
             if (!r.ok)
                 any_failed = true;
 
-        std::ofstream out(path, std::ios::binary);
-        if (!out) {
-            std::fprintf(stderr, "csv sink: cannot write %s\n",
-                         path.c_str());
-            return false;
-        }
-
+        std::string doc;
         std::string hdr = "workload,pipeline";
         for (const auto &name : spec.metrics)
             hdr += "," + name;
@@ -294,7 +341,8 @@ class CsvFileSink : public Sink
                "stats_dram_reads,stats_dram_writes";
         if (any_failed)
             hdr += ",error";
-        out << hdr << "\n";
+        doc += hdr;
+        doc += "\n";
 
         char buf[64];
         for (const auto &r : results) {
@@ -323,8 +371,20 @@ class CsvFileSink : public Sink
                 line += ",";
                 line += csvQuote(r.errorMessage);
             }
-            out << line << "\n";
+            doc += line;
+            doc += "\n";
         }
+        if (capture) {
+            *capture = std::move(doc);
+            return true;
+        }
+        std::ofstream out(path, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "csv sink: cannot write %s\n",
+                         path.c_str());
+            return false;
+        }
+        out << doc;
         out.flush();
         if (!out) {
             std::fprintf(stderr, "csv sink: write to %s failed\n",
@@ -337,6 +397,7 @@ class CsvFileSink : public Sink
 
   private:
     std::string path;
+    std::string *capture; ///< null = write the file (the CLI path)
     std::vector<JobResult> results;
 
     static std::string
@@ -383,6 +444,20 @@ makeSink(const SinkSpec &spec)
         return std::make_unique<JsonFileSink>(spec.path);
       case SinkSpec::Kind::CsvFile:
         return std::make_unique<CsvFileSink>(spec.path);
+    }
+    prophet_panic("unhandled sink kind");
+}
+
+std::unique_ptr<Sink>
+makeCapturingSink(const SinkSpec &spec, std::string *out)
+{
+    switch (spec.kind) {
+      case SinkSpec::Kind::Table:
+        return std::make_unique<TableSink>(out);
+      case SinkSpec::Kind::JsonFile:
+        return std::make_unique<JsonFileSink>(spec.path, out);
+      case SinkSpec::Kind::CsvFile:
+        return std::make_unique<CsvFileSink>(spec.path, out);
     }
     prophet_panic("unhandled sink kind");
 }

@@ -1,0 +1,224 @@
+#include "serve/protocol.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/fault_injection.hh"
+
+namespace prophet::serve
+{
+
+namespace
+{
+
+/** Milliseconds left until @p deadline ( -1 = no deadline). */
+int
+remainingMs(std::chrono::steady_clock::time_point deadline,
+            bool has_deadline)
+{
+    if (!has_deadline)
+        return -1;
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - std::chrono::steady_clock::now())
+                    .count();
+    if (left <= 0)
+        return 0;
+    return static_cast<int>(left);
+}
+
+enum class IoStatus { Ok, Eof, Timeout, Error };
+
+/**
+ * Read exactly @p len bytes, polling for readability under the
+ * deadline. Eof is reported with the bytes-read count so the caller
+ * can distinguish a clean close (0 bytes) from a truncated frame.
+ */
+IoStatus
+readFull(int fd, void *buf, std::size_t len, std::size_t &got,
+         std::chrono::steady_clock::time_point deadline,
+         bool has_deadline)
+{
+    got = 0;
+    char *p = static_cast<char *>(buf);
+    while (got < len) {
+        struct pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        const int rc =
+            ::poll(&pfd, 1, remainingMs(deadline, has_deadline));
+        if (rc == 0)
+            return IoStatus::Timeout;
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return IoStatus::Error;
+        }
+        const ssize_t n = ::read(fd, p + got, len - got);
+        if (n == 0)
+            return IoStatus::Eof;
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN
+                || errno == EWOULDBLOCK)
+                continue;
+            return IoStatus::Error;
+        }
+        got += static_cast<std::size_t>(n);
+    }
+    return IoStatus::Ok;
+}
+
+} // anonymous namespace
+
+ReadOutcome
+readFrame(int fd, std::uint32_t max_bytes, int timeout_ms)
+{
+    ReadOutcome out;
+    const bool has_deadline = timeout_ms >= 0;
+    const auto deadline = std::chrono::steady_clock::now()
+        + std::chrono::milliseconds(has_deadline ? timeout_ms : 0);
+
+    if (fault::shouldFail("serve.frame_read")) {
+        out.kind = ReadOutcome::Kind::IoError;
+        out.error = "injected frame-read failure";
+        return out;
+    }
+
+    unsigned char hdr[8];
+    std::size_t got = 0;
+    switch (readFull(fd, hdr, sizeof(hdr), got, deadline,
+                     has_deadline)) {
+      case IoStatus::Ok:
+        break;
+      case IoStatus::Eof:
+        if (got == 0) {
+            out.kind = ReadOutcome::Kind::Eof;
+            return out;
+        }
+        out.kind = ReadOutcome::Kind::Malformed;
+        out.error = "connection closed mid-header";
+        return out;
+      case IoStatus::Timeout:
+        out.kind = ReadOutcome::Kind::Timeout;
+        out.error = "frame header timed out";
+        return out;
+      case IoStatus::Error:
+        out.kind = ReadOutcome::Kind::IoError;
+        out.error = std::strerror(errno);
+        return out;
+    }
+
+    const std::uint32_t magic = static_cast<std::uint32_t>(hdr[0])
+        | static_cast<std::uint32_t>(hdr[1]) << 8
+        | static_cast<std::uint32_t>(hdr[2]) << 16
+        | static_cast<std::uint32_t>(hdr[3]) << 24;
+    const std::uint32_t length = static_cast<std::uint32_t>(hdr[4])
+        | static_cast<std::uint32_t>(hdr[5]) << 8
+        | static_cast<std::uint32_t>(hdr[6]) << 16
+        | static_cast<std::uint32_t>(hdr[7]) << 24;
+    if (magic != kFrameMagic) {
+        out.kind = ReadOutcome::Kind::Malformed;
+        out.error = "bad frame magic";
+        return out;
+    }
+    // The cap check precedes the allocation: an advertised length is
+    // attacker/corruption-controlled data and must never size a
+    // buffer before passing it.
+    if (length > max_bytes) {
+        out.kind = ReadOutcome::Kind::Malformed;
+        out.error = "frame length " + std::to_string(length)
+            + " exceeds the " + std::to_string(max_bytes)
+            + "-byte cap";
+        return out;
+    }
+
+    out.payload.resize(length);
+    if (length > 0) {
+        switch (readFull(fd, &out.payload[0], length, got, deadline,
+                         has_deadline)) {
+          case IoStatus::Ok:
+            break;
+          case IoStatus::Eof:
+            out.payload.clear();
+            out.kind = ReadOutcome::Kind::Malformed;
+            out.error = "connection closed mid-payload";
+            return out;
+          case IoStatus::Timeout:
+            out.payload.clear();
+            out.kind = ReadOutcome::Kind::Timeout;
+            out.error = "frame payload timed out";
+            return out;
+          case IoStatus::Error:
+            out.payload.clear();
+            out.kind = ReadOutcome::Kind::IoError;
+            out.error = std::strerror(errno);
+            return out;
+        }
+    }
+    out.kind = ReadOutcome::Kind::Frame;
+    return out;
+}
+
+bool
+writeFrame(int fd, const std::string &payload, int timeout_ms)
+{
+    if (payload.size() > ~std::uint32_t{0})
+        return false;
+    if (fault::shouldFail("serve.frame_write"))
+        return false;
+
+    const bool has_deadline = timeout_ms >= 0;
+    const auto deadline = std::chrono::steady_clock::now()
+        + std::chrono::milliseconds(has_deadline ? timeout_ms : 0);
+    const std::uint32_t length =
+        static_cast<std::uint32_t>(payload.size());
+    unsigned char hdr[8] = {
+        static_cast<unsigned char>(kFrameMagic & 0xff),
+        static_cast<unsigned char>((kFrameMagic >> 8) & 0xff),
+        static_cast<unsigned char>((kFrameMagic >> 16) & 0xff),
+        static_cast<unsigned char>((kFrameMagic >> 24) & 0xff),
+        static_cast<unsigned char>(length & 0xff),
+        static_cast<unsigned char>((length >> 8) & 0xff),
+        static_cast<unsigned char>((length >> 16) & 0xff),
+        static_cast<unsigned char>((length >> 24) & 0xff),
+    };
+
+    // Header and payload as one contiguous buffer: a short send may
+    // still split anywhere, so the loop below handles both.
+    std::string buf(reinterpret_cast<char *>(hdr), sizeof(hdr));
+    buf += payload;
+
+    std::size_t sent = 0;
+    while (sent < buf.size()) {
+        struct pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = POLLOUT;
+        pfd.revents = 0;
+        const int rc =
+            ::poll(&pfd, 1, remainingMs(deadline, has_deadline));
+        if (rc == 0)
+            return false;
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        const ssize_t n = ::send(fd, buf.data() + sent,
+                                 buf.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN
+                || errno == EWOULDBLOCK)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace prophet::serve

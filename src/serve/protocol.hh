@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The serve wire protocol: length-prefixed JSON frames over a Unix
+ * stream socket. One frame is
+ *
+ *   u32 magic "PFRM" (little-endian 0x4d524650)
+ *   u32 payload length in bytes (little-endian)
+ *   payload: one JSON document (driver/json)
+ *
+ * Hardening invariants this layer owns:
+ *  - the length is sanity-checked against the configured cap BEFORE
+ *    any buffer is allocated — a hostile or corrupt 4 GiB prefix
+ *    costs an 8-byte header read, never an allocation;
+ *  - a bad magic or over-cap length classifies as Malformed and the
+ *    caller closes the connection (framing is lost; resyncing a
+ *    stream mid-garbage is guesswork);
+ *  - every read/write runs under a poll(2) deadline so a stalled
+ *    peer cannot wedge a daemon worker;
+ *  - writes use send(MSG_NOSIGNAL): a client that died mid-response
+ *    surfaces as an error return, not a SIGPIPE.
+ *
+ * The fault sites "serve.frame_read" and "serve.frame_write"
+ * (common/fault_injection.hh) fire here so tests exercise the
+ * daemon's I/O failure paths deterministically.
+ */
+
+#ifndef PROPHET_SERVE_PROTOCOL_HH
+#define PROPHET_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+namespace prophet::serve
+{
+
+/** "PFRM" little-endian: the first 4 bytes of every frame. */
+constexpr std::uint32_t kFrameMagic = 0x4d524650u;
+
+/** Default payload cap (16 MiB) — ServeOptions can lower or raise. */
+constexpr std::uint32_t kDefaultMaxFrameBytes = 16u << 20;
+
+/** What one readFrame attempt produced. */
+struct ReadOutcome
+{
+    enum class Kind
+    {
+        Frame,     ///< payload holds one complete JSON document
+        Eof,       ///< clean close before any header byte
+        Timeout,   ///< the poll deadline expired mid-frame
+        Malformed, ///< bad magic, over-cap length, truncated frame
+        IoError,   ///< read(2) failed (or serve.frame_read fired)
+    };
+
+    Kind kind = Kind::IoError;
+    std::string payload; ///< set only for Kind::Frame
+    std::string error;   ///< human-readable detail for non-Frame
+};
+
+/**
+ * Read one frame from @p fd. @p max_bytes caps the advertised
+ * payload length (checked before allocating); @p timeout_ms bounds
+ * the whole frame ( < 0 waits forever).
+ */
+ReadOutcome readFrame(int fd, std::uint32_t max_bytes,
+                      int timeout_ms);
+
+/**
+ * Write one frame to @p fd. Returns false on any failure (peer gone,
+ * poll deadline expired, serve.frame_write fired); never raises
+ * SIGPIPE. Payloads over UINT32_MAX are refused.
+ */
+bool writeFrame(int fd, const std::string &payload, int timeout_ms);
+
+} // namespace prophet::serve
+
+#endif // PROPHET_SERVE_PROTOCOL_HH

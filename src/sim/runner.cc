@@ -51,14 +51,38 @@ Runner::injectBaseline(const std::string &workload, RunStats stats)
     baselines.emplace(workload, std::move(stats));
 }
 
+namespace
+{
+/**
+ * Estimated resident footprint of one trace: the four SoA arrays
+ * (pc[] + addr[] + precomputed lineAddr[] at 8 bytes each, packed
+ * meta[] at 4), which dominate a Runner's memory by orders of
+ * magnitude over baselines and profiles.
+ */
+std::size_t
+residentBytes(const trace::Trace &t)
+{
+    return t.size() * (3 * sizeof(std::uint64_t)
+                       + sizeof(std::uint32_t));
+}
+} // anonymous namespace
+
 void
 Runner::ensureWorkload(const std::string &workload)
 {
     std::shared_ptr<trace::TraceCache> disk;
     {
         std::lock_guard<std::mutex> lock(cacheMu);
-        if (traces.count(workload))
+        if (traces.count(workload)) {
+            // Residency hit: the serve daemon's warm-request payoff
+            // (the trace load the second request never pays), and
+            // the tick evictLruTrace orders its LRU scan by.
+            static metrics::Counter &resident_hits =
+                metrics::counter("runner.trace_resident_hits");
+            resident_hits.inc();
+            lastUse[workload] = ++useTick;
             return;
+        }
         disk = cache;
     }
     // Generate outside the lock: generation is deterministic per
@@ -95,6 +119,68 @@ Runner::ensureWorkload(const std::string &workload)
     (void)it;
     if (inserted)
         generators.emplace(workload, std::move(gen));
+    lastUse[workload] = ++useTick;
+}
+
+std::vector<Runner::ResidentTrace>
+Runner::residentTraces()
+{
+    std::lock_guard<std::mutex> lock(cacheMu);
+    std::vector<ResidentTrace> out;
+    out.reserve(traces.size());
+    for (const auto &[w, tr] : traces) {
+        ResidentTrace r;
+        r.workload = w;
+        r.bytes = residentBytes(*tr);
+        auto it = lastUse.find(w);
+        r.lastUse = it == lastUse.end() ? 0 : it->second;
+        r.inUse = tr.use_count() > 1;
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+std::size_t
+Runner::residentTraceBytes()
+{
+    std::lock_guard<std::mutex> lock(cacheMu);
+    std::size_t total = 0;
+    for (const auto &[w, tr] : traces) {
+        (void)w;
+        total += residentBytes(*tr);
+    }
+    return total;
+}
+
+std::size_t
+Runner::evictLruTrace()
+{
+    std::lock_guard<std::mutex> lock(cacheMu);
+    auto victim = traces.end();
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (auto it = traces.begin(); it != traces.end(); ++it) {
+        // use_count > 1 = some run still holds the shared_ptr
+        // (runConfig pins it for the duration of the simulation);
+        // evicting would not free memory and would orphan the
+        // generator whose resolver that run may be using.
+        if (it->second.use_count() > 1)
+            continue;
+        auto lu = lastUse.find(it->first);
+        std::uint64_t tick = lu == lastUse.end() ? 0 : lu->second;
+        if (tick < oldest) {
+            oldest = tick;
+            victim = it;
+        }
+    }
+    if (victim == traces.end())
+        return 0;
+    std::size_t freed = residentBytes(*victim->second);
+    prophet_infof("runner: evicting resident trace %s (%zu bytes)",
+                  victim->first.c_str(), freed);
+    generators.erase(victim->first);
+    lastUse.erase(victim->first);
+    traces.erase(victim);
+    return freed;
 }
 
 const trace::Trace &
@@ -242,7 +328,11 @@ Runner::runRpg2(const std::string &workload)
 {
     Rpg2Outcome out;
     const RunStats &base_stats = baseline(workload);
-    const trace::Trace &t = traceFor(workload);
+    // Pin the trace for the whole pipeline: kernel identification
+    // reads it outside runConfig, and a pinned trace can never be
+    // evicted from under us by a concurrent evictLruTrace.
+    std::shared_ptr<const trace::Trace> tr = traceShared(workload);
+    const trace::Trace &t = *tr;
     const trace::IndirectResolver *resolver = resolverFor(workload);
 
     out.kernels =

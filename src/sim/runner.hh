@@ -171,6 +171,34 @@ class Runner
      */
     Rpg2Outcome runRpg2(const std::string &workload);
 
+    // ---- serve-mode residency control -------------------------------
+
+    /** One resident (in-memory) trace, for eviction decisions. */
+    struct ResidentTrace
+    {
+        std::string workload;
+        std::size_t bytes = 0;   ///< SoA array footprint estimate
+        std::uint64_t lastUse = 0; ///< monotonic use tick (LRU order)
+        bool inUse = false;      ///< pinned by an in-flight run
+    };
+
+    /** Every resident trace, unordered. */
+    std::vector<ResidentTrace> residentTraces();
+
+    /** Total estimated bytes of all resident traces. */
+    std::size_t residentTraceBytes();
+
+    /**
+     * Evict the least-recently-used resident trace that no run
+     * currently pins (shared_ptr use count 1). Returns the bytes
+     * freed, 0 when nothing is evictable. The next request for the
+     * workload transparently reloads from the on-disk trace cache
+     * (or regenerates). Callers that hand out unpinned references
+     * (the serve daemon) must only evict while no request is in
+     * flight; pinned traces are skipped regardless.
+     */
+    std::size_t evictLruTrace();
+
     /** The base configuration (benches derive variants from it). */
     const SystemConfig &baseConfig() const { return base; }
 
@@ -202,6 +230,11 @@ class Runner
     std::map<std::string, std::shared_ptr<const trace::Trace>> traces;
     std::map<std::string, RunStats> baselines;
     std::map<std::string, core::ProfileSnapshot> profiles;
+
+    /** LRU bookkeeping for evictLruTrace: a monotonic tick stamped
+     *  per workload on every resident-trace use (under cacheMu). */
+    std::uint64_t useTick = 0;
+    std::map<std::string, std::uint64_t> lastUse;
 
     void ensureWorkload(const std::string &workload);
 };

@@ -1,0 +1,555 @@
+/**
+ * @file
+ * End-to-end tests for the resident serve daemon, exercising the
+ * whole robustness envelope promised in serve/server.hh: stale-socket
+ * recovery and live-socket refusal, request/response equivalence with
+ * the standalone driver (byte-for-byte), resident-trace reuse across
+ * requests, fault containment (malformed frames, bad specs, oversize
+ * payloads, injected mid-run failures — each answered with a
+ * structured frame while the daemon keeps serving), admission-control
+ * shedding with a retry hint, client-disconnect slot reclamation,
+ * per-request deadlines, RSS-watermark eviction, and graceful drain.
+ *
+ * The metrics registry is process-wide and the daemon deliberately
+ * never resets it, so every assertion on a serve.* counter reads a
+ * delta around the action, not an absolute value.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/error.hh"
+#include "common/fault_injection.hh"
+#include "common/metrics.hh"
+#include "driver/driver.hh"
+#include "driver/json.hh"
+#include "driver/sink.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+
+namespace fs = std::filesystem;
+
+namespace prophet::serve
+{
+namespace
+{
+
+namespace json = driver::json;
+
+/** Short traces keep the round-trips fast. */
+constexpr std::size_t kRecords = 20'000;
+
+std::uint64_t
+counterValue(const std::string &name)
+{
+    return metrics::counter(name).value();
+}
+
+/** A fresh socket path per test: stale state cannot leak across. */
+std::string
+freshSocketPath()
+{
+    static int n = 0;
+    return "/tmp/prophet_serve_" + std::to_string(::getpid()) + "_"
+        + std::to_string(++n) + ".sock";
+}
+
+/** Spec text shared by the daemon and the standalone reference. */
+std::string
+specText(std::size_t records = kRecords)
+{
+    return "{\"name\": \"serve-e2e\","
+           " \"workloads\": [\"mcf\"],"
+           " \"pipelines\": [\"baseline\", \"triangel\"],"
+           " \"metrics\": [\"ipc\", \"speedup\"],"
+           " \"records\": " + std::to_string(records) + ","
+           " \"trace_cache\": false,"
+           " \"sinks\": [{\"type\": \"csv\","
+           "              \"path\": \"out.csv\"}]}";
+}
+
+/** A {"type":"run"} request frame payload around @p spec_text. */
+std::string
+runRequest(const std::string &spec_text, double deadline_s = 0.0)
+{
+    json::Value req = json::Value::makeObject();
+    req.set("type", json::Value("run"));
+    req.set("spec_text", json::Value(spec_text));
+    if (deadline_s > 0.0)
+        req.set("deadline_s", json::Value(deadline_s));
+    return json::dump(req);
+}
+
+/** Exchange @p payload with the daemon; ASSERT-parses the reply. */
+json::Value
+roundTrip(const std::string &socket_path, const std::string &payload,
+         int timeout_ms = 30000)
+{
+    std::string response, err;
+    EXPECT_TRUE(clientExchange(socket_path, payload, response, err,
+                               timeout_ms))
+        << err;
+    json::Value resp;
+    std::string perr;
+    EXPECT_TRUE(json::parse(response, resp, &perr)) << perr;
+    return resp;
+}
+
+std::string
+frameType(const json::Value &resp)
+{
+    const json::Value *t = resp.find("type");
+    return t && t->isString() ? t->asString() : "";
+}
+
+std::string
+errorCodeOf(const json::Value &resp)
+{
+    const json::Value *c = resp.find("code");
+    return c && c->isString() ? c->asString() : "";
+}
+
+/** The one CSV sink's rendered bytes from a result frame. */
+std::string
+csvContent(const json::Value &result)
+{
+    const json::Value *sinks = result.find("sinks");
+    EXPECT_TRUE(sinks && sinks->isArray()
+                && sinks->asArray().size() == 1u);
+    if (!sinks || !sinks->isArray() || sinks->asArray().empty())
+        return "";
+    const json::Value *content =
+        sinks->asArray()[0].find("content");
+    EXPECT_TRUE(content && content->isString());
+    return content && content->isString() ? content->asString()
+                                          : "";
+}
+
+/** Connect a raw fd to the daemon socket (tests drive half-open
+ *  and mid-run-disconnect scenarios the client API never would). */
+int
+rawConnect(const std::string &path)
+{
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    EXPECT_LT(path.size(), sizeof(addr.sun_path));
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    EXPECT_EQ(0, ::connect(fd,
+                           reinterpret_cast<struct sockaddr *>(&addr),
+                           sizeof(addr)))
+        << std::strerror(errno);
+    return fd;
+}
+
+/** Poll @p cond up to @p budget; true when it held in time. */
+bool
+eventually(const std::function<bool()> &cond,
+           std::chrono::milliseconds budget =
+               std::chrono::milliseconds(15000))
+{
+    const auto deadline = std::chrono::steady_clock::now() + budget;
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (cond())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return cond();
+}
+
+class ServeDaemonTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        fault::reset();
+        sock = freshSocketPath();
+        opts.socketPath = sock;
+        opts.workers = 2;
+        opts.retryBackoffMs = 0;
+        opts.traceCache = 0; // resident Runner reuse is the cache
+    }
+
+    void TearDown() override { fault::reset(); }
+
+    std::string sock;
+    ServeOptions opts;
+};
+
+TEST_F(ServeDaemonTest, StartRecoversStaleSocketFile)
+{
+    // A crashed daemon leaves the socket file behind but not the
+    // pidfile lock; a restart must reclaim the path, not fail with
+    // "address in use".
+    { std::ofstream stale(sock); stale << "stale"; }
+    ASSERT_TRUE(fs::exists(sock));
+    ServeDaemon daemon(opts);
+    ASSERT_NO_THROW(daemon.start());
+    json::Value resp = roundTrip(sock, "{\"type\":\"ping\"}");
+    EXPECT_EQ(frameType(resp), "pong");
+    daemon.drainAndStop();
+}
+
+TEST_F(ServeDaemonTest, SecondDaemonOnSameSocketIsRefused)
+{
+    ServeDaemon first(opts);
+    first.start();
+    ServeDaemon second(opts);
+    try {
+        second.start();
+        FAIL() << "second start() on a live socket must throw";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::SocketBusy);
+        EXPECT_NE(std::string(e.what()).find("pid"),
+                  std::string::npos);
+    }
+    // The loser must not have torn down the winner's socket.
+    json::Value resp = roundTrip(sock, "{\"type\":\"ping\"}");
+    EXPECT_EQ(frameType(resp), "pong");
+    first.drainAndStop();
+}
+
+TEST_F(ServeDaemonTest, RunMatchesStandaloneDriverByteForByte)
+{
+    ServeDaemon daemon(opts);
+    daemon.start();
+    json::Value resp = roundTrip(sock, runRequest(specText()));
+    ASSERT_EQ(frameType(resp), "result") << errorCodeOf(resp);
+    const json::Value *ec = resp.find("exit_code");
+    ASSERT_TRUE(ec && ec->isNumber());
+    EXPECT_EQ(static_cast<int>(ec->asNumber()), 0);
+    const std::string served = csvContent(resp);
+    ASSERT_FALSE(served.empty());
+    daemon.drainAndStop();
+
+    // Ground truth: the same spec through the standalone driver,
+    // rendered by the same capturing-sink path the daemon uses.
+    json::Value doc;
+    ASSERT_TRUE(json::parse(specText(), doc, nullptr));
+    driver::DriverOptions dopts;
+    dopts.resetMetrics = false; // keep serve.* deltas readable
+    dopts.suppressSpecSinks = true;
+    dopts.traceCache = 0;
+    driver::ExperimentDriver drv(
+        driver::ExperimentSpec::fromJson(doc), dopts);
+    driver::SinkSpec csv;
+    csv.kind = driver::SinkSpec::Kind::CsvFile;
+    csv.path = "out.csv";
+    std::string direct;
+    drv.addSink(driver::makeCapturingSink(csv, &direct));
+    ASSERT_TRUE(drv.run().ok());
+    EXPECT_EQ(served, direct);
+}
+
+TEST_F(ServeDaemonTest, WarmRepeatHitsResidentTraces)
+{
+    ServeDaemon daemon(opts);
+    daemon.start();
+    const std::uint64_t hits0 =
+        counterValue("runner.trace_resident_hits");
+    const std::uint64_t created0 =
+        counterValue("serve.runners_created");
+
+    json::Value first = roundTrip(sock, runRequest(specText()));
+    ASSERT_EQ(frameType(first), "result");
+    json::Value second = roundTrip(sock, runRequest(specText()));
+    ASSERT_EQ(frameType(second), "result");
+    EXPECT_EQ(csvContent(first), csvContent(second));
+
+    // Same base-config tuple: one resident runner, and the repeat
+    // request's trace loads were all satisfied from residency.
+    EXPECT_EQ(counterValue("serve.runners_created") - created0, 1u);
+    EXPECT_GT(counterValue("runner.trace_resident_hits"), hits0);
+
+    // The health report names the resident workload.
+    json::Value health = roundTrip(sock, "{\"type\":\"health\"}");
+    ASSERT_EQ(frameType(health), "health");
+    const json::Value *resident = health.find("resident");
+    ASSERT_TRUE(resident && resident->isArray());
+    ASSERT_EQ(resident->asArray().size(), 1u);
+    const json::Value *traces =
+        resident->asArray()[0].find("traces");
+    ASSERT_TRUE(traces && traces->isArray());
+    bool saw_mcf = false;
+    for (const auto &t : traces->asArray())
+        if (t.find("workload")
+            && t.find("workload")->asString() == "mcf")
+            saw_mcf = true;
+    EXPECT_TRUE(saw_mcf);
+    const json::Value *counters = health.find("counters");
+    ASSERT_TRUE(counters && counters->isObject());
+    EXPECT_NE(counters->find("serve.requests"), nullptr);
+    daemon.drainAndStop();
+}
+
+TEST_F(ServeDaemonTest, ConcurrentClientsGetIdenticalResults)
+{
+    opts.workers = 4;
+    ServeDaemon daemon(opts);
+    daemon.start();
+    constexpr int kClients = 4;
+    std::vector<std::string> contents(kClients);
+    std::vector<int> exit_codes(kClients, -1);
+    std::vector<std::thread> clients;
+    for (int i = 0; i < kClients; ++i)
+        clients.emplace_back([&, i] {
+            std::string response, err;
+            if (!clientExchange(sock, runRequest(specText()),
+                                response, err, 60000))
+                return;
+            json::Value resp;
+            if (!json::parse(response, resp, nullptr))
+                return;
+            if (frameType(resp) != "result")
+                return;
+            const json::Value *ec = resp.find("exit_code");
+            exit_codes[i] = ec && ec->isNumber()
+                ? static_cast<int>(ec->asNumber())
+                : -1;
+            contents[i] = csvContent(resp);
+        });
+    for (auto &t : clients)
+        t.join();
+    for (int i = 0; i < kClients; ++i) {
+        EXPECT_EQ(exit_codes[i], 0) << "client " << i;
+        EXPECT_FALSE(contents[i].empty()) << "client " << i;
+        EXPECT_EQ(contents[i], contents[0]) << "client " << i;
+    }
+    EXPECT_TRUE(eventually([&] {
+        return daemon.activeRequests() == 0;
+    }));
+    daemon.drainAndStop();
+}
+
+TEST_F(ServeDaemonTest, MalformedRequestsAreContained)
+{
+    ServeDaemon daemon(opts);
+    daemon.start();
+
+    // Valid frame, invalid JSON payload.
+    json::Value resp = roundTrip(sock, "this is not json");
+    EXPECT_EQ(frameType(resp), "error");
+    EXPECT_EQ(errorCodeOf(resp), "protocol-error");
+
+    // Valid JSON, unknown request type.
+    resp = roundTrip(sock, "{\"type\":\"frobnicate\"}");
+    EXPECT_EQ(frameType(resp), "error");
+    EXPECT_EQ(errorCodeOf(resp), "protocol-error");
+
+    // A run request carrying neither spec nor spec_text.
+    resp = roundTrip(sock, "{\"type\":\"run\"}");
+    EXPECT_EQ(frameType(resp), "error");
+    EXPECT_EQ(errorCodeOf(resp), "protocol-error");
+
+    // An unknown spec field fails spec validation, not the daemon.
+    resp = roundTrip(
+        sock, runRequest("{\"bogus_knob\": 1, \"workloads\": []}"));
+    EXPECT_EQ(frameType(resp), "error");
+    EXPECT_EQ(errorCodeOf(resp), "spec-parse");
+    const json::Value *msg = resp.find("message");
+    ASSERT_TRUE(msg && msg->isString());
+    EXPECT_NE(msg->asString().find("bogus_knob"),
+              std::string::npos);
+
+    // After all four failures the daemon still serves.
+    resp = roundTrip(sock, "{\"type\":\"ping\"}");
+    EXPECT_EQ(frameType(resp), "pong");
+    daemon.drainAndStop();
+}
+
+TEST_F(ServeDaemonTest, OversizePayloadShedBeforeParsing)
+{
+    opts.maxFrameBytes = 1024;
+    ServeDaemon daemon(opts);
+    daemon.start();
+    // 4 KiB of padding blows the 1 KiB cap: the decoder classifies
+    // it from the header alone and the daemon answers with a
+    // structured frame instead of reading (or allocating) the body.
+    std::string fat = "{\"type\":\"ping\",\"pad\":\""
+        + std::string(4096, 'x') + "\"}";
+    json::Value resp = roundTrip(sock, fat);
+    EXPECT_EQ(frameType(resp), "error");
+    EXPECT_EQ(errorCodeOf(resp), "protocol-error");
+    const json::Value *msg = resp.find("message");
+    ASSERT_TRUE(msg && msg->isString());
+    EXPECT_NE(msg->asString().find("cap"), std::string::npos);
+
+    resp = roundTrip(sock, "{\"type\":\"ping\"}");
+    EXPECT_EQ(frameType(resp), "pong");
+    daemon.drainAndStop();
+}
+
+TEST_F(ServeDaemonTest, MidRunJobFaultYieldsFailedResultFrame)
+{
+    ServeDaemon daemon(opts);
+    daemon.start();
+    fault::arm("job.mcf/triangel", 1, 1);
+    json::Value resp = roundTrip(sock, runRequest(specText()));
+    fault::reset();
+    // The failure is the request's, not the daemon's: a result
+    // frame with the documented runtime-failure exit code.
+    ASSERT_EQ(frameType(resp), "result");
+    const json::Value *ec = resp.find("exit_code");
+    ASSERT_TRUE(ec && ec->isNumber());
+    EXPECT_EQ(static_cast<int>(ec->asNumber()), 4);
+    const json::Value *failed = resp.find("failed_jobs");
+    ASSERT_TRUE(failed && failed->isNumber());
+    EXPECT_GE(failed->asNumber(), 1.0);
+
+    // The same spec immediately succeeds on the same runner.
+    resp = roundTrip(sock, runRequest(specText()));
+    ASSERT_EQ(frameType(resp), "result");
+    EXPECT_EQ(static_cast<int>(resp.find("exit_code")->asNumber()),
+              0);
+    daemon.drainAndStop();
+}
+
+TEST_F(ServeDaemonTest, OverloadShedsWithRetryAfterHint)
+{
+    opts.workers = 1;
+    opts.maxQueue = 1;
+    opts.ioTimeoutMs = 10000;
+    ServeDaemon daemon(opts);
+    daemon.start();
+    const std::uint64_t shed0 = counterValue("serve.rejected");
+
+    // Occupy the only worker with an idle connection (it blocks in
+    // readFrame until we close), then fill the one queue slot.
+    const int busy = rawConnect(sock);
+    ASSERT_TRUE(eventually(
+        [&] { return daemon.activeRequests() == 1; }));
+    const int queued = rawConnect(sock);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    // The next arrival must be shed — a structured frame with a
+    // retry hint, never a silent hang on a full daemon.
+    json::Value resp = roundTrip(sock, "{\"type\":\"ping\"}", 5000);
+    EXPECT_EQ(frameType(resp), "error");
+    EXPECT_EQ(errorCodeOf(resp), "server-overloaded");
+    const json::Value *retry = resp.find("retry_after_ms");
+    ASSERT_TRUE(retry && retry->isNumber());
+    EXPECT_GT(retry->asNumber(), 0.0);
+    EXPECT_EQ(counterValue("serve.rejected") - shed0, 1u);
+
+    ::close(busy);
+    ::close(queued);
+    EXPECT_TRUE(eventually(
+        [&] { return daemon.activeRequests() == 0; }));
+    // Capacity freed: admission works again.
+    resp = roundTrip(sock, "{\"type\":\"ping\"}");
+    EXPECT_EQ(frameType(resp), "pong");
+    daemon.drainAndStop();
+}
+
+TEST_F(ServeDaemonTest, DisconnectedClientFreesItsSlotMidRun)
+{
+    ServeDaemon daemon(opts);
+    daemon.start();
+    const std::uint64_t disc0 = counterValue("serve.disconnects");
+
+    // A run big enough to still be in flight when the client dies.
+    const int fd = rawConnect(sock);
+    ASSERT_TRUE(writeFrame(fd, runRequest(specText(2'000'000)),
+                           5000));
+    ASSERT_TRUE(eventually(
+        [&] { return daemon.activeRequests() == 1; }));
+    ::close(fd);
+
+    // The monitor notices the dead peer, fires the request's token,
+    // and the slot drains without anyone reading the result.
+    EXPECT_TRUE(eventually(
+        [&] { return daemon.activeRequests() == 0; }));
+    EXPECT_GE(counterValue("serve.disconnects") - disc0, 1u);
+
+    // The worker the orphan occupied is back in rotation.
+    json::Value resp = roundTrip(sock, "{\"type\":\"ping\"}");
+    EXPECT_EQ(frameType(resp), "pong");
+    daemon.drainAndStop();
+}
+
+TEST_F(ServeDaemonTest, RequestDeadlineCancelsAsJobTimeout)
+{
+    opts.maxAttempts = 1; // one doomed attempt is enough
+    ServeDaemon daemon(opts);
+    daemon.start();
+    // 2M records cannot finish in 1 ms: the per-request deadline
+    // fires and the request reports its own failure while the
+    // daemon (and its resident runner) stay healthy.
+    json::Value resp = roundTrip(
+        sock, runRequest(specText(2'000'000), 0.001), 60000);
+    ASSERT_EQ(frameType(resp), "result") << errorCodeOf(resp);
+    const json::Value *ec = resp.find("exit_code");
+    ASSERT_TRUE(ec && ec->isNumber());
+    EXPECT_EQ(static_cast<int>(ec->asNumber()), 4);
+    EXPECT_GE(resp.find("failed_jobs")->asNumber(), 1.0);
+
+    // A deadline-free request on the same daemon still completes.
+    resp = roundTrip(sock, runRequest(specText()));
+    ASSERT_EQ(frameType(resp), "result");
+    EXPECT_EQ(static_cast<int>(resp.find("exit_code")->asNumber()),
+              0);
+    daemon.drainAndStop();
+}
+
+TEST_F(ServeDaemonTest, RssWatermarkEvictsIdleTraces)
+{
+    opts.maxRssMb = 1; // any real process sits above 1 MiB
+    ServeDaemon daemon(opts);
+    daemon.start();
+    const std::uint64_t evict0 = counterValue("serve.evictions");
+
+    json::Value resp = roundTrip(sock, runRequest(specText()));
+    ASSERT_EQ(frameType(resp), "result");
+    // Idle + over the watermark: the monitor evicts the resident
+    // traces LRU-first.
+    EXPECT_TRUE(eventually([&] {
+        return counterValue("serve.evictions") > evict0;
+    }));
+
+    // Eviction degrades warmth, not correctness: the next request
+    // reloads what it needs and succeeds.
+    resp = roundTrip(sock, runRequest(specText()));
+    ASSERT_EQ(frameType(resp), "result");
+    EXPECT_EQ(static_cast<int>(resp.find("exit_code")->asNumber()),
+              0);
+    daemon.drainAndStop();
+}
+
+TEST_F(ServeDaemonTest, DrainRemovesSocketAndPidfileAndIsIdempotent)
+{
+    ServeDaemon daemon(opts);
+    daemon.start();
+    ASSERT_TRUE(fs::exists(sock));
+    ASSERT_TRUE(fs::exists(sock + ".pid"));
+    daemon.drainAndStop();
+    EXPECT_FALSE(fs::exists(sock));
+    EXPECT_FALSE(fs::exists(sock + ".pid"));
+    // Second drain is a no-op, and the path is free for a restart.
+    daemon.drainAndStop();
+    ServeDaemon next(opts);
+    ASSERT_NO_THROW(next.start());
+    json::Value resp = roundTrip(sock, "{\"type\":\"ping\"}");
+    EXPECT_EQ(frameType(resp), "pong");
+    next.drainAndStop();
+}
+
+} // anonymous namespace
+} // namespace prophet::serve

@@ -31,17 +31,22 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/cancellation.hh"
+#include "common/exit_codes.hh"
 #include "driver/driver.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
 #include "sim/pipelines.hh"
 #include "trace/trace_io.hh"
 #include "sim/sweep.hh"
@@ -101,6 +106,15 @@ usage()
         "      [--threads N] [--records N] [--trace-cache-dir DIR]\n"
         "  trace-cache clear [--trace-cache-dir DIR]\n"
         "  trace-cache stats [--trace-cache-dir DIR]\n"
+        "  serve --socket PATH [--serve-workers N]\n"
+        "      [--max-queue N] [--max-frame-bytes N]\n"
+        "      [--io-timeout-ms N] [--request-deadline SEC]\n"
+        "      [--max-rss-mb N] [--drain-grace SEC]\n"
+        "      [--no-trace-cache] [--trace-cache-dir DIR]\n"
+        "  client run <spec.json> --socket PATH [--deadline SEC]\n"
+        "      [--timeout-ms N]\n"
+        "  client health --socket PATH\n"
+        "  client ping --socket PATH\n"
         "\n"
         "observability (run; all off by default — outputs are\n"
         "byte-identical to a run without these flags):\n"
@@ -139,15 +153,16 @@ usage()
         "                 and partial sinks, and exit 6; a second\n"
         "                 signal force-kills\n"
         "\n"
-        "exit codes:\n"
-        "  0  success\n"
-        "  2  usage error\n"
-        "  3  spec parse/validation error\n"
-        "  4  runtime failure (job, pipeline, or sink)\n"
-        "  5  partial failure (--keep-going: some jobs failed,\n"
-        "     the rest completed)\n"
-        "  6  interrupted (SIGINT/SIGTERM; completed jobs were\n"
-        "     journaled when --resume/--journal was on)\n");
+        "serving (serve / client; protocol in README \"Serving\"):\n"
+        "  serve keeps traces and baselines resident, so a repeated\n"
+        "  spec skips every trace load; client run is a drop-in for\n"
+        "  run against a warm daemon (same sinks, same exit codes).\n"
+        "  SIGINT/SIGTERM drain the daemon: stop accepting, finish\n"
+        "  or cancel in-flight requests, flush, exit 6.\n"
+        "\n");
+    // One shared block (common/exit_codes.hh): run, serve, and
+    // client compute their exits from the same enum this prints.
+    std::fputs(exitCodesHelp(), stderr);
     return 2;
 }
 
@@ -159,6 +174,12 @@ struct Flags
 
     /** --resume: journal at <spec>.journal (path known post-parse). */
     bool resume = false;
+
+    // serve / client flags (ignored by the other subcommands).
+    std::string socketPath;          ///< --socket (required)
+    serve::ServeOptions serveOpts;   ///< daemon knobs
+    double clientDeadlineS = 0.0;    ///< client run --deadline
+    int clientTimeoutMs = -1;        ///< client --timeout-ms
 };
 
 bool
@@ -273,6 +294,72 @@ parseFlags(int argc, char **argv, int from, Flags &flags)
                 return false;
             }
             flags.opts.jobTimeoutS = secs;
+        } else if (!std::strcmp(argv[i], "--socket")) {
+            const char *s = needValue(i, "--socket");
+            if (!s)
+                return false;
+            flags.socketPath = s;
+        } else if (!std::strncmp(argv[i], "--socket=", 9)) {
+            flags.socketPath = argv[i] + 9;
+        } else if (!std::strcmp(argv[i], "--serve-workers")) {
+            const char *s = needValue(i, "--serve-workers");
+            if (!s || !parseCount("--serve-workers", s, 1024, v))
+                return false;
+            flags.serveOpts.workers = static_cast<unsigned>(v);
+        } else if (!std::strcmp(argv[i], "--max-queue")) {
+            const char *s = needValue(i, "--max-queue");
+            if (!s || !parseCount("--max-queue", s, 1 << 20, v))
+                return false;
+            flags.serveOpts.maxQueue =
+                static_cast<std::size_t>(v);
+        } else if (!std::strcmp(argv[i], "--max-frame-bytes")) {
+            const char *s = needValue(i, "--max-frame-bytes");
+            if (!s
+                || !parseCount("--max-frame-bytes", s,
+                               ~std::uint32_t{0}, v))
+                return false;
+            flags.serveOpts.maxFrameBytes =
+                static_cast<std::uint32_t>(v);
+        } else if (!std::strcmp(argv[i], "--io-timeout-ms")) {
+            const char *s = needValue(i, "--io-timeout-ms");
+            if (!s
+                || !parseCount("--io-timeout-ms", s, 86400000, v))
+                return false;
+            flags.serveOpts.ioTimeoutMs = static_cast<int>(v);
+        } else if (!std::strcmp(argv[i], "--max-rss-mb")) {
+            const char *s = needValue(i, "--max-rss-mb");
+            if (!s || !parseCount("--max-rss-mb", s, 1 << 24, v))
+                return false;
+            flags.serveOpts.maxRssMb =
+                static_cast<std::size_t>(v);
+        } else if (!std::strcmp(argv[i], "--timeout-ms")) {
+            const char *s = needValue(i, "--timeout-ms");
+            if (!s || !parseCount("--timeout-ms", s, 86400000, v))
+                return false;
+            flags.clientTimeoutMs = static_cast<int>(v);
+        } else if (!std::strcmp(argv[i], "--request-deadline")
+                   || !std::strcmp(argv[i], "--drain-grace")
+                   || !std::strcmp(argv[i], "--deadline")) {
+            const std::string flag = argv[i];
+            const char *s = needValue(i, flag.c_str());
+            if (!s)
+                return false;
+            char *end = nullptr;
+            errno = 0;
+            double secs = std::strtod(s, &end);
+            if (end == s || *end != '\0' || errno == ERANGE
+                || !(secs >= 0.0) || secs >= 1e9) {
+                std::fprintf(stderr,
+                             "prophet: %s: invalid value '%s'\n",
+                             flag.c_str(), s);
+                return false;
+            }
+            if (flag == "--request-deadline")
+                flags.serveOpts.requestDeadlineS = secs;
+            else if (flag == "--drain-grace")
+                flags.serveOpts.drainGraceS = secs;
+            else
+                flags.clientDeadlineS = secs;
         } else if (argv[i][0] == '-') {
             std::fprintf(stderr, "prophet: unknown flag %s\n",
                          argv[i]);
@@ -306,25 +393,21 @@ cmdRun(const Flags &flags)
                                      std::move(opts));
         bool keep_going = drv.keepGoingEnabled();
         auto report = drv.run();
-        int rc = 0;
-        if (report.failedJobs > 0) {
+        // The report-to-exit mapping is shared with the serve
+        // daemon's response frames (driver::exitCodeForReport), so
+        // the two entry points cannot disagree on a verdict.
+        int rc = driver::exitCodeForReport(report, keep_going);
+        if (report.failedJobs > 0)
             std::fprintf(
                 stderr, "prophet run: %zu of %zu job%s failed%s\n",
                 report.failedJobs, report.results.size(),
                 report.results.size() == 1 ? "" : "s",
                 keep_going ? " (keep-going: partial results written)"
                            : "");
-            // Partial failure is its own exit code only when the
-            // user asked for partial results; under fail-fast any
-            // failure is a plain runtime failure.
-            rc = keep_going ? 5 : 4;
-        }
-        if (!report.sinksOk) {
+        if (!report.sinksOk)
             std::fprintf(stderr,
                          "prophet run: one or more sinks failed to "
                          "write\n");
-            rc = 4;
-        }
         // A signal trumps the failure codes: the skipped/cancelled
         // jobs are the interrupt's doing, and exit 6 tells scripts
         // "rerun with --resume", not "a job is broken".
@@ -341,16 +424,86 @@ cmdRun(const Flags &flags)
                 flags.resume || !flags.opts.journalPath.empty()
                     ? "; rerun with --resume to continue"
                     : "");
-            rc = 6;
+            rc = static_cast<int>(ExitCode::Interrupted);
         }
         return rc;
-    } catch (const driver::SpecError &e) {
+    } catch (const Error &e) {
         std::fprintf(stderr, "prophet run: %s\n", e.what());
-        return 3;
+        return static_cast<int>(exitCodeForError(e.code()));
     } catch (const std::exception &e) {
         std::fprintf(stderr, "prophet run: %s\n", e.what());
-        return 4;
+        return static_cast<int>(ExitCode::RuntimeFailure);
     }
+}
+
+/**
+ * `prophet serve`: run the resident daemon until SIGINT/SIGTERM,
+ * then drain gracefully and exit 6 — the same interrupt code a
+ * drained `prophet run` uses.
+ */
+int
+cmdServe(Flags &flags)
+{
+    if (flags.socketPath.empty()) {
+        std::fprintf(stderr, "prophet serve: --socket is required\n");
+        return static_cast<int>(ExitCode::Usage);
+    }
+    serve::ServeOptions sopts = flags.serveOpts;
+    sopts.socketPath = flags.socketPath;
+    sopts.traceCache = flags.opts.traceCache;
+    sopts.traceCacheDir = flags.opts.traceCacheDir;
+    sopts.maxAttempts = flags.opts.maxAttempts;
+    sopts.retryBackoffMs = flags.opts.retryBackoffMs;
+
+    try {
+        serve::ServeDaemon daemon(std::move(sopts));
+        daemon.start();
+        installShutdownHandlers();
+        while (gSignal == 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+        std::fprintf(stderr,
+                     "prophet serve: signal %d; draining\n",
+                     static_cast<int>(gSignal));
+        daemon.drainAndStop();
+        return static_cast<int>(ExitCode::Interrupted);
+    } catch (const Error &e) {
+        std::fprintf(stderr, "prophet serve: %s\n", e.what());
+        return static_cast<int>(exitCodeForError(e.code()));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "prophet serve: %s\n", e.what());
+        return static_cast<int>(ExitCode::RuntimeFailure);
+    }
+}
+
+/** `prophet client run|health|ping` against a serve daemon. */
+int
+cmdClient(const std::string &sub, const Flags &flags)
+{
+    if (flags.socketPath.empty()) {
+        std::fprintf(stderr,
+                     "prophet client: --socket is required\n");
+        return static_cast<int>(ExitCode::Usage);
+    }
+    if (sub == "run") {
+        if (flags.positional.size() != 1) {
+            std::fprintf(stderr,
+                         "prophet client run: expected one spec "
+                         "file\n");
+            return static_cast<int>(ExitCode::Usage);
+        }
+        return serve::clientRun(flags.socketPath,
+                                flags.positional[0],
+                                flags.clientDeadlineS,
+                                flags.clientTimeoutMs);
+    }
+    if (sub == "health" || sub == "ping")
+        return serve::clientSimpleRequest(flags.socketPath, sub,
+                                          flags.clientTimeoutMs);
+    std::fprintf(stderr,
+                 "prophet client: unknown subcommand \"%s\"\n",
+                 sub.c_str());
+    return static_cast<int>(ExitCode::Usage);
 }
 
 int
@@ -556,6 +709,21 @@ main(int argc, char **argv)
         if (!parseFlags(argc, argv, 2, flags))
             return 2;
         return cmdRun(flags);
+    }
+    if (cmd == "serve") {
+        Flags flags;
+        if (!parseFlags(argc, argv, 2, flags))
+            return 2;
+        return cmdServe(flags);
+    }
+    if (cmd == "client") {
+        if (argc < 3)
+            return usage();
+        std::string sub = argv[2];
+        Flags flags;
+        if (!parseFlags(argc, argv, 3, flags))
+            return 2;
+        return cmdClient(sub, flags);
     }
     if (cmd == "list-workloads")
         return cmdListWorkloads();
